@@ -1,0 +1,118 @@
+// Package repro's root benchmark suite regenerates every experiment in
+// EXPERIMENTS.md (one per figure of the tutorial — the paper has no
+// measured tables). cmd/odpbench prints the same scenarios as tables; the
+// scenarios themselves live in internal/experiments.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchScenario(b *testing.B, s experiments.Scenario) {
+	b.Helper()
+	b.Run(s.Name, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE1_ViewpointConsistency measures the Figure 1 correspondence
+// check of the full bank specification.
+func BenchmarkE1_ViewpointConsistency(b *testing.B) {
+	s := experiments.E1Consistency()
+	defer s.Close()
+	benchScenario(b, s)
+}
+
+// BenchmarkE2_BankInvocation measures Figure 2's bank branch under its
+// three canonical interactions, end to end through the channel stack with
+// the ACID refinement.
+func BenchmarkE2_BankInvocation(b *testing.B) {
+	scenarios := experiments.E2Bank()
+	for _, s := range scenarios {
+		benchScenario(b, s)
+	}
+	for _, s := range scenarios {
+		s.Close()
+	}
+}
+
+// BenchmarkE3_Subtype measures Figure 3's subtype relation: structural
+// checks at growing signature sizes versus the type repository's
+// memoised check.
+func BenchmarkE3_Subtype(b *testing.B) {
+	for _, s := range experiments.E3Subtype() {
+		benchScenario(b, s)
+		s.Close()
+	}
+}
+
+// BenchmarkE4_Channel measures Figure 4's channel composition: codec
+// choice (access transparency) and each added stub/binder component.
+func BenchmarkE4_Channel(b *testing.B) {
+	for _, s := range experiments.E4Codec() {
+		benchScenario(b, s)
+		s.Close()
+	}
+	scenarios := experiments.E4Channel()
+	for _, s := range scenarios {
+		benchScenario(b, s)
+	}
+	for _, s := range scenarios {
+		s.Close()
+	}
+}
+
+// BenchmarkE5_NodeStructure measures Figure 5's engineering structures:
+// building one full containment column, and a cluster
+// checkpoint/deactivate/reactivate cycle.
+func BenchmarkE5_NodeStructure(b *testing.B) {
+	scenarios := experiments.E5Structure()
+	for _, s := range scenarios {
+		benchScenario(b, s)
+	}
+	for _, s := range scenarios {
+		s.Close()
+	}
+}
+
+// BenchmarkE6_Transparency measures the Section 9 ablation: invocation
+// cost as each transparency set is enabled, including replication
+// degrees 1, 3 and 5.
+func BenchmarkE6_Transparency(b *testing.B) {
+	scenarios := experiments.E6Transparency()
+	for _, s := range scenarios {
+		benchScenario(b, s)
+	}
+	for _, s := range scenarios {
+		s.Close()
+	}
+}
+
+// BenchmarkE7_Transaction measures the ACID transaction function:
+// two-phase commit latency against participant count, plus the abort path.
+func BenchmarkE7_Transaction(b *testing.B) {
+	for _, s := range experiments.E7Transactions() {
+		benchScenario(b, s)
+		s.Close()
+	}
+}
+
+// BenchmarkE8_Trader measures the trading function: import latency versus
+// offer population, constraint complexity and federation depth.
+func BenchmarkE8_Trader(b *testing.B) {
+	for _, s := range experiments.E8Trader() {
+		benchScenario(b, s)
+		s.Close()
+	}
+}

@@ -1,0 +1,114 @@
+// Command odpbench regenerates every experiment in EXPERIMENTS.md as
+// formatted tables: the per-figure micro-benchmarks (E1–E8) plus the two
+// behavioural measurements that are not ns/op-shaped — relocation
+// recovery latency and failure masking under loss.
+//
+// Usage:
+//
+//	odpbench            # run everything
+//	odpbench -iters N   # samples per scenario (default 2000)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	iters := flag.Int("iters", 2000, "samples per scenario")
+	flag.Parse()
+
+	fmt.Println("RM-ODP reproduction — experiment tables (see EXPERIMENTS.md)")
+	fmt.Println()
+
+	section("E1  Figure 1: cross-viewpoint consistency check")
+	runTable(*iters, []experiments.Scenario{experiments.E1Consistency()})
+
+	section("E2  Figure 2: bank branch invocations (channel + ACID refinement)")
+	runTable(*iters, experiments.E2Bank())
+
+	section("E3  Figure 3: interface subtype checking")
+	runTable(*iters, experiments.E3Subtype())
+
+	section("E4  Figure 4: channel composition ablation")
+	runTable(*iters*10, experiments.E4Codec())
+	runTable(*iters, experiments.E4Channel())
+
+	section("E5  Figure 5: engineering structures")
+	runTable(*iters/4, experiments.E5Structure())
+
+	section("E6  Section 9: transparency ablation")
+	runTable(*iters, experiments.E6Transparency())
+
+	section("E6b Relocation transparency: binding recovery across migration")
+	samples, err := experiments.E6RelocationRecovery(20)
+	if err != nil {
+		fmt.Printf("  error: %v\n", err)
+	} else {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		fmt.Printf("  %-36s %12s %12s %12s\n", "scenario", "p50", "p90", "max")
+		fmt.Printf("  %-36s %12v %12v %12v\n", "first-call-after-migration",
+			samples[len(samples)/2], samples[len(samples)*9/10], samples[len(samples)-1])
+	}
+	fmt.Println()
+
+	section("E6c Failure transparency: success rate over a lossy link (drop=30% each way)")
+	withR, withoutR, err := experiments.E6FailureMasking(0.3, 200)
+	if err != nil {
+		fmt.Printf("  error: %v\n", err)
+	} else {
+		fmt.Printf("  %-36s %8s\n", "configuration", "ok/200")
+		fmt.Printf("  %-36s %8d\n", "failure transparency (25 retries)", withR)
+		fmt.Printf("  %-36s %8d\n", "no retries", withoutR)
+	}
+	fmt.Println()
+
+	section("E7  Section 8.2.1: ACID transaction function")
+	runTable(*iters, experiments.E7Transactions())
+
+	section("E8  Section 8.3.2: trading function")
+	runTable(*iters/4, experiments.E8Trader())
+}
+
+func section(title string) {
+	fmt.Println(title)
+}
+
+func runTable(iters int, scenarios []experiments.Scenario) {
+	if iters < 10 {
+		iters = 10
+	}
+	fmt.Printf("  %-40s %14s %12s\n", "scenario", "ns/op", "ops/sec")
+	for _, s := range scenarios {
+		// Warm up, then measure.
+		for i := 0; i < iters/10; i++ {
+			if err := s.Run(); err != nil {
+				fmt.Printf("  %-40s error: %v\n", s.Name, err)
+				break
+			}
+		}
+		start := time.Now()
+		var failed error
+		for i := 0; i < iters; i++ {
+			if err := s.Run(); err != nil {
+				failed = err
+				break
+			}
+		}
+		elapsed := time.Since(start)
+		if failed != nil {
+			fmt.Printf("  %-40s error: %v\n", s.Name, failed)
+			continue
+		}
+		nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+		fmt.Printf("  %-40s %14.0f %12.0f\n", s.Name, nsPerOp, 1e9/nsPerOp)
+	}
+	for _, s := range scenarios {
+		s.Close()
+	}
+	fmt.Println()
+}

@@ -1,0 +1,212 @@
+// Command odpnode hosts an ODP engineering node over real TCP, or invokes
+// an interface on one — the multi-process path of the stack (everything
+// else in this repository also runs on the simulated network).
+//
+// Serve a counter object:
+//
+//	odpnode -serve -listen tcp://127.0.0.1:9000 -behavior counter
+//
+// It prints one line per interface:
+//
+//	<interface-id> <type> <endpoint>
+//
+// Invoke from another process:
+//
+//	odpnode -call '<interface-id>' -endpoint tcp://127.0.0.1:9000 -op Inc -args 5
+//
+// Arguments are comma-separated; integers, true/false and quoted text are
+// recognised, everything else travels as a string.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"repro/internal/bank"
+	"repro/internal/channel"
+	"repro/internal/engineering"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/transactions"
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+func main() {
+	var (
+		serve    = flag.Bool("serve", false, "host a node")
+		listen   = flag.String("listen", "tcp://127.0.0.1:0", "listen endpoint (serve mode)")
+		behavior = flag.String("behavior", "counter", "object to host: counter | greeter | bank")
+		nodeName = flag.String("node", "node1", "node name (serve mode)")
+		call     = flag.String("call", "", "interface id to invoke (call mode)")
+		endpoint = flag.String("endpoint", "", "endpoint of the target interface (call mode)")
+		op       = flag.String("op", "", "operation name (call mode)")
+		argsCSV  = flag.String("args", "", "comma-separated operation arguments (call mode)")
+	)
+	flag.Parse()
+
+	switch {
+	case *serve:
+		runServe(*nodeName, *listen, *behavior)
+	case *call != "":
+		runCall(*call, *endpoint, *op, *argsCSV)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+type counter struct{ n int64 }
+
+func (c *counter) Invoke(_ context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	if op == "Inc" {
+		d, _ := args[0].AsInt()
+		c.n += d
+	}
+	return "OK", []values.Value{values.Int(c.n)}, nil
+}
+
+func counterType() *types.Interface {
+	return types.OpInterface("Counter",
+		types.Op("Inc", types.Params(types.P("d", values.TInt())),
+			types.Term("OK", types.P("n", values.TInt()))),
+		types.Op("Get", nil, types.Term("OK", types.P("n", values.TInt()))),
+	)
+}
+
+type greeter struct{}
+
+func (greeter) Invoke(_ context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	name := "world"
+	if len(args) == 1 {
+		if s, ok := args[0].AsString(); ok {
+			name = s
+		}
+	}
+	return "OK", []values.Value{values.Str("hello, " + name)}, nil
+}
+
+func greeterType() *types.Interface {
+	return types.OpInterface("Greeter",
+		types.Op("Greet", types.Params(types.P("name", values.TString())),
+			types.Term("OK", types.P("message", values.TString()))),
+	)
+}
+
+func runServe(nodeName, listen, behavior string) {
+	node, err := engineering.NewNode(engineering.NodeConfig{
+		ID:        naming.NodeID(nodeName),
+		Endpoint:  naming.Endpoint(listen),
+		Transport: netsim.NewTCP(),
+		Server:    channel.ServerConfig{ReplayGuard: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	node.Behaviors().Register("counter", func(values.Value) (engineering.Behavior, error) {
+		return &counter{}, nil
+	})
+	node.Behaviors().Register("greeter", func(values.Value) (engineering.Behavior, error) {
+		return greeter{}, nil
+	})
+	coord := transactions.NewCoordinator()
+	store := transactions.NewStore("branch", nil)
+	bank.RegisterBehavior(node.Behaviors(), coord, store)
+
+	capsule, err := node.CreateCapsule()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := capsule.CreateCluster(engineering.ClusterOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var ifaces []*types.Interface
+	behaviorName := behavior
+	switch behavior {
+	case "counter":
+		ifaces = []*types.Interface{counterType()}
+	case "greeter":
+		ifaces = []*types.Interface{greeterType()}
+	case "bank":
+		behaviorName = "bank.branch"
+		ifaces = []*types.Interface{bank.TellerType(), bank.ManagerType(), bank.LoansOfficerType()}
+	default:
+		log.Fatalf("unknown behavior %q (counter | greeter | bank)", behavior)
+	}
+	obj, err := cluster.CreateObject(behaviorName, values.Null())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range ifaces {
+		ref, err := obj.AddInterface(it)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s %s %s\n", ref.ID, ref.TypeName, node.Endpoint())
+	}
+	fmt.Fprintf(os.Stderr, "odpnode: serving %s at %s; ctrl-c to stop\n", behavior, node.Endpoint())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}
+
+func runCall(ifaceID, endpoint, op, argsCSV string) {
+	if endpoint == "" || op == "" {
+		log.Fatal("call mode needs -endpoint and -op")
+	}
+	id, err := naming.ParseInterfaceID(ifaceID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := channel.Bind(naming.InterfaceRef{
+		ID:       id,
+		Endpoint: naming.Endpoint(endpoint),
+	}, channel.BindConfig{Transport: netsim.NewTCP()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Close()
+	term, results, err := b.Invoke(context.Background(), op, parseArgs(argsCSV))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("termination: %s\n", term)
+	for i, r := range results {
+		fmt.Printf("result[%d]:   %s\n", i, r)
+	}
+}
+
+func parseArgs(csv string) []values.Value {
+	if strings.TrimSpace(csv) == "" {
+		return nil
+	}
+	parts := strings.Split(csv, ",")
+	out := make([]values.Value, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		switch {
+		case p == "true":
+			out = append(out, values.Bool(true))
+		case p == "false":
+			out = append(out, values.Bool(false))
+		default:
+			if n, err := strconv.ParseInt(p, 10, 64); err == nil {
+				out = append(out, values.Int(n))
+				continue
+			}
+			out = append(out, values.Str(strings.Trim(p, `'"`)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Command odptrader runs a standalone trading-function daemon over TCP,
+// optionally federated with peer traders — a multi-process trading graph.
+//
+// Start a trader:
+//
+//	odptrader -name city -listen tcp://127.0.0.1:9100
+//
+// It prints its own trader interface as "<interface-id> odp.Trader <endpoint>".
+// Start a second one federated with the first:
+//
+//	odptrader -name state -listen tcp://127.0.0.1:9101 \
+//	          -peer '<interface-id>@tcp://127.0.0.1:9100'
+//
+// Exports and imports arrive through the trader's own ODP interface (see
+// trader.InterfaceType); odpnode -call works against it too, since a
+// trader is just another ODP object.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/internal/bank"
+	"repro/internal/channel"
+	"repro/internal/engineering"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/trader"
+	"repro/internal/typerepo"
+	"repro/internal/values"
+)
+
+type peerList []string
+
+func (p *peerList) String() string     { return strings.Join(*p, ",") }
+func (p *peerList) Set(s string) error { *p = append(*p, s); return nil }
+
+func main() {
+	var peers peerList
+	name := flag.String("name", "trader", "trader name (prefixes offer ids; unique per federation)")
+	listen := flag.String("listen", "tcp://127.0.0.1:0", "listen endpoint")
+	flag.Var(&peers, "peer", "federation link '<interface-id>@<endpoint>' (repeatable)")
+	flag.Parse()
+
+	// The type universe this trader can certify. A production deployment
+	// would replicate a shared repository; here the well-known types are
+	// pre-registered.
+	repo := typerepo.New()
+	must(repo.RegisterInterface(bank.TellerType()))
+	must(repo.RegisterInterface(bank.ManagerType()))
+	must(repo.RegisterInterface(bank.LoansOfficerType()))
+	must(repo.RegisterInterface(trader.InterfaceType()))
+
+	t := trader.New(*name, repo)
+
+	node, err := engineering.NewNode(engineering.NodeConfig{
+		ID:        naming.NodeID(*name),
+		Endpoint:  naming.Endpoint(*listen),
+		Transport: netsim.NewTCP(),
+		Server:    channel.ServerConfig{ReplayGuard: true},
+	})
+	must(err)
+	defer node.Close()
+	node.Behaviors().Register("odp.trader", func(values.Value) (engineering.Behavior, error) {
+		return &trader.Servant{T: t}, nil
+	})
+	capsule, err := node.CreateCapsule()
+	must(err)
+	cluster, err := capsule.CreateCluster(engineering.ClusterOptions{})
+	must(err)
+	obj, err := cluster.CreateObject("odp.trader", values.Null())
+	must(err)
+	ref, err := obj.AddInterface(trader.InterfaceType())
+	must(err)
+	fmt.Printf("%s %s %s\n", ref.ID, ref.TypeName, node.Endpoint())
+
+	for _, peer := range peers {
+		at := strings.LastIndexByte(peer, '@')
+		if at < 0 {
+			log.Fatalf("peer %q must be '<interface-id>@<endpoint>'", peer)
+		}
+		id, err := naming.ParseInterfaceID(peer[:at])
+		must(err)
+		b, err := channel.Bind(naming.InterfaceRef{
+			ID:       id,
+			TypeName: "odp.Trader",
+			Endpoint: naming.Endpoint(peer[at+1:]),
+		}, channel.BindConfig{Transport: netsim.NewTCP(), Type: trader.InterfaceType()})
+		must(err)
+		remote := trader.NewRemote(b)
+		t.Link(peer, remote)
+		fmt.Fprintf(os.Stderr, "odptrader: linked to %s\n", peer)
+	}
+
+	fmt.Fprintf(os.Stderr, "odptrader: %q serving at %s with %d link(s); ctrl-c to stop\n",
+		*name, node.Endpoint(), len(peers))
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

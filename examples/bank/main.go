@@ -1,0 +1,154 @@
+// Command bank runs the tutorial's running example end to end, across all
+// five viewpoints:
+//
+//  1. enterprise: the branch community with its policies — watch the
+//     $500/day prohibition deny a withdrawal and the interest-rate change
+//     create an obligation;
+//  2. information: the account schemas rejecting the same over-limit
+//     change at the model level;
+//  3. computational: the branch object of Figure 2 with BankTeller,
+//     BankManager and LoansOfficer interfaces;
+//  4. engineering: the object deployed on a node, reached through
+//     channels with relocation and failure transparency;
+//  5. technology + Figure 1: the consistency check tying them together.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/bank"
+	"repro/internal/core"
+	"repro/internal/odp"
+	"repro/internal/technology"
+	"repro/internal/transactions"
+	"repro/internal/values"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// --- enterprise viewpoint -------------------------------------------
+	community, err := bank.NewCommunity("branch-cbd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(community.AddObject("kerry", 1 /* active */))
+	must(community.AddObject("alice", 1))
+	must(community.Assign("kerry", "manager"))
+	must(community.Assign("alice", "customer"))
+
+	fmt.Println("== enterprise viewpoint ==")
+	verdict, err := community.Check("alice", "Withdraw", values.Record(
+		values.F("amount", values.Int(400)),
+		values.F("withdrawn_today", values.Int(0)),
+		values.F("account_open", values.Bool(true)),
+	))
+	fmt.Printf("withdraw $400 with $0 used: allowed=%v (policy %s)\n", verdict.Allowed, verdict.Policy)
+	_, err = community.Check("alice", "Withdraw", values.Record(
+		values.F("amount", values.Int(200)),
+		values.F("withdrawn_today", values.Int(400)),
+		values.F("account_open", values.Bool(true)),
+	))
+	fmt.Printf("withdraw $200 with $400 used: %v\n", err)
+	must(community.Perform("kerry", "SetInterestRate", values.Record(values.F("rate", values.Float(4.5)))))
+	for _, o := range community.Outstanding("manager") {
+		fmt.Printf("obligation: %s must %s (from %s)\n", o.Role, o.Duty, o.Origin)
+	}
+
+	// --- information viewpoint ------------------------------------------
+	fmt.Println("\n== information viewpoint ==")
+	model, err := bank.NewModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(model.PutObject("acct_1", "Account", bank.NewAccountState(1000)))
+	must(model.Apply("acct_1", "Withdraw", values.Record(values.F("d", values.Int(400)))))
+	err = model.Apply("acct_1", "Withdraw", values.Record(values.F("d", values.Int(200))))
+	fmt.Printf("model rejects the same over-limit change: %v\n", err)
+
+	// --- computational + engineering viewpoints --------------------------
+	fmt.Println("\n== computational + engineering viewpoints ==")
+	system := odp.NewSystem(7)
+	defer system.Close()
+	node, err := system.CreateNode("bank-node")
+	if err != nil {
+		log.Fatal(err)
+	}
+	coord := transactions.NewCoordinator()
+	store := transactions.NewStore("branch-cbd", nil)
+	bank.RegisterBehavior(node.Behaviors(), coord, store)
+	if _, err := system.Deploy(node, bank.Template("branch-cbd"), values.Record(
+		values.F("city", values.Str("brisbane")),
+	)); err != nil {
+		log.Fatal(err)
+	}
+	contract := core.Contract{Require: core.TransparencySet(
+		core.Access | core.Location | core.Relocation | core.Failure | core.Transaction)}
+
+	manager, err := system.ImportAndBind("teller-desk", "BankManager", "", contract)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer manager.Close()
+	term, res, err := manager.Invoke(ctx, "CreateAccount", []values.Value{values.Str("alice")})
+	if err != nil || term != "OK" {
+		log.Fatalf("CreateAccount: %s %v %v", term, res, err)
+	}
+	acct, _ := res[0].AsString()
+	fmt.Printf("manager created %s\n", acct)
+
+	teller, err := system.ImportAndBind("teller-desk", "BankTeller", "", contract)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer teller.Close()
+	invoke := func(b interface {
+		Invoke(context.Context, string, []values.Value) (string, []values.Value, error)
+	}, op string, args ...values.Value) {
+		term, res, err := b.Invoke(ctx, op, args)
+		if err != nil {
+			log.Fatalf("%s: %v", op, err)
+		}
+		fmt.Printf("%-14s -> %s %v\n", op, term, res)
+	}
+	invoke(teller, "Deposit", values.Str("alice"), values.Str(acct), values.Int(1000))
+	invoke(teller, "Withdraw", values.Str("alice"), values.Str(acct), values.Int(400))
+	invoke(teller, "Withdraw", values.Str("alice"), values.Str(acct), values.Int(200)) // NotToday
+	invoke(teller, "Balance", values.Str("alice"), values.Str(acct))
+
+	// The teller interface cannot create accounts (Figure 2's asymmetry).
+	if _, _, err := teller.Invoke(ctx, "CreateAccount", []values.Value{values.Str("bob")}); err != nil {
+		fmt.Printf("CreateAccount via teller interface: %v\n", err)
+	}
+
+	// --- technology viewpoint + Figure 1 ----------------------------------
+	fmt.Println("\n== technology viewpoint + consistency (Figure 1) ==")
+	tech := technology.NewSpecification("sim-deployment")
+	must(tech.Choose("transport", values.Record(values.F("kind", values.Str("sim")))))
+	must(tech.Require(technology.Requirement{Name: "transport-chosen", Condition: "exist transport.kind"}))
+	findings := odp.CheckConsistency(odp.Spec{
+		Community:  community,
+		Model:      model,
+		Templates:  []core.ObjectTemplate{bank.Template("branch-cbd")},
+		Technology: tech,
+		Links: []odp.Correspondence{
+			{Action: "Deposit", Interface: "BankTeller", Operation: "Deposit", Schema: "Deposit"},
+			{Action: "Withdraw", Interface: "BankTeller", Operation: "Withdraw", Schema: "Withdraw"},
+			{Action: "CreateAccount", Interface: "BankManager", Operation: "CreateAccount"},
+		},
+	}, node.Behaviors())
+	if errs := odp.Errors(findings); len(errs) == 0 {
+		fmt.Println("viewpoints consistent (errors: 0)")
+	}
+	for _, f := range findings {
+		fmt.Printf("finding [%s/%s]: %s\n", f.Severity, f.Viewpoint, f.Detail)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

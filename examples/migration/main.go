@@ -1,0 +1,117 @@
+// Command migration demonstrates relocation and migration transparency:
+// a counter object's cluster migrates between two nodes while a client
+// keeps invoking it. The client's binder notices the stale location,
+// re-resolves through the relocator and replays — the client code itself
+// contains no recovery logic at all.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engineering"
+	"repro/internal/odp"
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+type counter struct{ n int64 }
+
+func (c *counter) Invoke(_ context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	if op == "Inc" {
+		d, _ := args[0].AsInt()
+		c.n += d
+	}
+	return "OK", []values.Value{values.Int(c.n)}, nil
+}
+
+func (c *counter) CheckpointState() (values.Value, error) { return values.Int(c.n), nil }
+func (c *counter) RestoreState(v values.Value) error {
+	c.n, _ = v.AsInt()
+	return nil
+}
+
+func counterType() *types.Interface {
+	return types.OpInterface("Counter",
+		types.Op("Inc", types.Params(types.P("d", values.TInt())),
+			types.Term("OK", types.P("n", values.TInt()))),
+		types.Op("Get", nil, types.Term("OK", types.P("n", values.TInt()))),
+	)
+}
+
+func main() {
+	system := odp.NewSystem(3)
+	defer system.Close()
+
+	factory := func(values.Value) (engineering.Behavior, error) { return &counter{}, nil }
+	nodeA, err := system.CreateNode("alpha")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodeA.Behaviors().Register("counter", factory)
+	nodeB, err := system.CreateNode("beta")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodeB.Behaviors().Register("counter", factory)
+
+	tmpl := core.ObjectTemplate{
+		Name:     "migratable-counter",
+		Behavior: "counter",
+		Interfaces: []core.InterfaceDecl{{
+			Type: counterType(),
+			Contract: core.Contract{
+				Require: core.TransparencySet(core.Location | core.Relocation | core.Migration | core.Failure),
+			},
+		}},
+	}
+	dep, err := system.Deploy(nodeA, tmpl, values.Null())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, _ := dep.Ref("Counter")
+
+	binding, err := system.Bind("client", ref, core.Contract{
+		Require: core.TransparencySet(core.Location | core.Relocation | core.Failure),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer binding.Close()
+
+	ctx := context.Background()
+	inc := func(label string) {
+		term, res, err := binding.Invoke(ctx, "Inc", []values.Value{values.Int(1)})
+		if err != nil || term != "OK" {
+			log.Fatalf("%s: %s %v", label, term, err)
+		}
+		n, _ := res[0].AsInt()
+		fmt.Printf("%-22s counter=%d (served from %s)\n", label, n, binding.Ref().Endpoint)
+	}
+
+	inc("before migration")
+	inc("before migration")
+
+	// Migrate the cluster from alpha to beta. Interface identity is
+	// preserved; the relocator learns the new location.
+	capsuleB, err := nodeB.CreateCapsule()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dep.Cluster.MigrateTo(capsuleB); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- cluster migrated alpha -> beta --")
+
+	inc("after migration")
+	inc("after migration")
+
+	st := binding.Stats()
+	fmt.Printf("binding stats: invocations=%d retries=%d relocations=%d\n",
+		st.Invocations, st.Retries, st.Relocations)
+	if st.Relocations == 0 {
+		log.Fatal("expected the binder to have re-resolved the location")
+	}
+}

@@ -1,0 +1,97 @@
+// Command quickstart is the smallest complete ODP application: one node,
+// one computational object offering one operational interface, exported
+// through the trader, imported and invoked by a client — the trade-then-
+// bind cycle that every larger example builds on.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engineering"
+	"repro/internal/odp"
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+// greeter is the application behaviour: a computational object
+// encapsulating one piece of state (its greeting) and offering it through
+// an operation.
+type greeter struct {
+	greeting string
+}
+
+func (g *greeter) Invoke(_ context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	switch op {
+	case "Greet":
+		name, _ := args[0].AsString()
+		return "OK", []values.Value{values.Str(g.greeting + ", " + name + "!")}, nil
+	}
+	return "", nil, fmt.Errorf("greeter: no operation %q", op)
+}
+
+// greeterType is the interface type, declared with the builder API.
+func greeterType() *types.Interface {
+	return types.OpInterface("Greeter",
+		types.Op("Greet",
+			types.Params(types.P("name", values.TString())),
+			types.Term("OK", types.P("message", values.TString())),
+		),
+	)
+}
+
+func main() {
+	// 1. An ODP system: simulated network + infrastructure objects
+	//    (type repository, trader, relocator).
+	system := odp.NewSystem(42)
+	defer system.Close()
+
+	// 2. An engineering node (Figure 5: nucleus + capsules + clusters).
+	node, err := system.CreateNode("alpha")
+	if err != nil {
+		log.Fatal(err)
+	}
+	node.Behaviors().Register("greeter", func(arg values.Value) (engineering.Behavior, error) {
+		greeting, _ := arg.AsString()
+		return &greeter{greeting: greeting}, nil
+	})
+
+	// 3. Deploy a computational object template: behaviour + interface +
+	//    environment contract. Deployment registers the type, publishes
+	//    the location and exports a trader offer.
+	tmpl := core.ObjectTemplate{
+		Name:     "hello-service",
+		Behavior: "greeter",
+		Arg:      values.Str("Hello"),
+		Interfaces: []core.InterfaceDecl{{
+			Type: greeterType(),
+			Contract: core.Contract{
+				Require: core.TransparencySet(core.Access | core.Location | core.Failure),
+			},
+		}},
+	}
+	if _, err := system.Deploy(node, tmpl, values.Record(
+		values.F("lang", values.Str("en")),
+	)); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The client side: import by service type + constraint, bind under
+	//    a contract, invoke.
+	binding, err := system.ImportAndBind("client", "Greeter", "lang == 'en'",
+		core.Contract{Require: core.TransparencySet(core.Access | core.Location | core.Failure)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer binding.Close()
+
+	term, results, err := binding.Invoke(context.Background(), "Greet",
+		[]values.Value{values.Str("world")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	msg, _ := results[0].AsString()
+	fmt.Printf("termination: %s\nmessage:     %s\n", term, msg)
+}

@@ -1,0 +1,174 @@
+// Command streams demonstrates stream interfaces (Section 5.1) and
+// binding objects: a producer pushes grouped audio+video flows into a
+// stream binding object, which fans them out to two consumers — "several
+// streams can be grouped in a single interface, e.g., an audio stream and
+// a video stream".
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/engineering"
+	"repro/internal/naming"
+	"repro/internal/odp"
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+// avType is the grouped audio+video stream interface, consumer side.
+func avType() *types.Interface {
+	frame := values.TRecord("Frame",
+		values.FT("seq", values.TUint()),
+		values.FT("data", values.TBytes()),
+	)
+	return types.StreamInterface("AV",
+		types.FlowOf("audio", types.Consumer, frame),
+		types.FlowOf("video", types.Consumer, frame),
+	)
+}
+
+// sink counts the frames it absorbs per flow.
+type sink struct {
+	name string
+	mu   sync.Mutex
+	got  map[string]int
+}
+
+func (s *sink) Invoke(context.Context, string, []values.Value) (string, []values.Value, error) {
+	return "", nil, nil
+}
+
+func (s *sink) Flow(flow string, _ values.Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.got == nil {
+		s.got = map[string]int{}
+	}
+	s.got[flow]++
+}
+
+func (s *sink) report() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("%s: audio=%d video=%d", s.name, s.got["audio"], s.got["video"])
+}
+
+func main() {
+	system := odp.NewSystem(11)
+	defer system.Close()
+	node, err := system.CreateNode("media")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sinks := []*sink{{name: "consumer-1"}, {name: "consumer-2"}}
+	idx := 0
+	node.Behaviors().Register("sink", func(values.Value) (engineering.Behavior, error) {
+		s := sinks[idx]
+		idx++
+		return s, nil
+	})
+	core.RegisterStreamBinding(node.Behaviors(), "stream-binding",
+		func(ref naming.InterfaceRef) (core.FlowSender, error) {
+			return node.Bind(ref, channel.BindConfig{Locator: system.Relocator})
+		})
+
+	capsule, err := node.CreateCapsule()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := capsule.CreateCluster(engineering.ClusterOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two consumer objects, each offering the AV stream interface.
+	var sinkRefs []naming.InterfaceRef
+	for range sinks {
+		obj, err := cluster.CreateObject("sink", values.Null())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref, err := obj.AddInterface(avType())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sinkRefs = append(sinkRefs, ref)
+	}
+
+	// The binding object: control interface + the stream interface.
+	bindingObj, err := cluster.CreateObject("stream-binding", values.Null())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrlRef, err := bindingObj.AddInterface(core.StreamBindingControlType())
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamRef, err := bindingObj.AddInterface(avType())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	ctrl, err := node.Bind(ctrlRef, channel.BindConfig{Type: core.StreamBindingControlType()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctrl.Close()
+	for _, ref := range sinkRefs {
+		term, res, err := ctrl.Invoke(ctx, "AddSink", []values.Value{ref.ToValue()})
+		if err != nil || term != "OK" {
+			log.Fatalf("AddSink: %s %v %v", term, res, err)
+		}
+	}
+
+	// The producer pushes 10 video frames and 5 audio frames.
+	producer, err := node.Bind(streamRef, channel.BindConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer producer.Close()
+	frame := func(seq uint64) values.Value {
+		return values.Record(
+			values.F("seq", values.Uint(seq)),
+			values.F("data", values.BytesVal([]byte{byte(seq)})),
+		)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if err := producer.Flow(ctx, "video", frame(i)); err != nil {
+			log.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := producer.Flow(ctx, "audio", frame(i)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Flows are one-way; give delivery a moment, then report.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, s := range sinks {
+			s.mu.Lock()
+			if s.got["video"] < 10 || s.got["audio"] < 5 {
+				done = false
+			}
+			s.mu.Unlock()
+		}
+		if done {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, s := range sinks {
+		fmt.Println(s.report())
+	}
+}

@@ -1,0 +1,111 @@
+// Package bank implements the tutorial's running example: the bank branch
+// that threads through every section of the paper.
+//
+//   - Section 3 (enterprise): the branch community — manager, tellers,
+//     customers; the $500/day prohibition; the interest-rate obligation
+//     (NewCommunity).
+//   - Section 4 (information): account schemas — the invariant
+//     "withdrawn_today <= 500" constraining the Withdraw dynamic schema
+//     (NewModel).
+//   - Section 5 (computational, Figure 2): the branch object offering
+//     BankTeller and BankManager interfaces, with LoansOfficer as the
+//     second subtype of Figure 3 (TellerType, ManagerType,
+//     LoansOfficerType, Behavior).
+//   - Engineering: the behaviour's state lives in a transactional store,
+//     refined for transaction transparency with transparency.Transactional,
+//     and deploys onto nodes like any other engineering object.
+package bank
+
+import (
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+// DailyLimit is the tutorial's withdrawal limit: "customers must not
+// withdraw more than $500 per day".
+const DailyLimit = 500
+
+// Dollars is the data type of money amounts.
+func Dollars() *values.DataType { return values.TInt() }
+
+// CustomerID is the data type of customer identifiers.
+func CustomerID() *values.DataType { return values.TString() }
+
+// AccountID is the data type of account identifiers.
+func AccountID() *values.DataType { return values.TString() }
+
+// TellerType is the BankTeller interface exactly as the tutorial writes
+// it (Section 5.1), plus the Balance interrogation the tutorial assigns to
+// the computational specification ("obtaining an account balance ... will
+// be identified in the computational specification").
+func TellerType() *types.Interface {
+	return types.OpInterface("BankTeller",
+		types.Op("Deposit",
+			types.Params(
+				types.P("c", CustomerID()),
+				types.P("a", AccountID()),
+				types.P("d", Dollars()),
+			),
+			types.Term("OK", types.P("new_balance", Dollars())),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
+		types.Op("Withdraw",
+			types.Params(
+				types.P("c", CustomerID()),
+				types.P("a", AccountID()),
+				types.P("d", Dollars()),
+			),
+			types.Term("OK", types.P("new_balance", Dollars())),
+			types.Term("NotToday", types.P("today", Dollars()), types.P("daily_limit", Dollars())),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
+		types.Op("Balance",
+			types.Params(
+				types.P("c", CustomerID()),
+				types.P("a", AccountID()),
+			),
+			types.Term("OK", types.P("balance", Dollars())),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
+	)
+}
+
+// ManagerType is the BankManager interface: everything a teller can do
+// plus CreateAccount — "accounts can be created only through the bank
+// manager interface" (Figure 2).
+func ManagerType() *types.Interface {
+	return types.Extend("BankManager", TellerType(),
+		types.Op("CreateAccount",
+			types.Params(types.P("c", CustomerID())),
+			types.Term("OK", types.P("a", AccountID())),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
+		types.Op("CloseAccount",
+			types.Params(types.P("a", AccountID())),
+			types.Term("OK"),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
+		types.Op("ResetDay",
+			types.Params(types.P("a", AccountID())),
+			types.Term("OK"),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
+	)
+}
+
+// LoansOfficerType is the second subtype of Figure 3: a teller that can
+// also approve loans (but cannot create accounts).
+func LoansOfficerType() *types.Interface {
+	return types.Extend("LoansOfficer", TellerType(),
+		types.Op("ApproveLoan",
+			types.Params(
+				types.P("c", CustomerID()),
+				types.P("a", AccountID()),
+				types.P("amount", Dollars()),
+			),
+			types.Term("OK", types.P("new_balance", Dollars())),
+			types.Term("Declined", types.P("reason", values.TString())),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
+	)
+}

@@ -1,0 +1,160 @@
+package bank
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/enterprise"
+	"repro/internal/information"
+	"repro/internal/values"
+)
+
+// NewCommunity builds the enterprise specification of the branch
+// (Section 3 of the tutorial): roles, example members, the deposit
+// permission, the $500/day prohibition, and the obligation rule that a
+// rate change obliges the manager to advise customers — plus the
+// performative action SetInterestRate that triggers it.
+func NewCommunity(name string) (*enterprise.Community, error) {
+	c := enterprise.NewCommunity(name, "provide banking services to a geographical area")
+	for _, role := range []string{"manager", "teller", "loans-officer", "customer"} {
+		if err := c.DeclareRole(role); err != nil {
+			return nil, err
+		}
+	}
+	policies := []enterprise.Policy{
+		{ID: "permit-deposit", Kind: enterprise.Permission, Role: "customer", Action: "Deposit",
+			Condition: "account_open"},
+		{ID: "permit-withdraw", Kind: enterprise.Permission, Role: "customer", Action: "Withdraw",
+			Condition: "account_open"},
+		{ID: "prohibit-over-limit", Kind: enterprise.Prohibition, Role: "customer", Action: "Withdraw",
+			Condition: fmt.Sprintf("amount + withdrawn_today > %d", DailyLimit)},
+		{ID: "permit-balance", Kind: enterprise.Permission, Role: "customer", Action: "Balance"},
+		{ID: "permit-create", Kind: enterprise.Permission, Role: "manager", Action: "CreateAccount"},
+		{ID: "permit-set-rate", Kind: enterprise.Permission, Role: "manager", Action: "SetInterestRate"},
+		{ID: "oblige-rate-notice", Kind: enterprise.ObligationRule, Role: "manager", Action: "SetInterestRate",
+			Duty: "NotifyCustomers"},
+		{ID: "permit-approve-loan", Kind: enterprise.Permission, Role: "loans-officer", Action: "ApproveLoan"},
+	}
+	for _, p := range policies {
+		if err := c.AddPolicy(p); err != nil {
+			return nil, err
+		}
+	}
+	err := c.DeclarePerformative(enterprise.PerformativeAction{
+		Name: "SetInterestRate",
+		Role: "manager",
+		Effect: func(m *enterprise.Mutator, params values.Value) error {
+			// The rate change is performative because it creates an
+			// obligation; reading a balance, by contrast, changes no policy
+			// and so does not appear here.
+			m.Oblige("manager", "NotifyCustomers", "SetInterestRate")
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewModel builds the information specification of the branch
+// (Section 4): the account schema with its invariant and dynamic schemas,
+// and the owns-account relationship.
+func NewModel() (*information.Model, error) {
+	m := information.NewModel()
+	if err := m.AddInvariant(information.InvariantSchema{
+		Name: "daily-limit", Object: "Account",
+		Condition: fmt.Sprintf("withdrawn_today <= %d", DailyLimit),
+	}); err != nil {
+		return nil, err
+	}
+	if err := m.AddInvariant(information.InvariantSchema{
+		Name: "withdrawn-non-negative", Object: "Account",
+		Condition: "withdrawn_today >= 0",
+	}); err != nil {
+		return nil, err
+	}
+	if err := m.AddInvariant(information.InvariantSchema{
+		Name: "balance-non-negative", Object: "Account",
+		Condition: "balance >= 0",
+	}); err != nil {
+		return nil, err
+	}
+	dynamics := []information.DynamicSchema{
+		{
+			Name: "Withdraw", Object: "Account",
+			Guard: "d > 0 and balance >= d and open",
+			Assignments: []information.Assignment{
+				{Field: "balance", Expr: "balance - d"},
+				{Field: "withdrawn_today", Expr: "withdrawn_today + d"},
+			},
+		},
+		{
+			Name: "Deposit", Object: "Account",
+			Guard: "d > 0 and open",
+			Assignments: []information.Assignment{
+				{Field: "balance", Expr: "balance + d"},
+			},
+		},
+		{
+			Name: "ResetDay", Object: "Account",
+			Assignments: []information.Assignment{
+				{Field: "withdrawn_today", Expr: "0"},
+			},
+		},
+		{
+			Name: "CloseAccount", Object: "Account",
+			Assignments: []information.Assignment{
+				{Field: "open", Expr: "false"},
+			},
+		},
+	}
+	for _, d := range dynamics {
+		if err := m.AddDynamic(d); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.AddStatic(information.StaticSchema{
+		Name: "midnight", Object: "Account",
+		Condition: "withdrawn_today == 0",
+	}); err != nil {
+		return nil, err
+	}
+	// "The static schema owns-account could associate each account with a
+	// customer": an account has exactly one owner.
+	if err := m.DeclareRelation(information.RelationDecl{Name: "owns_account", MaxFrom: 1}); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewAccountState builds a fresh account state record for the
+// information model.
+func NewAccountState(balance int64) values.Value {
+	return values.Record(
+		values.F("balance", values.Int(balance)),
+		values.F("withdrawn_today", values.Int(0)),
+		values.F("open", values.Bool(true)),
+	)
+}
+
+// Template is the computational object template of the branch: the
+// behaviour plus its three interfaces (Figure 2 + Figure 3), each with
+// the environment contract the tutorial's Section 5.3 motivates — secure,
+// transactional interaction over a relocatable channel.
+func Template(name string) core.ObjectTemplate {
+	contract := core.Contract{
+		Require: core.TransparencySet(core.Access | core.Location | core.Relocation |
+			core.Failure | core.Transaction),
+	}
+	return core.ObjectTemplate{
+		Name:     name,
+		Behavior: "bank.branch",
+		Arg:      values.Null(),
+		Interfaces: []core.InterfaceDecl{
+			{Type: TellerType(), Contract: contract},
+			{Type: ManagerType(), Contract: contract},
+			{Type: LoansOfficerType(), Contract: contract},
+		},
+	}
+}

@@ -1,0 +1,112 @@
+package bank
+
+import (
+	"testing"
+
+	"repro/internal/enterprise"
+	"repro/internal/values"
+)
+
+func TestCommunityPoliciesMatchPaper(t *testing.T) {
+	c, err := NewCommunity("branch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddObject("kerry", enterprise.Active); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddObject("alice", enterprise.Active); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Assign("kerry", "manager"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Assign("alice", "customer"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Permission: deposit into an open account.
+	v, err := c.Check("alice", "Deposit", values.Record(
+		values.F("account_open", values.Bool(true)),
+	))
+	if err != nil || !v.Allowed {
+		t.Errorf("open deposit = %+v, %v", v, err)
+	}
+	// Not into a closed one.
+	if _, err := c.Check("alice", "Deposit", values.Record(
+		values.F("account_open", values.Bool(false)),
+	)); err == nil {
+		t.Error("closed deposit should be denied")
+	}
+	// The $500/day prohibition, at the paper's exact numbers.
+	if _, err := c.Check("alice", "Withdraw", values.Record(
+		values.F("amount", values.Int(200)),
+		values.F("withdrawn_today", values.Int(400)),
+		values.F("account_open", values.Bool(true)),
+	)); err == nil {
+		t.Error("over-limit withdrawal should be prohibited")
+	}
+	// The performative rate change creates the notification obligation.
+	if err := c.Perform("kerry", "SetInterestRate", values.Record(
+		values.F("rate", values.Float(5.25)),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	obls := c.Outstanding("manager")
+	if len(obls) != 1 || obls[0].Duty != "NotifyCustomers" {
+		t.Errorf("obligations = %+v", obls)
+	}
+	// Customers cannot perform it.
+	if err := c.Perform("alice", "SetInterestRate", values.Record(
+		values.F("rate", values.Float(0)),
+	)); err == nil {
+		t.Error("customer rate change should be denied")
+	}
+}
+
+func TestModelStaticAndRelationship(t *testing.T) {
+	m, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PutObject("acct", "Account", NewAccountState(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PutObject("alice", "Customer", values.Record(values.F("name", values.Str("Alice")))); err != nil {
+		t.Fatal(err)
+	}
+	// Midnight holds initially, breaks after a withdrawal, and holds again
+	// after the reset schema.
+	if err := m.CheckStatic("midnight", "acct"); err != nil {
+		t.Errorf("fresh account midnight = %v", err)
+	}
+	if err := m.Apply("acct", "Withdraw", values.Record(values.F("d", values.Int(50)))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckStatic("midnight", "acct"); err == nil {
+		t.Error("midnight should fail after a withdrawal")
+	}
+	if err := m.Apply("acct", "ResetDay", values.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckStatic("midnight", "acct"); err != nil {
+		t.Errorf("midnight after reset = %v", err)
+	}
+	// Deposits into a closed account violate the schema guard.
+	if err := m.Apply("acct", "CloseAccount", values.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply("acct", "Deposit", values.Record(values.F("d", values.Int(1)))); err == nil {
+		t.Error("deposit into closed account should fail")
+	}
+	// owns_account: one owner per account.
+	if err := m.Relate("owns_account", "alice", "acct"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PutObject("bob", "Customer", values.Record(values.F("name", values.Str("Bob")))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Relate("owns_account", "bob", "acct"); err == nil {
+		t.Error("second owner should violate cardinality")
+	}
+}

@@ -1,0 +1,553 @@
+package channel
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/types"
+	"repro/internal/values"
+	"repro/internal/wire"
+)
+
+// BindConfig configures the client end of a channel. Transport is
+// required; everything else has working defaults. The set of stages and
+// the presence of Locator/MaxRetries are normally decided by the
+// transparency configurator from an environment contract.
+type BindConfig struct {
+	// Transport dials the server's endpoint. Required.
+	Transport netsim.Transport
+	// Codec selects the transfer representation (default: wire.Canonical).
+	Codec wire.Codec
+	// Stages are the stub/binder components of this channel end, applied
+	// outermost-first on outbound messages.
+	Stages []Stage
+	// Type enables client-side type checking of invocations (the client
+	// stub's application knowledge). Optional.
+	Type *types.Interface
+	// Locator enables relocation transparency: when the server end reports
+	// the interface unknown, or the connection fails, the binding re-resolves
+	// the location and replays the interaction. Optional.
+	Locator Locator
+	// MaxRetries enables failure transparency: the number of additional
+	// attempts after a transport failure or per-attempt timeout.
+	MaxRetries int
+	// CallTimeout bounds each attempt of an interrogation. Zero means the
+	// invocation relies solely on the caller's context.
+	CallTimeout time.Duration
+	// MaxRelocations bounds location refreshes per invocation (default 3).
+	MaxRelocations int
+}
+
+// BindingStats counts channel events at the client end.
+type BindingStats struct {
+	Invocations uint64
+	Retries     uint64
+	Relocations uint64
+	Reconnects  uint64
+}
+
+// Binding is the client end of an engineering channel, bound to one remote
+// interface. It is safe for concurrent use; interrogations in flight are
+// correlated by id, so a binding multiplexes any number of goroutines onto
+// one connection.
+type Binding struct {
+	cfg       BindConfig
+	bindingID uint64
+
+	nextCorrel atomic.Uint64
+	nextSeq    atomic.Uint64
+
+	invocations atomic.Uint64
+	retries     atomic.Uint64
+	relocations atomic.Uint64
+	reconnects  atomic.Uint64
+
+	mu      sync.Mutex
+	ref     naming.InterfaceRef
+	conn    netsim.Conn
+	pending map[uint64]chan *wire.Message
+	closed  bool
+}
+
+// Bind creates a binding to the interface named by ref. The connection is
+// established lazily on first use, so binding to a not-yet-started server
+// is fine as long as it is up by the first invocation.
+func Bind(ref naming.InterfaceRef, cfg BindConfig) (*Binding, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("channel: BindConfig.Transport is required")
+	}
+	if ref.IsZero() {
+		return nil, fmt.Errorf("channel: cannot bind to zero reference")
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = wire.Canonical
+	}
+	if cfg.MaxRelocations == 0 {
+		cfg.MaxRelocations = 3
+	}
+	return &Binding{
+		cfg:       cfg,
+		bindingID: rand.Uint64(),
+		ref:       ref,
+		pending:   make(map[uint64]chan *wire.Message),
+	}, nil
+}
+
+// Ref returns the binding's current view of the interface reference
+// (endpoint and epoch may advance as relocations are observed).
+func (b *Binding) Ref() naming.InterfaceRef {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ref
+}
+
+// Stats returns a snapshot of the binding's counters.
+func (b *Binding) Stats() BindingStats {
+	return BindingStats{
+		Invocations: b.invocations.Load(),
+		Retries:     b.retries.Load(),
+		Relocations: b.relocations.Load(),
+		Reconnects:  b.reconnects.Load(),
+	}
+}
+
+// Close tears down the binding and fails any in-flight interrogations
+// with ErrDisconnected.
+func (b *Binding) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	conn := b.conn
+	b.conn = nil
+	b.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// Invoke performs an interrogation: it sends the operation with its
+// arguments and blocks until a termination arrives. Application
+// terminations are returned as (name, results, nil); infrastructure
+// failures as a non-nil error (possibly *RemoteError).
+func (b *Binding) Invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	if err := b.typeCheckCall(op, args, false); err != nil {
+		return "", nil, err
+	}
+	b.invocations.Add(1)
+	correl := b.nextCorrel.Add(1)
+
+	relocations := 0
+	attempt := 0
+	for {
+		m := &wire.Message{
+			Kind:        wire.Call,
+			BindingID:   b.bindingID,
+			Seq:         b.nextSeq.Add(1),
+			Correlation: correl,
+			Target:      b.ref.ID,
+			Epoch:       b.Ref().Epoch,
+			Operation:   op,
+			Args:        args,
+		}
+		reply, err := b.attempt(ctx, m)
+		if err != nil {
+			if ctx.Err() != nil {
+				return "", nil, ctx.Err()
+			}
+			// Transport failure or per-attempt timeout. Failure
+			// transparency: retry if configured; relocation transparency:
+			// re-resolve first in case the failure was a move.
+			if attempt < b.cfg.MaxRetries {
+				attempt++
+				b.retries.Add(1)
+				if b.refreshLocation() {
+					relocations++
+					b.relocations.Add(1)
+				}
+				continue
+			}
+			return "", nil, err
+		}
+		switch reply.Kind {
+		case wire.Reply:
+			if err := b.typeCheckReply(op, reply); err != nil {
+				return "", nil, err
+			}
+			return reply.Termination, reply.Args, nil
+		case wire.ErrReply:
+			if reply.Termination == CodeNoSuchInterface &&
+				b.cfg.Locator != nil && relocations < b.cfg.MaxRelocations {
+				// The interface is not where we thought: the classic stale
+				// location. Re-resolve and replay (tutorial Section 9.2).
+				if b.refreshLocation() {
+					relocations++
+					b.relocations.Add(1)
+					continue
+				}
+			}
+			return "", nil, b.remoteError(reply)
+		default:
+			return "", nil, fmt.Errorf("%w: unexpected kind %v", ErrBadReply, reply.Kind)
+		}
+	}
+}
+
+// Announce performs an announcement: the operation is sent without waiting
+// for any termination. Delivery is at-most-once.
+func (b *Binding) Announce(ctx context.Context, op string, args []values.Value) error {
+	if err := b.typeCheckCall(op, args, true); err != nil {
+		return err
+	}
+	b.invocations.Add(1)
+	return b.sendOneWay(ctx, &wire.Message{
+		Kind:        wire.OneWay,
+		BindingID:   b.bindingID,
+		Seq:         b.nextSeq.Add(1),
+		Correlation: b.nextCorrel.Add(1),
+		Target:      b.ref.ID,
+		Epoch:       b.Ref().Epoch,
+		Operation:   op,
+		Args:        args,
+	})
+}
+
+// Flow emits one element of a stream-interface flow (producer side).
+func (b *Binding) Flow(ctx context.Context, flow string, elem values.Value) error {
+	if b.cfg.Type != nil {
+		f, ok := b.cfg.Type.Flow(flow)
+		if !ok {
+			return fmt.Errorf("%w: interface %s has no flow %q", ErrTypeCheck, b.cfg.Type.Name, flow)
+		}
+		if err := f.Elem.Check(elem); err != nil {
+			return fmt.Errorf("%w: flow %q: %v", ErrTypeCheck, flow, err)
+		}
+	}
+	return b.sendOneWay(ctx, &wire.Message{
+		Kind:        wire.FlowMsg,
+		BindingID:   b.bindingID,
+		Seq:         b.nextSeq.Add(1),
+		Correlation: b.nextCorrel.Add(1),
+		Target:      b.ref.ID,
+		Epoch:       b.Ref().Epoch,
+		Operation:   flow,
+		Args:        []values.Value{elem},
+	})
+}
+
+// Signal emits one signal-interface primitive.
+func (b *Binding) Signal(ctx context.Context, name string, args []values.Value) error {
+	if b.cfg.Type != nil {
+		s, ok := b.cfg.Type.Signal(name)
+		if !ok {
+			return fmt.Errorf("%w: interface %s has no signal %q", ErrTypeCheck, b.cfg.Type.Name, name)
+		}
+		if len(s.Params) != len(args) {
+			return fmt.Errorf("%w: signal %q expects %d args, got %d", ErrTypeCheck, name, len(s.Params), len(args))
+		}
+		for i, p := range s.Params {
+			if err := p.Type.Check(args[i]); err != nil {
+				return fmt.Errorf("%w: signal %q arg %q: %v", ErrTypeCheck, name, p.Name, err)
+			}
+		}
+	}
+	return b.sendOneWay(ctx, &wire.Message{
+		Kind:        wire.SignalMsg,
+		BindingID:   b.bindingID,
+		Seq:         b.nextSeq.Add(1),
+		Correlation: b.nextCorrel.Add(1),
+		Target:      b.ref.ID,
+		Epoch:       b.Ref().Epoch,
+		Operation:   name,
+		Args:        args,
+	})
+}
+
+// Probe checks end-to-end liveness of the channel.
+func (b *Binding) Probe(ctx context.Context) error {
+	_, err := b.attempt(ctx, &wire.Message{
+		Kind:        wire.Probe,
+		BindingID:   b.bindingID,
+		Seq:         b.nextSeq.Add(1),
+		Correlation: b.nextCorrel.Add(1),
+		Target:      b.ref.ID,
+	})
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// internals
+
+func (b *Binding) typeCheckCall(op string, args []values.Value, announcement bool) error {
+	t := b.cfg.Type
+	if t == nil {
+		return nil
+	}
+	decl, ok := t.Operation(op)
+	if !ok {
+		return fmt.Errorf("%w: interface %s has no operation %q", ErrTypeCheck, t.Name, op)
+	}
+	if announcement && !decl.IsAnnouncement() {
+		return fmt.Errorf("%w: %s.%s is an interrogation, use Invoke", ErrTypeCheck, t.Name, op)
+	}
+	if !announcement && decl.IsAnnouncement() {
+		return fmt.Errorf("%w: %s.%s is an announcement, use Announce", ErrTypeCheck, t.Name, op)
+	}
+	if len(args) != len(decl.Params) {
+		return fmt.Errorf("%w: %s.%s expects %d args, got %d", ErrTypeCheck, t.Name, op, len(decl.Params), len(args))
+	}
+	for i, p := range decl.Params {
+		if err := p.Type.Check(args[i]); err != nil {
+			return fmt.Errorf("%w: %s.%s arg %q: %v", ErrTypeCheck, t.Name, op, p.Name, err)
+		}
+	}
+	return nil
+}
+
+func (b *Binding) typeCheckReply(op string, reply *wire.Message) error {
+	t := b.cfg.Type
+	if t == nil {
+		return nil
+	}
+	decl, ok := t.Operation(op)
+	if !ok {
+		return nil // checked on the way out; be lenient here
+	}
+	term, ok := decl.Termination(reply.Termination)
+	if !ok {
+		return fmt.Errorf("%w: %s.%s returned undeclared termination %q",
+			ErrTypeCheck, t.Name, op, reply.Termination)
+	}
+	if len(reply.Args) != len(term.Results) {
+		return fmt.Errorf("%w: %s.%s termination %q carries %d results, want %d",
+			ErrTypeCheck, t.Name, op, reply.Termination, len(reply.Args), len(term.Results))
+	}
+	for i, res := range term.Results {
+		if err := res.Type.Check(reply.Args[i]); err != nil {
+			return fmt.Errorf("%w: %s.%s termination %q result %q: %v",
+				ErrTypeCheck, t.Name, op, reply.Termination, res.Name, err)
+		}
+	}
+	return nil
+}
+
+func (b *Binding) remoteError(reply *wire.Message) error {
+	detail := ""
+	if len(reply.Args) == 1 {
+		if s, ok := reply.Args[0].AsString(); ok {
+			detail = s
+		}
+	}
+	return &RemoteError{Code: reply.Termination, Detail: detail}
+}
+
+// attempt performs one round trip, including the per-attempt timeout.
+func (b *Binding) attempt(ctx context.Context, m *wire.Message) (*wire.Message, error) {
+	if b.cfg.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.cfg.CallTimeout)
+		defer cancel()
+	}
+	if err := runStages(b.cfg.Stages, Outbound, m); err != nil {
+		return nil, err
+	}
+	conn, err := b.ensureConn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := m.Encode(b.cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan *wire.Message, 1)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.pending[m.Correlation] = ch
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		delete(b.pending, m.Correlation)
+		b.mu.Unlock()
+	}()
+
+	if err := conn.Send(frame); err != nil {
+		b.dropConn(conn)
+		return nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
+	}
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return nil, ErrDisconnected
+		}
+		if err := runStages(b.cfg.Stages, Inbound, reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// sendOneWay transmits a message without expecting any reply, applying
+// failure-transparency retries for transport-level send errors only.
+func (b *Binding) sendOneWay(ctx context.Context, m *wire.Message) error {
+	if err := runStages(b.cfg.Stages, Outbound, m); err != nil {
+		return err
+	}
+	frame, err := m.Encode(b.cfg.Codec)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		conn, err := b.ensureConn(ctx)
+		if err == nil {
+			if err = conn.Send(frame); err == nil {
+				return nil
+			}
+			b.dropConn(conn)
+			err = fmt.Errorf("%w: %v", ErrDisconnected, err)
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt >= b.cfg.MaxRetries {
+			return err
+		}
+		b.retries.Add(1)
+		if b.refreshLocation() {
+			b.relocations.Add(1)
+		}
+	}
+}
+
+// ensureConn returns the live connection, dialling the current endpoint if
+// necessary and starting the read loop.
+func (b *Binding) ensureConn(ctx context.Context) (netsim.Conn, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if b.conn != nil {
+		conn := b.conn
+		b.mu.Unlock()
+		return conn, nil
+	}
+	ep := b.ref.Endpoint
+	b.mu.Unlock()
+
+	conn, err := b.cfg.Transport.Dial(ctx, ep)
+	if err != nil {
+		// The endpoint may be stale; relocation transparency refreshes it
+		// for the next attempt.
+		if b.refreshLocation() {
+			b.relocations.Add(1)
+		}
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrDisconnected, ep, err)
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if b.conn != nil {
+		// Another goroutine connected first.
+		existing := b.conn
+		b.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	b.conn = conn
+	b.reconnects.Add(1)
+	b.mu.Unlock()
+	go b.readLoop(conn)
+	return conn, nil
+}
+
+// dropConn discards the connection if it is still current, so the next
+// attempt redials.
+func (b *Binding) dropConn(conn netsim.Conn) {
+	b.mu.Lock()
+	if b.conn == conn {
+		b.conn = nil
+	}
+	b.mu.Unlock()
+	conn.Close()
+}
+
+// refreshLocation consults the locator and adopts a newer location if one
+// exists. It reports whether the binding's view changed.
+func (b *Binding) refreshLocation() bool {
+	if b.cfg.Locator == nil {
+		return false
+	}
+	ref, err := b.cfg.Locator.Lookup(b.ref.ID)
+	if err != nil {
+		return false
+	}
+	b.mu.Lock()
+	changed := ref.Epoch > b.ref.Epoch || ref.Endpoint != b.ref.Endpoint
+	var stale netsim.Conn
+	if changed {
+		b.ref = ref
+		stale = b.conn
+		b.conn = nil
+	}
+	b.mu.Unlock()
+	if stale != nil {
+		stale.Close()
+	}
+	return changed
+}
+
+// readLoop delivers replies to their waiting interrogations until the
+// connection dies, then fails whatever is still pending.
+func (b *Binding) readLoop(conn netsim.Conn) {
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		m, err := wire.Decode(frame)
+		if err != nil {
+			continue // a corrupt frame fails its call by timeout, not panic
+		}
+		switch m.Kind {
+		case wire.Reply, wire.ErrReply, wire.ProbeAck:
+			b.mu.Lock()
+			ch, ok := b.pending[m.Correlation]
+			if ok {
+				delete(b.pending, m.Correlation)
+			}
+			b.mu.Unlock()
+			if ok {
+				ch <- m
+			}
+		default:
+			// Client ends do not accept requests.
+		}
+	}
+	b.mu.Lock()
+	if b.conn == conn {
+		b.conn = nil
+	}
+	stranded := b.pending
+	b.pending = make(map[uint64]chan *wire.Message)
+	b.mu.Unlock()
+	for _, ch := range stranded {
+		close(ch)
+	}
+}

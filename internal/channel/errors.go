@@ -1,0 +1,77 @@
+// Package channel implements the RM-ODP engineering channel of Figure 4:
+// the composable pipeline of stubs, binders and protocol objects that
+// connects basic engineering objects across nodes.
+//
+//	Client Object                           Server Object
+//	     |                                        ^
+//	   [stub stages]   — application-aware —  [stub stages]
+//	   [binder]        — replay, relocation — [binder]
+//	   [protocol obj]  — frames over conn —   [protocol obj]
+//	          \________ communications ________/
+//
+// The client end is a Binding (obtained with Bind); the server end is a
+// Server hosting servants for engineering object interfaces. Stubs and
+// binders are Stage values configured per channel; which stages appear is
+// decided by the transparency configurator (package transparency) from the
+// binding's environment contract.
+package channel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Client-side channel error sentinels.
+var (
+	ErrClosed       = errors.New("channel: binding closed")
+	ErrDisconnected = errors.New("channel: connection lost")
+	ErrBadReply     = errors.New("channel: malformed reply")
+	ErrTypeCheck    = errors.New("channel: interaction violates interface type")
+)
+
+// Infrastructure error codes carried in ErrReply frames. These are channel
+// failures, distinct from application terminations (which are ordinary
+// Reply frames with a termination name from the interface type).
+const (
+	CodeNoSuchInterface = "ERR_NO_SUCH_INTERFACE"
+	CodeNoSuchOperation = "ERR_NO_SUCH_OPERATION"
+	CodeBadArgs         = "ERR_BAD_ARGS"
+	CodeReplay          = "ERR_REPLAY"
+	CodeAuth            = "ERR_AUTH"
+	CodeInternal        = "ERR_INTERNAL"
+	CodeUnavailable     = "ERR_UNAVAILABLE"
+)
+
+// RemoteError is an infrastructure failure reported by the server end of
+// the channel.
+type RemoteError struct {
+	Code   string // one of the Code* constants
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	if e.Detail == "" {
+		return "channel: remote error " + e.Code
+	}
+	return fmt.Sprintf("channel: remote error %s: %s", e.Code, e.Detail)
+}
+
+// IsRemote reports whether err is a RemoteError with the given code.
+func IsRemote(err error, code string) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == code
+}
+
+// StageError is returned by a Stage to abort an interaction with a
+// specific infrastructure code; the server end converts it to an ErrReply
+// with that code rather than the generic CodeInternal.
+type StageError struct {
+	Code   string
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *StageError) Error() string {
+	return fmt.Sprintf("channel: stage rejected message: %s: %s", e.Code, e.Detail)
+}

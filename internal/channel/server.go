@@ -1,0 +1,527 @@
+package channel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/types"
+	"repro/internal/values"
+	"repro/internal/wire"
+)
+
+// Handler is the application-facing side of a servant: the server stub
+// unmarshals a call, type-checks it against the interface type, and hands
+// it to the Handler, which returns a termination name and its results.
+type Handler interface {
+	Invoke(ctx context.Context, op string, args []values.Value) (termination string, results []values.Value, err error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx context.Context, op string, args []values.Value) (string, []values.Value, error)
+
+// Invoke implements Handler.
+func (f HandlerFunc) Invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	return f(ctx, op, args)
+}
+
+// FlowReceiver is implemented by servants that accept stream flows.
+type FlowReceiver interface {
+	Flow(flow string, elem values.Value)
+}
+
+// SignalReceiver is implemented by servants that accept raw signals.
+type SignalReceiver interface {
+	Signal(name string, args []values.Value)
+}
+
+// ServerConfig configures the server end of a channel.
+type ServerConfig struct {
+	// Stages are this end's stub/binder components; on inbound requests
+	// they run innermost-first (mirror of the client pipeline).
+	Stages []Stage
+	// ReplayGuard enables the binder's capture-and-replay defence
+	// (tutorial Section 6.1): duplicate calls are answered from a bounded
+	// reply cache, and regressed correlation ids are rejected.
+	ReplayGuard bool
+	// ReplyCacheSize bounds the per-binding reply cache (default 128).
+	ReplyCacheSize int
+	// HandlerTimeout bounds servant execution per call (default: none).
+	HandlerTimeout time.Duration
+}
+
+// ServerStats counts channel events at the server end.
+type ServerStats struct {
+	Calls     uint64
+	OneWays   uint64
+	Flows     uint64
+	Signals   uint64
+	Errors    uint64
+	Replays   uint64
+	BadFrames uint64
+}
+
+type servantEntry struct {
+	typ     *types.Interface
+	handler Handler
+}
+
+// Server is the server end of engineering channels at one endpoint: it
+// accepts connections, runs the inbound pipeline and dispatches calls to
+// registered servants by interface identity.
+type Server struct {
+	cfg      ServerConfig
+	listener netsim.Listener
+
+	mu       sync.RWMutex
+	servants map[naming.InterfaceID]*servantEntry
+	guards   map[uint64]*bindingGuard
+	conns    map[netsim.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+
+	calls     atomic.Uint64
+	oneWays   atomic.Uint64
+	flows     atomic.Uint64
+	signals   atomic.Uint64
+	errCount  atomic.Uint64
+	replays   atomic.Uint64
+	badFrames atomic.Uint64
+}
+
+// NewServer wraps a listener. Call Start to begin accepting.
+func NewServer(l netsim.Listener, cfg ServerConfig) *Server {
+	if cfg.ReplyCacheSize <= 0 {
+		cfg.ReplyCacheSize = 128
+	}
+	return &Server{
+		cfg:      cfg,
+		listener: l,
+		servants: make(map[naming.InterfaceID]*servantEntry),
+		guards:   make(map[uint64]*bindingGuard),
+		conns:    make(map[netsim.Conn]struct{}),
+	}
+}
+
+// Endpoint returns the listener's endpoint.
+func (s *Server) Endpoint() naming.Endpoint { return s.listener.Endpoint() }
+
+// Register installs a servant for an interface. The interface type enables
+// the server stub's type checking; pass nil to serve untyped.
+func (s *Server) Register(id naming.InterfaceID, typ *types.Interface, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("channel: nil handler for %s", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.servants[id]; exists {
+		return fmt.Errorf("channel: interface %s already registered", id)
+	}
+	s.servants[id] = &servantEntry{typ: typ, handler: h}
+	return nil
+}
+
+// Unregister removes a servant (e.g. when its cluster migrates away).
+// Subsequent calls to the interface receive CodeNoSuchInterface, which is
+// the signal that drives the client binder's relocation path.
+func (s *Server) Unregister(id naming.InterfaceID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.servants, id)
+}
+
+// Start begins accepting connections; it returns immediately. Use Close to
+// stop and wait for connection handlers to drain.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := s.listener.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+}
+
+// Close stops accepting, closes the listener and all live connections,
+// and waits for in-flight handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]netsim.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Calls:     s.calls.Load(),
+		OneWays:   s.oneWays.Load(),
+		Flows:     s.flows.Load(),
+		Signals:   s.signals.Load(),
+		Errors:    s.errCount.Load(),
+		Replays:   s.replays.Load(),
+		BadFrames: s.badFrames.Load(),
+	}
+}
+
+func (s *Server) serveConn(conn netsim.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		m, err := wire.Decode(frame)
+		if err != nil {
+			s.badFrames.Add(1)
+			continue
+		}
+		if err := runStages(s.cfg.Stages, Inbound, m); err != nil {
+			s.errCount.Add(1)
+			if m.Kind == wire.Call {
+				s.sendErr(conn, m, stageCode(err), err.Error())
+			}
+			continue
+		}
+		switch m.Kind {
+		case wire.Probe:
+			s.reply(conn, m, &wire.Message{
+				Kind:        wire.ProbeAck,
+				BindingID:   m.BindingID,
+				Correlation: m.Correlation,
+				Target:      m.Target,
+			})
+		case wire.Call:
+			s.calls.Add(1)
+			if s.cfg.ReplayGuard {
+				switch verdict, cached := s.guardCheck(m); verdict {
+				case guardReplayCached:
+					s.replays.Add(1)
+					_ = conn.Send(cached)
+					continue
+				case guardReplayReject:
+					s.replays.Add(1)
+					s.sendErr(conn, m, CodeReplay, "correlation id regressed")
+					continue
+				case guardInFlight:
+					s.replays.Add(1)
+					continue // original execution will answer
+				}
+			}
+			mm := m
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handleCall(conn, mm)
+			}()
+		case wire.OneWay:
+			s.oneWays.Add(1)
+			mm := m
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handleOneWay(mm)
+			}()
+		case wire.FlowMsg:
+			s.flows.Add(1)
+			s.handleFlow(m)
+		case wire.SignalMsg:
+			s.signals.Add(1)
+			s.handleSignal(m)
+		default:
+			s.badFrames.Add(1)
+		}
+	}
+}
+
+func stageCode(err error) string {
+	var se *StageError
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return CodeInternal
+}
+
+func (s *Server) lookup(id naming.InterfaceID) (*servantEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.servants[id]
+	return e, ok
+}
+
+func (s *Server) handleCall(conn netsim.Conn, m *wire.Message) {
+	e, ok := s.lookup(m.Target)
+	if !ok {
+		s.sendErr(conn, m, CodeNoSuchInterface, m.Target.String())
+		return
+	}
+	var decl types.Operation
+	if e.typ != nil {
+		decl, ok = e.typ.Operation(m.Operation)
+		if !ok {
+			s.sendErr(conn, m, CodeNoSuchOperation, m.Operation)
+			return
+		}
+		if err := checkArgs(decl, m.Args); err != nil {
+			s.sendErr(conn, m, CodeBadArgs, err.Error())
+			return
+		}
+	}
+	ctx := context.Background()
+	if s.cfg.HandlerTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.HandlerTimeout)
+		defer cancel()
+	}
+	term, results, err := e.handler.Invoke(ctx, m.Operation, m.Args)
+	if err != nil {
+		// Handlers may return a *StageError to control the code (e.g. an
+		// activator wrapper reporting a deactivated cluster).
+		s.sendErr(conn, m, stageCode(err), err.Error())
+		return
+	}
+	if e.typ != nil && !decl.IsAnnouncement() {
+		if err := checkTermination(decl, term, results); err != nil {
+			// The servant itself violated its declared type: a server bug,
+			// reported as internal rather than leaking the bad payload.
+			s.sendErr(conn, m, CodeInternal, err.Error())
+			return
+		}
+	}
+	s.reply(conn, m, &wire.Message{
+		Kind:        wire.Reply,
+		BindingID:   m.BindingID,
+		Correlation: m.Correlation,
+		Target:      m.Target,
+		Operation:   m.Operation,
+		Termination: term,
+		Args:        results,
+	})
+}
+
+func (s *Server) handleOneWay(m *wire.Message) {
+	e, ok := s.lookup(m.Target)
+	if !ok {
+		return // announcements have no failure path back
+	}
+	if e.typ != nil {
+		decl, ok := e.typ.Operation(m.Operation)
+		if !ok || !decl.IsAnnouncement() {
+			s.errCount.Add(1)
+			return
+		}
+		if err := checkArgs(decl, m.Args); err != nil {
+			s.errCount.Add(1)
+			return
+		}
+	}
+	ctx := context.Background()
+	if s.cfg.HandlerTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.HandlerTimeout)
+		defer cancel()
+	}
+	if _, _, err := e.handler.Invoke(ctx, m.Operation, m.Args); err != nil {
+		s.errCount.Add(1)
+	}
+}
+
+func (s *Server) handleFlow(m *wire.Message) {
+	e, ok := s.lookup(m.Target)
+	if !ok || len(m.Args) != 1 {
+		s.errCount.Add(1)
+		return
+	}
+	if e.typ != nil {
+		f, ok := e.typ.Flow(m.Operation)
+		if !ok {
+			s.errCount.Add(1)
+			return
+		}
+		if err := f.Elem.Check(m.Args[0]); err != nil {
+			s.errCount.Add(1)
+			return
+		}
+	}
+	if fr, ok := e.handler.(FlowReceiver); ok {
+		fr.Flow(m.Operation, m.Args[0])
+		return
+	}
+	s.errCount.Add(1)
+}
+
+func (s *Server) handleSignal(m *wire.Message) {
+	e, ok := s.lookup(m.Target)
+	if !ok {
+		s.errCount.Add(1)
+		return
+	}
+	if sr, ok := e.handler.(SignalReceiver); ok {
+		sr.Signal(m.Operation, m.Args)
+		return
+	}
+	s.errCount.Add(1)
+}
+
+func checkArgs(decl types.Operation, args []values.Value) error {
+	if len(args) != len(decl.Params) {
+		return fmt.Errorf("operation %s expects %d args, got %d", decl.Name, len(decl.Params), len(args))
+	}
+	for i, p := range decl.Params {
+		if err := p.Type.Check(args[i]); err != nil {
+			return fmt.Errorf("arg %q: %v", p.Name, err)
+		}
+	}
+	return nil
+}
+
+func checkTermination(decl types.Operation, term string, results []values.Value) error {
+	t, ok := decl.Termination(term)
+	if !ok {
+		return fmt.Errorf("operation %s has no termination %q", decl.Name, term)
+	}
+	if len(results) != len(t.Results) {
+		return fmt.Errorf("termination %q expects %d results, got %d", term, len(t.Results), len(results))
+	}
+	for i, r := range t.Results {
+		if err := r.Type.Check(results[i]); err != nil {
+			return fmt.Errorf("termination %q result %q: %v", term, r.Name, err)
+		}
+	}
+	return nil
+}
+
+func (s *Server) sendErr(conn netsim.Conn, req *wire.Message, code, detail string) {
+	s.errCount.Add(1)
+	s.reply(conn, req, &wire.Message{
+		Kind:        wire.ErrReply,
+		BindingID:   req.BindingID,
+		Correlation: req.Correlation,
+		Target:      req.Target,
+		Operation:   req.Operation,
+		Termination: code,
+		Args:        []values.Value{values.Str(detail)},
+	})
+}
+
+// reply runs the outbound pipeline, mirrors the request codec and sends,
+// recording the frame in the replay guard's reply cache when enabled.
+func (s *Server) reply(conn netsim.Conn, req, m *wire.Message) {
+	if err := runStages(s.cfg.Stages, Outbound, m); err != nil {
+		s.errCount.Add(1)
+		return
+	}
+	codec, err := wire.ByID(req.Codec)
+	if err != nil {
+		codec = wire.Canonical
+	}
+	frame, err := m.Encode(codec)
+	if err != nil {
+		s.errCount.Add(1)
+		return
+	}
+	if s.cfg.ReplayGuard && req.Kind == wire.Call {
+		s.guardStore(req, frame)
+	}
+	_ = conn.Send(frame) // a dead conn fails the client's call by timeout
+}
+
+// ---------------------------------------------------------------------------
+// replay guard (binder): at-most-once execution per (binding, correlation)
+
+type guardVerdict int
+
+const (
+	guardFresh guardVerdict = iota
+	guardInFlight
+	guardReplayCached
+	guardReplayReject
+)
+
+type bindingGuard struct {
+	maxSeen uint64
+	replies map[uint64][]byte // correlation -> cached reply frame (nil = in flight)
+	order   []uint64          // FIFO for eviction
+}
+
+func (s *Server) guardCheck(m *wire.Message) (guardVerdict, []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.guards[m.BindingID]
+	if !ok {
+		g = &bindingGuard{replies: make(map[uint64][]byte)}
+		s.guards[m.BindingID] = g
+	}
+	if frame, seen := g.replies[m.Correlation]; seen {
+		if frame == nil {
+			return guardInFlight, nil
+		}
+		return guardReplayCached, frame
+	}
+	if m.Correlation <= g.maxSeen {
+		// Already seen and evicted (or forged out of order): reject rather
+		// than re-execute — this is the capture-and-replay defence.
+		return guardReplayReject, nil
+	}
+	g.maxSeen = m.Correlation
+	g.replies[m.Correlation] = nil // mark in flight
+	g.order = append(g.order, m.Correlation)
+	for len(g.order) > s.cfg.ReplyCacheSize {
+		evict := g.order[0]
+		g.order = g.order[1:]
+		delete(g.replies, evict)
+	}
+	return guardFresh, nil
+}
+
+func (s *Server) guardStore(req *wire.Message, frame []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.guards[req.BindingID]
+	if !ok {
+		return
+	}
+	if _, tracked := g.replies[req.Correlation]; tracked {
+		g.replies[req.Correlation] = frame
+	}
+}

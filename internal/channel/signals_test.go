@@ -1,0 +1,60 @@
+package channel
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+func TestSignalRefinementOfInterrogation(t *testing.T) {
+	// An interrogation refines onto the four OSI primitives, split across
+	// the two channel ends (Section 5.1).
+	clientTrace := &SignalTrace{}
+	serverTrace := &SignalTrace{}
+	env := newEnv(t, ServerConfig{Stages: []Stage{&SignalTraceStage{Sink: serverTrace.Record}}})
+	b := env.bind(t, BindConfig{Stages: []Stage{&SignalTraceStage{Sink: clientTrace.Record}}})
+	if _, _, err := b.Invoke(context.Background(), "Echo", []values.Value{values.Str("x")}); err != nil {
+		t.Fatal(err)
+	}
+	wantClient := []types.SignalPrimitive{types.Request, types.Confirm}
+	wantServer := []types.SignalPrimitive{types.Indicate, types.Response}
+	checkTrace(t, "client", clientTrace.Events(), "Echo", wantClient)
+	checkTrace(t, "server", serverTrace.Events(), "Echo", wantServer)
+}
+
+func TestSignalRefinementOfAnnouncement(t *testing.T) {
+	clientTrace := &SignalTrace{}
+	env := newEnv(t, ServerConfig{})
+	b := env.bind(t, BindConfig{Stages: []Stage{&SignalTraceStage{Sink: clientTrace.Record}}})
+	if err := b.Announce(context.Background(), "Notify", []values.Value{values.Str("x")}); err != nil {
+		t.Fatal(err)
+	}
+	// Announcements are REQUEST-only at the initiating end.
+	checkTrace(t, "client", clientTrace.Events(), "Notify", []types.SignalPrimitive{types.Request})
+}
+
+func TestSignalTraceNilSink(t *testing.T) {
+	s := &SignalTraceStage{}
+	env := newEnv(t, ServerConfig{})
+	b := env.bind(t, BindConfig{Stages: []Stage{s}})
+	if _, _, err := b.Invoke(context.Background(), "Echo", []values.Value{values.Str("x")}); err != nil {
+		t.Fatalf("nil sink must be harmless: %v", err)
+	}
+}
+
+func checkTrace(t *testing.T, end string, got []SignalEvent, op string, want []types.SignalPrimitive) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s trace = %v, want %d events", end, got, len(want))
+	}
+	for i, ev := range got {
+		if ev.Operation != op && ev.Operation != "" {
+			t.Errorf("%s event %d operation = %q", end, i, ev.Operation)
+		}
+		if ev.Primitive != want[i] {
+			t.Errorf("%s event %d = %v, want %v", end, i, ev.Primitive, want[i])
+		}
+	}
+}

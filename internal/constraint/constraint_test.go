@@ -1,0 +1,186 @@
+package constraint
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/values"
+)
+
+func props() values.Value {
+	return values.Record(
+		values.F("cost", values.Int(10)),
+		values.F("rate", values.Float(2.5)),
+		values.F("name", values.Str("acme")),
+		values.F("fast", values.Bool(true)),
+		values.F("loc", values.Record(values.F("city", values.Str("brisbane")))),
+	)
+}
+
+func TestConstraintMatches(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"", true},
+		{"true", true},
+		{"false", false},
+		{"cost == 10", true},
+		{"cost != 10", false},
+		{"cost < 20", true},
+		{"cost <= 10", true},
+		{"cost > 10", false},
+		{"cost >= 11", false},
+		{"rate > 2", true},
+		{"rate < 2.6", true},
+		{"name == 'acme'", true},
+		{`name == "other"`, false},
+		{"name != 'other'", true},
+		{"fast", true},
+		{"not fast", false},
+		{"fast and cost < 20", true},
+		{"fast and cost > 20", false},
+		{"cost > 20 or rate > 2", true},
+		{"not (cost > 20) and fast", true},
+		{"exist cost", true},
+		{"exist missing", false},
+		{"not exist missing", true},
+		{"loc.city == 'brisbane'", true},
+		{"loc.city == 'perth'", false},
+		{"exist loc.city", true},
+		{"exist loc.country", false},
+		{"cost + 5 == 15", true},
+		{"cost - 5 == 5", true},
+		{"cost * 2 == 20", true},
+		{"cost / 2 == 5", true},
+		{"-cost == -10", true},
+		{"cost + rate > 12", true},
+		{"rate * 2 == 5.0", true},
+		{"name + '!' == 'acme!'", true},
+		{"2 + 3 * 4 == 14", true},   // precedence
+		{"(2 + 3) * 4 == 20", true}, // grouping
+		{"cost < 20 and cost > 5 and fast", true},
+		{"false or false or cost == 10", true},
+	}
+	for _, c := range cases {
+		t.Run(c.src, func(t *testing.T) {
+			e, err := Parse(c.src)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", c.src, err)
+			}
+			got, err := e.Matches(props())
+			if err != nil {
+				t.Fatalf("Matches(%q): %v", c.src, err)
+			}
+			if got != c.want {
+				t.Errorf("Matches(%q) = %v, want %v", c.src, got, c.want)
+			}
+		})
+	}
+}
+
+func TestConstraintSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"cost ==",
+		"== 10",
+		"(cost == 10",
+		"cost == 10)",
+		"cost @ 10",
+		"'unterminated",
+		"1.2.3",
+		"and",
+		"not",
+		"exist",
+		"exist 42",
+		"cost 10",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) = %v, want ErrSyntax", src, err)
+		}
+	}
+}
+
+func TestConstraintEvalErrors(t *testing.T) {
+	bad := []string{
+		"missing == 10",    // unknown property
+		"cost and fast",    // non-boolean operand
+		"not cost",         // not on non-boolean
+		"name < 10",        // unordered cross-kind
+		"cost / 0 == 1",    // integer division by zero
+		"rate / 0.0 == 1",  // float division by zero
+		"-name == 'x'",     // negate string
+		"name * 2 == 'xx'", // arithmetic on string
+		"fast + 1 == 2",    // arithmetic on bool
+	}
+	for _, src := range bad {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if _, err := e.Matches(props()); !errors.Is(err, ErrEval) {
+			t.Errorf("Matches(%q) = %v, want ErrEval", src, err)
+		}
+	}
+	// A non-boolean top-level result is also an evaluation error.
+	e, err := Parse("cost + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Matches(props()); !errors.Is(err, ErrEval) {
+		t.Errorf("non-boolean result = %v", err)
+	}
+}
+
+func TestConstraintShortCircuit(t *testing.T) {
+	// The right side references a missing property but is never evaluated.
+	for _, src := range []string{
+		"false and missing == 1",
+		"true or missing == 1",
+	} {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Matches(props()); err != nil {
+			t.Errorf("short circuit failed for %q: %v", src, err)
+		}
+	}
+}
+
+func TestExprEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want values.Value
+	}{
+		{"2 + 3", values.Int(5)},
+		{"2.0 + 3", values.Float(5)},
+		{"cost * rate", values.Float(25)},
+		{"'a' + 'b'", values.Str("ab")},
+		{"-(2 + 3)", values.Int(-5)},
+		{"-2.5", values.Float(-2.5)},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		got, err := e.Eval(props())
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", c.src, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e, err := Parse("cost == 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "cost == 10" {
+		t.Errorf("String = %q", e.String())
+	}
+}

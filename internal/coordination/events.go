@@ -1,0 +1,113 @@
+// Package coordination implements the ODP coordination functions of
+// Section 8.2 of the tutorial: event notification, groups and
+// replication, and checkpoint-and-recovery (deactivation/reactivation and
+// migration being provided by package engineering, and transactions by
+// package transactions).
+package coordination
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/values"
+)
+
+// ErrNoSubscriber is returned by PublishSync when nobody listens.
+var ErrNoSubscriber = errors.New("coordination: no subscriber for topic")
+
+// Event is one notification: a topic plus a payload value.
+type Event struct {
+	Topic   string
+	Payload values.Value
+	Seq     uint64 // bus-assigned, totally ordered per bus
+}
+
+// Filter selects events a subscriber wants; nil accepts all.
+type Filter func(Event) bool
+
+// Bus is the event-notification function: typed publish/subscribe with
+// per-subscriber filters. Delivery is synchronous and in publication
+// order, so tests and coordinated functions (e.g. relocation watchers)
+// see a deterministic sequence. A Bus is safe for concurrent use.
+type Bus struct {
+	mu      sync.Mutex
+	nextSub int
+	nextSeq uint64
+	subs    map[int]*subscription
+
+	published uint64
+	delivered uint64
+}
+
+type subscription struct {
+	id     int
+	topic  string // "" matches every topic
+	filter Filter
+	fn     func(Event)
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[int]*subscription)}
+}
+
+// Subscribe registers fn for events on topic (empty topic = all topics),
+// optionally filtered. The returned function cancels the subscription.
+func (b *Bus) Subscribe(topic string, filter Filter, fn func(Event)) (cancel func()) {
+	b.mu.Lock()
+	id := b.nextSub
+	b.nextSub++
+	b.subs[id] = &subscription{id: id, topic: topic, filter: filter, fn: fn}
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		delete(b.subs, id)
+		b.mu.Unlock()
+	}
+}
+
+// Publish delivers an event to every matching subscriber and returns the
+// number of deliveries.
+func (b *Bus) Publish(topic string, payload values.Value) int {
+	b.mu.Lock()
+	b.nextSeq++
+	ev := Event{Topic: topic, Payload: payload, Seq: b.nextSeq}
+	matching := make([]*subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		if s.topic == "" || s.topic == topic {
+			matching = append(matching, s)
+		}
+	}
+	sort.Slice(matching, func(i, j int) bool { return matching[i].id < matching[j].id })
+	b.published++
+	b.mu.Unlock()
+
+	n := 0
+	for _, s := range matching {
+		if s.filter != nil && !s.filter(ev) {
+			continue
+		}
+		s.fn(ev)
+		n++
+	}
+	b.mu.Lock()
+	b.delivered += uint64(n)
+	b.mu.Unlock()
+	return n
+}
+
+// PublishSync is Publish that fails when no subscriber received the event.
+func (b *Bus) PublishSync(topic string, payload values.Value) error {
+	if b.Publish(topic, payload) == 0 {
+		return ErrNoSubscriber
+	}
+	return nil
+}
+
+// Stats returns (events published, deliveries made).
+func (b *Bus) Stats() (published, delivered uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published, b.delivered
+}

@@ -1,0 +1,111 @@
+package coordination
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/values"
+)
+
+// FailoverGroup is the primary-backup form of the group function: all
+// invocations go to the primary member; when it fails, the next member is
+// promoted and the invocation retried there. Unlike the actively
+// replicated ReplicaGroup, backups receive no traffic — state continuity
+// across a promotion comes from the checkpoint-and-recovery function
+// (re-instantiate the failed primary's cluster at the backup's node
+// before or during promotion), which the OnPromote hook exists to drive.
+type FailoverGroup struct {
+	// OnPromote, when set, runs before the newly promoted member serves
+	// its first invocation; a typical hook recovers the primary's last
+	// checkpoint into the backup (coordination.RecoverCluster).
+	OnPromote func(name string) error
+
+	mu         sync.Mutex
+	members    []member
+	promotions uint64
+}
+
+// NewFailoverGroup returns an empty group; the first member added becomes
+// the primary.
+func NewFailoverGroup() *FailoverGroup { return &FailoverGroup{} }
+
+// Add appends a member (primary first, then backups in promotion order).
+func (g *FailoverGroup) Add(name string, inv Invoker) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, m := range g.members {
+		if m.name == name {
+			return fmt.Errorf("coordination: member %q already in group", name)
+		}
+	}
+	g.members = append(g.members, member{name: name, inv: inv})
+	return nil
+}
+
+// Size returns the number of live members.
+func (g *FailoverGroup) Size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.members)
+}
+
+// Primary returns the current primary's name ("" when the group is empty).
+func (g *FailoverGroup) Primary() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.members) == 0 {
+		return ""
+	}
+	return g.members[0].name
+}
+
+// Promotions returns how many fail-overs have occurred.
+func (g *FailoverGroup) Promotions() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.promotions
+}
+
+// Invoke sends the operation to the primary, failing over through the
+// backups until one answers. The group lock serialises invocations, so
+// promotions are race-free.
+func (g *FailoverGroup) Invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for len(g.members) > 0 {
+		primary := g.members[0]
+		term, res, err := primary.inv.Invoke(ctx, op, args)
+		if err == nil {
+			return term, res, nil
+		}
+		if ctx.Err() != nil {
+			return "", nil, ctx.Err()
+		}
+		// Primary is gone: drop it and promote the next member.
+		_ = primary.inv.Close()
+		g.members = g.members[1:]
+		g.promotions++
+		if len(g.members) > 0 && g.OnPromote != nil {
+			if perr := g.OnPromote(g.members[0].name); perr != nil {
+				return "", nil, fmt.Errorf("coordination: promotion of %q failed: %w", g.members[0].name, perr)
+			}
+		}
+	}
+	return "", nil, ErrEmptyGroup
+}
+
+// Close releases every member channel.
+func (g *FailoverGroup) Close() error {
+	g.mu.Lock()
+	members := g.members
+	g.members = nil
+	g.mu.Unlock()
+	var first error
+	for _, m := range members {
+		if err := m.inv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,176 @@
+package coordination
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/engineering"
+	"repro/internal/netsim"
+	"repro/internal/relocator"
+	"repro/internal/values"
+)
+
+func TestFailoverGroupPromotes(t *testing.T) {
+	g := NewFailoverGroup()
+	sick := &fakeInvoker{fail: true}
+	healthy := &fakeInvoker{}
+	var promoted []string
+	g.OnPromote = func(name string) error {
+		promoted = append(promoted, name)
+		return nil
+	}
+	if err := g.Add("primary", sick); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("primary", &fakeInvoker{}); err == nil {
+		t.Error("duplicate member should fail")
+	}
+	if err := g.Add("backup", healthy); err != nil {
+		t.Fatal(err)
+	}
+	if g.Primary() != "primary" || g.Size() != 2 {
+		t.Fatalf("initial state: %s/%d", g.Primary(), g.Size())
+	}
+
+	term, res, err := g.Invoke(context.Background(), "Inc", []values.Value{values.Int(1)})
+	if err != nil || term != "OK" {
+		t.Fatalf("Invoke = %q, %v, %v", term, res, err)
+	}
+	if !sick.closed {
+		t.Error("failed primary should be closed")
+	}
+	if g.Primary() != "backup" || g.Promotions() != 1 {
+		t.Errorf("after failover: primary=%s promotions=%d", g.Primary(), g.Promotions())
+	}
+	if len(promoted) != 1 || promoted[0] != "backup" {
+		t.Errorf("OnPromote calls = %v", promoted)
+	}
+	// Only the backup executed the operation: primary-backup, not active.
+	if healthy.calls != 1 || sick.calls != 1 /* the failed attempt */ {
+		t.Errorf("calls: healthy=%d sick=%d", healthy.calls, sick.calls)
+	}
+}
+
+func TestFailoverGroupExhaustion(t *testing.T) {
+	g := NewFailoverGroup()
+	if err := g.Add("a", &fakeInvoker{fail: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("b", &fakeInvoker{fail: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := g.Invoke(context.Background(), "Get", nil)
+	if !errors.Is(err, ErrEmptyGroup) {
+		t.Errorf("err = %v", err)
+	}
+	if g.Promotions() != 2 || g.Size() != 0 || g.Primary() != "" {
+		t.Errorf("state = %d/%d/%q", g.Promotions(), g.Size(), g.Primary())
+	}
+}
+
+func TestFailoverGroupPromotionHookFailure(t *testing.T) {
+	g := NewFailoverGroup()
+	g.OnPromote = func(string) error { return errors.New("recovery failed") }
+	if err := g.Add("a", &fakeInvoker{fail: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("b", &fakeInvoker{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Invoke(context.Background(), "Get", nil); err == nil {
+		t.Error("promotion hook failure should surface")
+	}
+}
+
+func TestFailoverGroupClose(t *testing.T) {
+	g := NewFailoverGroup()
+	a := &fakeInvoker{}
+	if err := g.Add("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil || !a.closed {
+		t.Errorf("close: %v, %v", err, a.closed)
+	}
+	if _, _, err := g.Invoke(context.Background(), "Get", nil); !errors.Is(err, ErrEmptyGroup) {
+		t.Errorf("invoke after close = %v", err)
+	}
+}
+
+func TestFailoverWithCheckpointRecovery(t *testing.T) {
+	// The full primary-backup story: the primary's cluster is
+	// checkpointed; when its node dies, the OnPromote hook recovers the
+	// checkpoint at the backup's node, and the promoted member serves with
+	// the primary's state.
+	net := netsim.New(4)
+	reloc := relocator.New()
+	primaryNode := newNode(t, net, reloc, "primary")
+	backupNode := newNode(t, net, reloc, "backup")
+
+	capP, _ := primaryNode.CreateCapsule()
+	cluster, err := capP.CreateCluster(engineering.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := cluster.CreateObject("counter", values.Null())
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaryRef, err := obj.AddInterface(counterIface())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cs := NewCheckpointStore()
+	g := NewFailoverGroup()
+	pb, err := channel.Bind(primaryRef, channel.BindConfig{Transport: net.From("client"), Locator: reloc, MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("primary", pb); err != nil {
+		t.Fatal(err)
+	}
+	// The backup invoker targets the SAME interface identity: after
+	// recovery at the backup node the relocator redirects it there.
+	bb, err := channel.Bind(primaryRef, channel.BindConfig{Transport: net.From("client"), Locator: reloc, MaxRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("backup", bb); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	ctx := context.Background()
+	if _, _, err := g.Invoke(ctx, "Inc", []values.Value{values.Int(41)}); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint, then kill the primary node.
+	if err := CheckpointNow(cluster, cs); err != nil {
+		t.Fatal(err)
+	}
+	key := cs.Keys()[0]
+	g.OnPromote = func(string) error {
+		capB, err := backupNode.CreateCapsule()
+		if err != nil {
+			return err
+		}
+		_, err = RecoverCluster(capB, cs, key, engineering.ClusterOptions{})
+		return err
+	}
+	if err := primaryNode.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	term, res, err := g.Invoke(ctx, "Inc", []values.Value{values.Int(1)})
+	if err != nil || term != "OK" {
+		t.Fatalf("post-failover Invoke = %q, %v, %v", term, res, err)
+	}
+	if n, _ := res[0].AsInt(); n != 42 {
+		t.Errorf("state after failover = %d, want 42 (checkpoint + 1)", n)
+	}
+	if g.Primary() != "backup" {
+		t.Errorf("primary = %q", g.Primary())
+	}
+}

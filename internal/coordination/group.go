@@ -1,0 +1,195 @@
+package coordination
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/values"
+)
+
+// Group error sentinels.
+var (
+	ErrEmptyGroup  = errors.New("coordination: replica group has no live members")
+	ErrDiverged    = errors.New("coordination: replicas returned divergent results")
+	ErrNoSuchGroup = errors.New("coordination: unknown member")
+)
+
+// Invoker is the client end of a channel to one replica;
+// *channel.Binding satisfies it.
+type Invoker interface {
+	Invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error)
+	Close() error
+}
+
+// GroupStats counts replica-group activity.
+type GroupStats struct {
+	Updates     uint64
+	Reads       uint64
+	Failovers   uint64 // members skipped or dropped after failure
+	Divergences uint64 // update replies that disagreed across replicas
+}
+
+// ReplicaGroup realises replication transparency (Section 9): it
+// "maintains consistency of a group of replica objects with a common
+// interface" while presenting the interface of a single object.
+//
+// The mechanism is active replication behind a sequencer: the group proxy
+// serialises updates (it is the sequencer) and applies each to every live
+// replica in the same order, so deterministic replicas stay identical.
+// Replies are compared; divergence is counted and reported. Reads go to a
+// single replica, rotating for load and failing over on error.
+type ReplicaGroup struct {
+	mu      sync.Mutex
+	members []member
+	next    int // read rotation cursor
+
+	updates     uint64
+	reads       uint64
+	failovers   uint64
+	divergences uint64
+}
+
+type member struct {
+	name string
+	inv  Invoker
+}
+
+// NewReplicaGroup returns an empty group.
+func NewReplicaGroup() *ReplicaGroup { return &ReplicaGroup{} }
+
+// Add attaches a replica under a unique name.
+func (g *ReplicaGroup) Add(name string, inv Invoker) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, m := range g.members {
+		if m.name == name {
+			return fmt.Errorf("coordination: member %q already in group", name)
+		}
+	}
+	g.members = append(g.members, member{name: name, inv: inv})
+	return nil
+}
+
+// Remove detaches a replica and closes its channel.
+func (g *ReplicaGroup) Remove(name string) error {
+	g.mu.Lock()
+	for i, m := range g.members {
+		if m.name == name {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			g.mu.Unlock()
+			return m.inv.Close()
+		}
+	}
+	g.mu.Unlock()
+	return fmt.Errorf("%w: %q", ErrNoSuchGroup, name)
+}
+
+// Size returns the number of attached replicas.
+func (g *ReplicaGroup) Size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.members)
+}
+
+// Invoke applies an update to every replica in one total order (the group
+// lock is the sequencer). Failed replicas are dropped from the group —
+// that is the failure-masking half of replication transparency. The reply
+// is the first successful one; disagreement among successful replies is
+// counted as divergence and reported as an error.
+func (g *ReplicaGroup) Invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.updates++
+	if len(g.members) == 0 {
+		return "", nil, ErrEmptyGroup
+	}
+	type result struct {
+		term string
+		res  []values.Value
+	}
+	var first *result
+	survivors := g.members[:0]
+	diverged := false
+	for _, m := range g.members {
+		term, res, err := m.inv.Invoke(ctx, op, args)
+		if err != nil {
+			g.failovers++
+			_ = m.inv.Close()
+			continue // drop the failed replica
+		}
+		survivors = append(survivors, m)
+		if first == nil {
+			first = &result{term: term, res: res}
+			continue
+		}
+		if term != first.term || len(res) != len(first.res) {
+			diverged = true
+			continue
+		}
+		for i := range res {
+			if !res[i].Equal(first.res[i]) {
+				diverged = true
+				break
+			}
+		}
+	}
+	g.members = survivors
+	if first == nil {
+		return "", nil, ErrEmptyGroup
+	}
+	if diverged {
+		g.divergences++
+		return "", nil, fmt.Errorf("%w: operation %s", ErrDiverged, op)
+	}
+	return first.term, first.res, nil
+}
+
+// InvokeRead sends a read-only operation to one replica, rotating across
+// members and failing over (and dropping) dead ones.
+func (g *ReplicaGroup) InvokeRead(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.reads++
+	for len(g.members) > 0 {
+		idx := g.next % len(g.members)
+		m := g.members[idx]
+		term, res, err := m.inv.Invoke(ctx, op, args)
+		if err == nil {
+			g.next = (idx + 1) % len(g.members)
+			return term, res, nil
+		}
+		g.failovers++
+		_ = m.inv.Close()
+		g.members = append(g.members[:idx], g.members[idx+1:]...)
+	}
+	return "", nil, ErrEmptyGroup
+}
+
+// Close releases every member channel.
+func (g *ReplicaGroup) Close() error {
+	g.mu.Lock()
+	members := g.members
+	g.members = nil
+	g.mu.Unlock()
+	var first error
+	for _, m := range members {
+		if err := m.inv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats returns a snapshot of group counters.
+func (g *ReplicaGroup) Stats() GroupStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GroupStats{
+		Updates:     g.updates,
+		Reads:       g.reads,
+		Failovers:   g.failovers,
+		Divergences: g.divergences,
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Activity error sentinels.
+var (
+	ErrJoined        = errors.New("core: fork already joined")
+	ErrActivityEnded = errors.New("core: activity already ended")
+)
+
+// Activity models computational activity structure (Section 5.2): basic
+// actions composed in sequence or in parallel, where parallel composition
+// is either dependent ("the activity is forked and must subsequently join
+// at a synchronisation point") or independent ("the activity is spawned
+// and cannot join").
+//
+// An Activity carries a context; forked and spawned branches receive it,
+// so cancelling the activity cancels all branches.
+type Activity struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu    sync.Mutex
+	forks []*Fork
+	spawn sync.WaitGroup // tracked only so tests can drain; no join surface
+	ended bool
+}
+
+// NewActivity starts an activity under the given context.
+func NewActivity(ctx context.Context) *Activity {
+	actx, cancel := context.WithCancel(ctx)
+	return &Activity{ctx: actx, cancel: cancel}
+}
+
+// Context returns the activity's context.
+func (a *Activity) Context() context.Context { return a.ctx }
+
+// Do runs actions in sequence, stopping at the first error — sequential
+// composition of basic actions.
+func (a *Activity) Do(actions ...func(ctx context.Context) error) error {
+	for _, act := range actions {
+		if err := a.ctx.Err(); err != nil {
+			return err
+		}
+		if err := act(a.ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fork is a dependent parallel branch; it must be joined.
+type Fork struct {
+	done   chan struct{}
+	err    error
+	joined bool
+	mu     sync.Mutex
+}
+
+// Fork starts a dependent parallel branch. The branch must later be
+// joined with Join (or collectively with the activity's End).
+func (a *Activity) Fork(fn func(ctx context.Context) error) (*Fork, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ended {
+		return nil, ErrActivityEnded
+	}
+	f := &Fork{done: make(chan struct{})}
+	a.forks = append(a.forks, f)
+	go func() {
+		err := fn(a.ctx)
+		f.mu.Lock()
+		f.err = err
+		f.mu.Unlock()
+		close(f.done)
+	}()
+	return f, nil
+}
+
+// Join waits for the branch and returns its error. Joining twice is an
+// error — a join point synchronises exactly once.
+func (f *Fork) Join() error {
+	f.mu.Lock()
+	if f.joined {
+		f.mu.Unlock()
+		return ErrJoined
+	}
+	f.joined = true
+	f.mu.Unlock()
+	<-f.done
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Spawn starts an independent parallel branch: it cannot be joined and
+// its error (if any) is invisible to the activity, exactly as the model
+// prescribes. The branch still inherits the activity's context, so ending
+// the activity cancels it.
+func (a *Activity) Spawn(fn func(ctx context.Context)) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ended {
+		return ErrActivityEnded
+	}
+	a.spawn.Add(1)
+	go func() {
+		defer a.spawn.Done()
+		fn(a.ctx)
+	}()
+	return nil
+}
+
+// Parallel runs the given actions as dependent branches and joins them
+// all, returning the first error (a fork/join block).
+func (a *Activity) Parallel(actions ...func(ctx context.Context) error) error {
+	forks := make([]*Fork, 0, len(actions))
+	for _, act := range actions {
+		f, err := a.Fork(act)
+		if err != nil {
+			return err
+		}
+		forks = append(forks, f)
+	}
+	var first error
+	for _, f := range forks {
+		if err := f.Join(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// End joins every outstanding fork, cancels the context (terminating
+// spawned branches) and returns the first fork error. The activity cannot
+// be used afterwards.
+func (a *Activity) End() error {
+	a.mu.Lock()
+	if a.ended {
+		a.mu.Unlock()
+		return ErrActivityEnded
+	}
+	a.ended = true
+	forks := a.forks
+	a.forks = nil
+	a.mu.Unlock()
+
+	var first error
+	for _, f := range forks {
+		err := f.Join()
+		if errors.Is(err, ErrJoined) {
+			continue // already joined explicitly
+		}
+		if err != nil && first == nil {
+			first = fmt.Errorf("core: unjoined fork failed: %w", err)
+		}
+	}
+	a.cancel()
+	return first
+}
+
+// drainSpawned waits for spawned branches; exported to tests via
+// export_test.go only.
+func (a *Activity) drainSpawned() { a.spawn.Wait() }

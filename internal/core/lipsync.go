@@ -1,0 +1,152 @@
+package core
+
+// The tutorial notes that the prescribed transparencies are "not intended
+// to be the complete set, merely a starting point", and names the example
+// everybody in 1995 cared about: "lip-sync transparency could be defined
+// for stream interfaces supporting audio-visual interaction". This file
+// defines it, as an additional transparency realised — like replication —
+// by a binding object.
+//
+// A lip-sync binding synchronises a declared set of flows: an element of a
+// synchronised flow is delivered to the sinks only when every other
+// synchronised flow has produced its matching element, and matched groups
+// are released in order. Consumers therefore observe aligned audio/video
+// regardless of how the producer's flows interleave in the channel. A
+// bounded window caps buffering: if one flow stalls for more than Window
+// elements, the others are released unaligned (degraded but live — the
+// usual streaming trade-off).
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/engineering"
+	"repro/internal/naming"
+	"repro/internal/values"
+)
+
+// LipSyncConfig configures a lip-sync binding object.
+type LipSyncConfig struct {
+	// Flows lists the flow names to synchronise with each other; elements
+	// of other flows pass through immediately.
+	Flows []string
+	// Window bounds per-flow buffering; once a flow is Window elements
+	// ahead of a stalled peer, its queue is flushed unaligned (0 = 16).
+	Window int
+}
+
+// lipSyncBinding buffers synchronised flows and releases matched groups.
+// Sink management and fan-out are delegated to an inner stream binding,
+// so the control interface is StreamBindingControlType unchanged.
+type lipSyncBinding struct {
+	inner  *streamBinding
+	synced map[string]bool
+	order  []string
+	window int
+
+	mu      sync.Mutex
+	queues  map[string][]values.Value
+	stalled uint64 // forced unaligned releases
+	groups  uint64 // aligned groups released
+}
+
+var _ engineering.Behavior = (*lipSyncBinding)(nil)
+
+// RegisterLipSyncBinding installs the lip-sync binding behaviour under the
+// given name. Objects created from it offer StreamBindingControlType plus
+// the stream interface being synchronised.
+func RegisterLipSyncBinding(reg *engineering.BehaviorRegistry, name string, bind BinderFunc, cfg LipSyncConfig) {
+	window := cfg.Window
+	if window <= 0 {
+		window = 16
+	}
+	flows := append([]string(nil), cfg.Flows...)
+	reg.Register(name, func(values.Value) (engineering.Behavior, error) {
+		if len(flows) < 2 {
+			return nil, fmt.Errorf("core: lip-sync needs at least two flows, got %v", flows)
+		}
+		synced := make(map[string]bool, len(flows))
+		for _, f := range flows {
+			synced[f] = true
+		}
+		return &lipSyncBinding{
+			inner:  &streamBinding{bind: bind, sinks: make(map[naming.InterfaceID]sinkEntry)},
+			synced: synced,
+			order:  flows,
+			window: window,
+			queues: make(map[string][]values.Value, len(flows)),
+		}, nil
+	})
+}
+
+// Invoke delegates the control interface (AddSink/RemoveSink/SinkCount)
+// and adds SyncStats, which reports alignment behaviour.
+func (l *lipSyncBinding) Invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	if op == "SyncStats" {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return "OK", []values.Value{
+			values.Uint(l.groups),
+			values.Uint(l.stalled),
+		}, nil
+	}
+	return l.inner.Invoke(ctx, op, args)
+}
+
+// Flow buffers synchronised flows and forwards matched groups in flow
+// order; unsynchronised flows pass straight through.
+func (l *lipSyncBinding) Flow(flow string, elem values.Value) {
+	if !l.synced[flow] {
+		l.inner.Flow(flow, elem)
+		return
+	}
+	type release struct {
+		flow string
+		elem values.Value
+	}
+	var releases []release
+	l.mu.Lock()
+	l.queues[flow] = append(l.queues[flow], elem)
+	// Release as many fully-aligned groups as exist.
+	for {
+		ready := true
+		for _, f := range l.order {
+			if len(l.queues[f]) == 0 {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			break
+		}
+		for _, f := range l.order {
+			releases = append(releases, release{f, l.queues[f][0]})
+			l.queues[f] = l.queues[f][1:]
+		}
+		l.groups++
+	}
+	// Window overflow: a stalled peer must not buffer us forever.
+	if len(l.queues[flow]) > l.window {
+		for _, e := range l.queues[flow] {
+			releases = append(releases, release{flow, e})
+		}
+		l.queues[flow] = nil
+		l.stalled++
+	}
+	l.mu.Unlock()
+	for _, r := range releases {
+		l.inner.Flow(r.flow, r.elem)
+	}
+}
+
+// CheckpointState captures the attached sinks (buffered media elements are
+// transient and deliberately dropped across moves, like any live stream).
+func (l *lipSyncBinding) CheckpointState() (values.Value, error) {
+	return l.inner.CheckpointState()
+}
+
+// RestoreState re-binds to the checkpointed sinks.
+func (l *lipSyncBinding) RestoreState(state values.Value) error {
+	return l.inner.RestoreState(state)
+}

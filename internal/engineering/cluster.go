@@ -1,0 +1,541 @@
+package engineering
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/channel"
+	"repro/internal/naming"
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+type clusterState int
+
+const (
+	clusterActive clusterState = iota
+	clusterDeactivated
+	clusterGone // deleted or migrated away
+)
+
+// Cluster is a set of related basic engineering objects that are always
+// co-located; it is the unit of checkpointing, deactivation and migration.
+// The Cluster type is also the cluster manager's interface (Section 8.1).
+type Cluster struct {
+	capsule *Capsule
+	id      naming.ClusterID
+	opts    ClusterOptions
+
+	mu         sync.Mutex
+	state      clusterState
+	objects    map[uint32]*Object
+	nextObject uint32
+	// lastCheckpoint holds the state captured at deactivation, consumed by
+	// Reactivate (possibly triggered on demand by an incoming call).
+	lastCheckpoint *ClusterCheckpoint
+}
+
+// ID returns the cluster identifier.
+func (k *Cluster) ID() naming.ClusterID { return k.id }
+
+// Active reports whether the cluster is active (instantiated and callable).
+func (k *Cluster) Active() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.state == clusterActive
+}
+
+// CreateObject instantiates a basic engineering object inside the cluster
+// from a registered behaviour. The behaviour name and arg are recorded so
+// checkpoints can re-create the object elsewhere.
+func (k *Cluster) CreateObject(behavior string, arg values.Value) (*Object, error) {
+	node := k.capsule.node
+	b, err := node.registry.New(behavior, arg)
+	if err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.state != clusterActive {
+		return nil, fmt.Errorf("%w: %s", ErrDeactivated, k.id)
+	}
+	if max := node.cfg.MaxObjectsPerCluster; max > 0 && len(k.objects) >= max {
+		return nil, fmt.Errorf("%w: cluster %s allows %d objects", ErrStructuringLimit, k.id, max)
+	}
+	seq := k.nextObject
+	k.nextObject++
+	o := &Object{
+		cluster:    k,
+		id:         naming.ObjectID{Cluster: k.id, Seq: seq},
+		behavior:   b,
+		factory:    behavior,
+		factoryArg: arg,
+		interfaces: make(map[uint32]*objectInterface),
+	}
+	k.objects[seq] = o
+	return o, nil
+}
+
+// Object returns the object with the given sequence number.
+func (k *Cluster) Object(seq uint32) (*Object, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	o, ok := k.objects[seq]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d in cluster %s", ErrNoSuchObject, seq, k.id)
+	}
+	return o, nil
+}
+
+// Objects returns the cluster's objects ordered by sequence number.
+func (k *Cluster) Objects() []*Object {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Object, 0, len(k.objects))
+	for _, o := range k.objects {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id.Seq < out[j].id.Seq })
+	return out
+}
+
+// Checkpoint captures the cluster: for every object, its behaviour name,
+// creation argument, state (when the behaviour is Checkpointable) and
+// interface identities. The cluster keeps running.
+func (k *Cluster) Checkpoint() (*ClusterCheckpoint, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.checkpointLocked()
+}
+
+func (k *Cluster) checkpointLocked() (*ClusterCheckpoint, error) {
+	ck := &ClusterCheckpoint{
+		Origin:         k.id,
+		NextObject:     k.nextObject,
+		AutoReactivate: k.opts.AutoReactivate,
+	}
+	for _, seq := range sortedKeys(k.objects) {
+		o := k.objects[seq]
+		oc, err := o.checkpoint()
+		if err != nil {
+			return nil, err
+		}
+		ck.Objects = append(ck.Objects, oc)
+	}
+	return ck, nil
+}
+
+// Deactivate checkpoints the cluster and releases its behaviours. The
+// node keeps serving the interface identities: incoming calls either
+// trigger reactivation (AutoReactivate) or fail with
+// channel.CodeUnavailable until Reactivate is called.
+func (k *Cluster) Deactivate() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.state != clusterActive {
+		return fmt.Errorf("%w: %s", ErrDeactivated, k.id)
+	}
+	ck, err := k.checkpointLocked()
+	if err != nil {
+		return err
+	}
+	k.lastCheckpoint = ck
+	k.state = clusterDeactivated
+	for _, o := range k.objects {
+		o.mu.Lock()
+		o.behavior = nil // release application state
+		o.mu.Unlock()
+	}
+	return nil
+}
+
+// Reactivate restores the cluster from its deactivation checkpoint.
+func (k *Cluster) Reactivate() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.reactivateLocked()
+}
+
+func (k *Cluster) reactivateLocked() error {
+	if k.state == clusterActive {
+		return fmt.Errorf("%w: %s", ErrActive, k.id)
+	}
+	if k.state == clusterGone || k.lastCheckpoint == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchCluster, k.id)
+	}
+	registry := k.capsule.node.registry
+	for _, oc := range k.lastCheckpoint.Objects {
+		o, ok := k.objects[oc.Seq]
+		if !ok {
+			return fmt.Errorf("%w: object %d vanished from cluster %s", ErrNoSuchObject, oc.Seq, k.id)
+		}
+		b, err := registry.New(oc.Behavior, oc.Arg)
+		if err != nil {
+			return err
+		}
+		if oc.HasState {
+			cb, ok := b.(Checkpointable)
+			if !ok {
+				return fmt.Errorf("%w: behaviour %q", ErrNotCheckpointable, oc.Behavior)
+			}
+			if err := cb.RestoreState(oc.State); err != nil {
+				return fmt.Errorf("engineering: restoring object %d: %w", oc.Seq, err)
+			}
+		}
+		o.mu.Lock()
+		o.behavior = b
+		o.mu.Unlock()
+	}
+	k.state = clusterActive
+	k.lastCheckpoint = nil
+	return nil
+}
+
+// MigrateTo moves the cluster to another capsule (possibly on another
+// node): checkpoint, deregister here, re-instantiate there, update the
+// location registry. Interface identities are preserved, so bindings held
+// by clients remain valid — their binders re-resolve through the
+// relocator on the next call (relocation transparency) or fail over if
+// configured. Returns the new cluster.
+func (k *Cluster) MigrateTo(dst *Capsule) (*Cluster, error) {
+	k.mu.Lock()
+	if k.state == clusterGone {
+		k.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchCluster, k.id)
+	}
+	ck, err := k.checkpointLocked()
+	if err != nil {
+		k.mu.Unlock()
+		return nil, err
+	}
+	opts := k.opts
+	// Stop serving here: unregister the interfaces so stale calls get
+	// CodeNoSuchInterface, which is what triggers client-side relocation.
+	srcServer := k.capsule.node.server
+	for _, o := range k.objects {
+		o.mu.Lock()
+		for _, oi := range o.interfaces {
+			srcServer.Unregister(oi.ref.ID)
+		}
+		o.mu.Unlock()
+	}
+	k.state = clusterGone
+	k.mu.Unlock()
+	k.capsule.removeCluster(k.id.Seq)
+
+	nk, err := dst.Instantiate(ck, opts)
+	if err != nil {
+		return nil, fmt.Errorf("engineering: migration of %s failed at destination: %w", k.id, err)
+	}
+	return nk, nil
+}
+
+// delete tears the cluster down permanently.
+func (k *Cluster) delete() {
+	k.mu.Lock()
+	objs := make([]*Object, 0, len(k.objects))
+	for _, o := range k.objects {
+		objs = append(objs, o)
+	}
+	k.objects = map[uint32]*Object{}
+	k.state = clusterGone
+	k.mu.Unlock()
+	for _, o := range objs {
+		o.remove()
+	}
+}
+
+// DeleteObject removes one object (the object-management deletion
+// function).
+func (k *Cluster) DeleteObject(seq uint32) error {
+	k.mu.Lock()
+	o, ok := k.objects[seq]
+	if ok {
+		delete(k.objects, seq)
+	}
+	k.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d in cluster %s", ErrNoSuchObject, seq, k.id)
+	}
+	o.remove()
+	return nil
+}
+
+// restore populates a fresh cluster from a checkpoint. When move is true
+// the interface identities from the checkpoint are preserved and their
+// locations moved to this node.
+func (k *Cluster) restore(ck *ClusterCheckpoint, move bool) error {
+	node := k.capsule.node
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.state != clusterActive {
+		return fmt.Errorf("%w: %s", ErrDeactivated, k.id)
+	}
+	k.nextObject = ck.NextObject
+	k.opts.AutoReactivate = ck.AutoReactivate
+	for _, oc := range ck.Objects {
+		b, err := node.registry.New(oc.Behavior, oc.Arg)
+		if err != nil {
+			return err
+		}
+		if oc.HasState {
+			cb, ok := b.(Checkpointable)
+			if !ok {
+				return fmt.Errorf("%w: behaviour %q", ErrNotCheckpointable, oc.Behavior)
+			}
+			if err := cb.RestoreState(oc.State); err != nil {
+				return fmt.Errorf("engineering: restoring object %d: %w", oc.Seq, err)
+			}
+		}
+		o := &Object{
+			cluster:    k,
+			id:         naming.ObjectID{Cluster: k.id, Seq: oc.Seq},
+			behavior:   b,
+			factory:    oc.Behavior,
+			factoryArg: oc.Arg,
+			interfaces: make(map[uint32]*objectInterface),
+		}
+		for _, ic := range oc.Interfaces {
+			it, err := types.InterfaceFromValue(ic.Type)
+			if err != nil {
+				return fmt.Errorf("engineering: object %d interface %d: %w", oc.Seq, ic.Seq, err)
+			}
+			var ifID naming.InterfaceID
+			if move {
+				// Identity is preserved verbatim across any number of
+				// moves: clients hold this name forever.
+				ifID = ic.Ref.ID
+			} else {
+				ifID = naming.InterfaceID{Object: o.id, Seq: ic.Seq, Nonce: node.nonce()}
+			}
+			oi := &objectInterface{
+				typ: it,
+				ref: naming.InterfaceRef{
+					ID:       ifID,
+					TypeName: it.Name,
+					Endpoint: node.endpoint,
+				},
+			}
+			if err := node.server.Register(ifID, it, &objectHandler{object: o}); err != nil {
+				return err
+			}
+			if move {
+				moved, err := node.moveLocation(oi.ref)
+				if err != nil {
+					return err
+				}
+				oi.ref = moved
+			} else if err := node.registerLocation(oi.ref); err != nil {
+				return err
+			}
+			o.interfaces[ic.Seq] = oi
+			if ic.Seq >= o.nextInterface {
+				o.nextInterface = ic.Seq + 1
+			}
+		}
+		k.objects[oc.Seq] = o
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Object: basic engineering object
+
+type objectInterface struct {
+	typ *types.Interface
+	ref naming.InterfaceRef
+}
+
+// Object is a basic engineering object: a behaviour plus the interfaces it
+// offers. Its methods are the object-management functions.
+type Object struct {
+	cluster    *Cluster
+	id         naming.ObjectID
+	factory    string
+	factoryArg values.Value
+
+	mu            sync.Mutex
+	behavior      Behavior
+	interfaces    map[uint32]*objectInterface
+	nextInterface uint32
+}
+
+// ID returns the object identifier.
+func (o *Object) ID() naming.ObjectID { return o.id }
+
+// AddInterface creates a new interface of the given type on the object,
+// registers it with the node's channel endpoint and the location registry,
+// and returns its reference.
+func (o *Object) AddInterface(it *types.Interface) (naming.InterfaceRef, error) {
+	if err := it.Validate(); err != nil {
+		return naming.InterfaceRef{}, err
+	}
+	node := o.cluster.capsule.node
+	o.mu.Lock()
+	seq := o.nextInterface
+	o.nextInterface++
+	id := naming.InterfaceID{Object: o.id, Seq: seq, Nonce: node.nonce()}
+	ref := naming.InterfaceRef{ID: id, TypeName: it.Name, Endpoint: node.endpoint}
+	oi := &objectInterface{typ: it, ref: ref}
+	o.interfaces[seq] = oi
+	o.mu.Unlock()
+
+	if err := node.server.Register(id, it, &objectHandler{object: o}); err != nil {
+		o.mu.Lock()
+		delete(o.interfaces, seq)
+		o.mu.Unlock()
+		return naming.InterfaceRef{}, err
+	}
+	if err := node.registerLocation(ref); err != nil {
+		node.server.Unregister(id)
+		o.mu.Lock()
+		delete(o.interfaces, seq)
+		o.mu.Unlock()
+		return naming.InterfaceRef{}, err
+	}
+	return ref, nil
+}
+
+// Interfaces returns the object's interface references ordered by sequence.
+func (o *Object) Interfaces() []naming.InterfaceRef {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]naming.InterfaceRef, 0, len(o.interfaces))
+	for _, seq := range sortedKeys(o.interfaces) {
+		out = append(out, o.interfaces[seq].ref)
+	}
+	return out
+}
+
+// Behavior returns the object's live behaviour (nil while deactivated).
+func (o *Object) Behavior() Behavior {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.behavior
+}
+
+// checkpoint captures the object (object-management checkpoint function).
+func (o *Object) checkpoint() (ObjectCheckpoint, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	oc := ObjectCheckpoint{
+		Seq:      o.id.Seq,
+		Behavior: o.factory,
+		Arg:      o.factoryArg,
+	}
+	if cb, ok := o.behavior.(Checkpointable); ok && o.behavior != nil {
+		state, err := cb.CheckpointState()
+		if err != nil {
+			return ObjectCheckpoint{}, fmt.Errorf("engineering: checkpointing %s: %w", o.id, err)
+		}
+		oc.State = state
+		oc.HasState = true
+	}
+	for _, seq := range sortedKeys(o.interfaces) {
+		oi := o.interfaces[seq]
+		oc.Interfaces = append(oc.Interfaces, InterfaceCheckpoint{
+			Seq:  seq,
+			Ref:  oi.ref,
+			Type: oi.typ.ToValue(),
+		})
+	}
+	return oc, nil
+}
+
+// remove deregisters all interfaces and drops the behaviour.
+func (o *Object) remove() {
+	node := o.cluster.capsule.node
+	o.mu.Lock()
+	ifaces := make([]*objectInterface, 0, len(o.interfaces))
+	for _, oi := range o.interfaces {
+		ifaces = append(ifaces, oi)
+	}
+	o.interfaces = map[uint32]*objectInterface{}
+	o.behavior = nil
+	o.mu.Unlock()
+	for _, oi := range ifaces {
+		node.server.Unregister(oi.ref.ID)
+		node.removeLocation(oi.ref.ID)
+	}
+}
+
+// objectHandler adapts an Object to channel.Handler, adding the
+// activation check: it is the node-side half of persistence transparency.
+type objectHandler struct {
+	object *Object
+}
+
+var (
+	_ channel.Handler        = (*objectHandler)(nil)
+	_ channel.FlowReceiver   = (*objectHandler)(nil)
+	_ channel.SignalReceiver = (*objectHandler)(nil)
+)
+
+func (h *objectHandler) Invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	b, err := h.object.liveBehavior()
+	if err != nil {
+		return "", nil, err
+	}
+	return b.Invoke(ctx, op, args)
+}
+
+func (h *objectHandler) Flow(flow string, elem values.Value) {
+	b, err := h.object.liveBehavior()
+	if err != nil {
+		return
+	}
+	if fr, ok := b.(channel.FlowReceiver); ok {
+		fr.Flow(flow, elem)
+	}
+}
+
+func (h *objectHandler) Signal(name string, args []values.Value) {
+	b, err := h.object.liveBehavior()
+	if err != nil {
+		return
+	}
+	if sr, ok := b.(channel.SignalReceiver); ok {
+		sr.Signal(name, args)
+	}
+}
+
+// liveBehavior returns the object's behaviour, reactivating the cluster on
+// demand when it is configured to.
+func (o *Object) liveBehavior() (Behavior, error) {
+	k := o.cluster
+	k.mu.Lock()
+	switch k.state {
+	case clusterActive:
+	case clusterDeactivated:
+		if !k.opts.AutoReactivate {
+			k.mu.Unlock()
+			return nil, &channel.StageError{Code: channel.CodeUnavailable, Detail: k.id.String() + " is deactivated"}
+		}
+		if err := k.reactivateLocked(); err != nil {
+			k.mu.Unlock()
+			return nil, err
+		}
+	default:
+		k.mu.Unlock()
+		return nil, &channel.StageError{Code: channel.CodeUnavailable, Detail: k.id.String() + " is gone"}
+	}
+	k.mu.Unlock()
+	o.mu.Lock()
+	b := o.behavior
+	o.mu.Unlock()
+	if b == nil {
+		return nil, &channel.StageError{Code: channel.CodeUnavailable, Detail: o.id.String() + " has no behaviour"}
+	}
+	return b, nil
+}
+
+func sortedKeys[M ~map[uint32]V, V any](m M) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,615 @@
+package engineering
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/relocator"
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+// counterBehavior is a checkpointable behaviour: Inc bumps a counter, Get
+// reads it. Its whole state is the counter.
+type counterBehavior struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func newCounter(arg values.Value) (Behavior, error) {
+	c := &counterBehavior{}
+	if i, ok := arg.AsInt(); ok {
+		c.n = i
+	}
+	return c, nil
+}
+
+func (c *counterBehavior) Invoke(_ context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch op {
+	case "Inc":
+		d, _ := args[0].AsInt()
+		c.n += d
+		return "OK", []values.Value{values.Int(c.n)}, nil
+	case "Get":
+		return "OK", []values.Value{values.Int(c.n)}, nil
+	}
+	return "", nil, fmt.Errorf("unknown op %q", op)
+}
+
+func (c *counterBehavior) CheckpointState() (values.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return values.Int(c.n), nil
+}
+
+func (c *counterBehavior) RestoreState(state values.Value) error {
+	n, ok := state.AsInt()
+	if !ok {
+		return errors.New("counter state must be an int")
+	}
+	c.mu.Lock()
+	c.n = n
+	c.mu.Unlock()
+	return nil
+}
+
+// volatileBehavior has no checkpoint support.
+type volatileBehavior struct{}
+
+func newVolatile(values.Value) (Behavior, error) { return volatileBehavior{}, nil }
+
+func (volatileBehavior) Invoke(context.Context, string, []values.Value) (string, []values.Value, error) {
+	return "OK", nil, nil
+}
+
+func counterType() *types.Interface {
+	return types.OpInterface("Counter",
+		types.Op("Inc",
+			types.Params(types.P("d", values.TInt())),
+			types.Term("OK", types.P("n", values.TInt())),
+		),
+		types.Op("Get", nil, types.Term("OK", types.P("n", values.TInt()))),
+	)
+}
+
+type fixture struct {
+	net   *netsim.Network
+	reloc *relocator.Relocator
+}
+
+func newFixture() *fixture {
+	return &fixture{net: netsim.New(1), reloc: relocator.New()}
+}
+
+func (f *fixture) node(t *testing.T, name string, cfg NodeConfig) *Node {
+	t.Helper()
+	cfg.ID = naming.NodeID(name)
+	cfg.Endpoint = naming.Endpoint("sim://" + name)
+	cfg.Transport = f.net.From(name)
+	cfg.Locations = f.reloc
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatalf("NewNode(%s): %v", name, err)
+	}
+	n.Behaviors().Register("counter", newCounter)
+	n.Behaviors().Register("volatile", newVolatile)
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+// deploy creates capsule/cluster/object with a Counter interface.
+func deploy(t *testing.T, n *Node, opts ClusterOptions, start int64) (*Cluster, naming.InterfaceRef) {
+	t.Helper()
+	cap1, err := n.CreateCapsule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := cap1.CreateCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := k.CreateObject("counter", values.Int(start))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := o.AddInterface(counterType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, ref
+}
+
+func (f *fixture) bind(t *testing.T, n *Node, ref naming.InterfaceRef) *channel.Binding {
+	t.Helper()
+	b, err := n.Bind(ref, channel.BindConfig{Locator: f.reloc, MaxRetries: 3, Type: counterType()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+func TestNodeValidation(t *testing.T) {
+	f := newFixture()
+	if _, err := NewNode(NodeConfig{Endpoint: "sim://x", Transport: f.net}); err == nil {
+		t.Error("missing ID should fail")
+	}
+	if _, err := NewNode(NodeConfig{ID: "x", Transport: f.net}); err == nil {
+		t.Error("missing endpoint should fail")
+	}
+	if _, err := NewNode(NodeConfig{ID: "x", Endpoint: "sim://x"}); err == nil {
+		t.Error("missing transport should fail")
+	}
+	n := f.node(t, "alpha", NodeConfig{})
+	if n.ID() != "alpha" || n.Endpoint() != "sim://alpha" {
+		t.Errorf("node identity: %s %s", n.ID(), n.Endpoint())
+	}
+	// The endpoint is taken: a second node there must fail.
+	if _, err := NewNode(NodeConfig{ID: "alpha2", Endpoint: "sim://alpha", Transport: f.net}); err == nil {
+		t.Error("duplicate endpoint should fail")
+	}
+}
+
+func TestFigure5Structure(t *testing.T) {
+	f := newFixture()
+	n := f.node(t, "alpha", NodeConfig{})
+
+	// nucleus supports many capsules
+	c1, err := n.CreateCapsule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := n.CreateCapsule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.ID() == c2.ID() {
+		t.Error("capsule ids must differ")
+	}
+	if got := len(n.Capsules()); got != 2 {
+		t.Errorf("capsules = %d", got)
+	}
+	// capsule contains many clusters
+	k1, err := c1.CreateCluster(ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := c1.CreateCluster(ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.ID() == k2.ID() {
+		t.Error("cluster ids must differ")
+	}
+	if got := len(c1.Clusters()); got != 2 {
+		t.Errorf("clusters = %d", got)
+	}
+	// cluster contains many objects
+	o1, err := k1.CreateObject("counter", values.Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := k1.CreateObject("counter", values.Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.ID() == o2.ID() {
+		t.Error("object ids must differ")
+	}
+	if got := len(k1.Objects()); got != 2 {
+		t.Errorf("objects = %d", got)
+	}
+	// objects offer many interfaces
+	r1, err := o1.AddInterface(counterType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := o1.AddInterface(counterType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ID == r2.ID {
+		t.Error("interface ids must differ")
+	}
+	if got := len(o1.Interfaces()); got != 2 {
+		t.Errorf("interfaces = %d", got)
+	}
+	// containment paths embed the hierarchy
+	if r1.ID.Object.Cluster.Capsule.Node != "alpha" {
+		t.Errorf("interface id path = %s", r1.ID)
+	}
+	// lookups
+	if _, err := n.Capsule(c1.ID().Seq); err != nil {
+		t.Errorf("Capsule lookup: %v", err)
+	}
+	if _, err := n.Capsule(99); !errors.Is(err, ErrNoSuchCapsule) {
+		t.Errorf("missing capsule = %v", err)
+	}
+	if _, err := c1.Cluster(k1.ID().Seq); err != nil {
+		t.Errorf("Cluster lookup: %v", err)
+	}
+	if _, err := c1.Cluster(99); !errors.Is(err, ErrNoSuchCluster) {
+		t.Errorf("missing cluster = %v", err)
+	}
+	if _, err := k1.Object(o1.ID().Seq); err != nil {
+		t.Errorf("Object lookup: %v", err)
+	}
+	if _, err := k1.Object(99); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("missing object = %v", err)
+	}
+}
+
+func TestStructuringConstraints(t *testing.T) {
+	// "An implementation of an ODP system can choose to constrain the
+	// structuring: only one object per cluster, only one cluster per
+	// capsule."
+	f := newFixture()
+	n := f.node(t, "alpha", NodeConfig{MaxClustersPerCapsule: 1, MaxObjectsPerCluster: 1})
+	c, err := n.CreateCapsule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := c.CreateCluster(ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateCluster(ClusterOptions{}); !errors.Is(err, ErrStructuringLimit) {
+		t.Errorf("second cluster = %v", err)
+	}
+	if _, err := k.CreateObject("counter", values.Int(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.CreateObject("counter", values.Int(0)); !errors.Is(err, ErrStructuringLimit) {
+		t.Errorf("second object = %v", err)
+	}
+}
+
+func TestInvokeThroughNode(t *testing.T) {
+	f := newFixture()
+	n := f.node(t, "alpha", NodeConfig{})
+	_, ref := deploy(t, n, ClusterOptions{}, 10)
+	b := f.bind(t, n, ref)
+	term, res, err := b.Invoke(context.Background(), "Inc", []values.Value{values.Int(5)})
+	if err != nil || term != "OK" {
+		t.Fatalf("Inc = %q, %v, %v", term, res, err)
+	}
+	if v, _ := res[0].AsInt(); v != 15 {
+		t.Errorf("counter = %d, want 15", v)
+	}
+}
+
+func TestUnknownBehavior(t *testing.T) {
+	f := newFixture()
+	n := f.node(t, "alpha", NodeConfig{})
+	c, _ := n.CreateCapsule()
+	k, _ := c.CreateCluster(ClusterOptions{})
+	if _, err := k.CreateObject("ghost", values.Null()); !errors.Is(err, ErrNoSuchBehavior) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDeactivateReactivate(t *testing.T) {
+	f := newFixture()
+	n := f.node(t, "alpha", NodeConfig{})
+	k, ref := deploy(t, n, ClusterOptions{}, 0)
+	b := f.bind(t, n, ref)
+	ctx := context.Background()
+	if _, _, err := b.Invoke(ctx, "Inc", []values.Value{values.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := k.Deactivate(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Active() {
+		t.Error("cluster should be inactive")
+	}
+	if err := k.Deactivate(); !errors.Is(err, ErrDeactivated) {
+		t.Errorf("double deactivate = %v", err)
+	}
+	// Without AutoReactivate, calls fail with ERR_UNAVAILABLE.
+	if _, _, err := b.Invoke(ctx, "Get", nil); !channel.IsRemote(err, channel.CodeUnavailable) {
+		t.Errorf("call while deactivated = %v", err)
+	}
+
+	if err := k.Reactivate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Reactivate(); !errors.Is(err, ErrActive) {
+		t.Errorf("double reactivate = %v", err)
+	}
+	_, res, err := b.Invoke(ctx, "Get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res[0].AsInt(); v != 7 {
+		t.Errorf("state after reactivation = %d, want 7", v)
+	}
+}
+
+func TestPersistenceTransparencyAutoReactivate(t *testing.T) {
+	// Section 9: persistence transparency masks deactivation and
+	// reactivation — the client just calls, the cluster wakes up.
+	f := newFixture()
+	n := f.node(t, "alpha", NodeConfig{})
+	k, ref := deploy(t, n, ClusterOptions{AutoReactivate: true}, 0)
+	b := f.bind(t, n, ref)
+	ctx := context.Background()
+	if _, _, err := b.Invoke(ctx, "Inc", []values.Value{values.Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Deactivate(); err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := b.Invoke(ctx, "Get", nil)
+	if err != nil {
+		t.Fatalf("call should have reactivated the cluster: %v", err)
+	}
+	if v, _ := res[0].AsInt(); v != 3 {
+		t.Errorf("state = %d, want 3", v)
+	}
+	if !k.Active() {
+		t.Error("cluster should be active again")
+	}
+}
+
+func TestMigrationPreservesStateAndBindings(t *testing.T) {
+	// The headline engineering scenario: a cluster migrates between nodes
+	// while a client holds a live binding. Interface identity is preserved,
+	// the relocator learns the new location, the binder re-resolves.
+	f := newFixture()
+	src := f.node(t, "alpha", NodeConfig{})
+	dst := f.node(t, "beta", NodeConfig{})
+	k, ref := deploy(t, src, ClusterOptions{}, 0)
+	b := f.bind(t, src, ref)
+	ctx := context.Background()
+	if _, _, err := b.Invoke(ctx, "Inc", []values.Value{values.Int(41)}); err != nil {
+		t.Fatal(err)
+	}
+
+	dstCapsule, err := dst.CreateCapsule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nk, err := k.MigrateTo(dstCapsule)
+	if err != nil {
+		t.Fatalf("MigrateTo: %v", err)
+	}
+	if nk.ID().Capsule.Node != "beta" {
+		t.Errorf("migrated cluster lives at %s", nk.ID())
+	}
+	// The old cluster is gone from the source capsule.
+	srcCapsules := src.Capsules()
+	if len(srcCapsules) != 1 || len(srcCapsules[0].Clusters()) != 0 {
+		t.Error("source capsule should be empty after migration")
+	}
+	// The relocator points at beta now.
+	moved, err := f.reloc.Lookup(ref.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Endpoint != "sim://beta" || moved.Epoch != 1 {
+		t.Errorf("relocated ref = %+v", moved)
+	}
+	// The live binding keeps working and the state moved too.
+	term, res, err := b.Invoke(ctx, "Inc", []values.Value{values.Int(1)})
+	if err != nil || term != "OK" {
+		t.Fatalf("post-migration Inc = %q, %v, %v", term, res, err)
+	}
+	if v, _ := res[0].AsInt(); v != 42 {
+		t.Errorf("counter after migration = %d, want 42", v)
+	}
+	if st := b.Stats(); st.Relocations == 0 {
+		t.Errorf("binding stats should show a relocation: %+v", st)
+	}
+}
+
+func TestMigrationRequiresBehaviorAtDestination(t *testing.T) {
+	f := newFixture()
+	src := f.node(t, "alpha", NodeConfig{})
+	dst := f.node(t, "beta", NodeConfig{})
+	// Strip the destination registry.
+	dst.Behaviors().Register("counter", nil) // overwrite with nil factory is invalid; use fresh node instead
+	dst2, err := NewNode(NodeConfig{
+		ID: "gamma", Endpoint: "sim://gamma", Transport: f.net.From("gamma"), Locations: f.reloc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst2.Close()
+	k, _ := deploy(t, src, ClusterOptions{}, 0)
+	cap2, err := dst2.CreateCapsule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.MigrateTo(cap2); !errors.Is(err, ErrNoSuchBehavior) {
+		t.Errorf("migration without behaviour = %v", err)
+	}
+	_ = dst
+}
+
+func TestCheckpointValueRoundTrip(t *testing.T) {
+	f := newFixture()
+	n := f.node(t, "alpha", NodeConfig{})
+	k, _ := deploy(t, n, ClusterOptions{AutoReactivate: true}, 9)
+	ck, err := k.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ck.ToValue()
+	got, err := ClusterCheckpointFromValue(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != ck.Origin || got.NextObject != ck.NextObject || got.AutoReactivate != ck.AutoReactivate {
+		t.Errorf("header mismatch: %+v vs %+v", got, ck)
+	}
+	if len(got.Objects) != len(ck.Objects) {
+		t.Fatalf("objects = %d, want %d", len(got.Objects), len(ck.Objects))
+	}
+	o0, w0 := got.Objects[0], ck.Objects[0]
+	if o0.Behavior != w0.Behavior || o0.HasState != w0.HasState || !o0.State.Equal(w0.State) {
+		t.Errorf("object mismatch: %+v vs %+v", o0, w0)
+	}
+	if len(o0.Interfaces) != 1 || o0.Interfaces[0].Ref != w0.Interfaces[0].Ref {
+		t.Errorf("interfaces mismatch")
+	}
+}
+
+func TestCheckpointFromValueErrors(t *testing.T) {
+	bad := []values.Value{
+		values.Int(1),
+		values.Record(),
+		values.Record(values.F("node", values.Str("a"))),
+	}
+	for i, v := range bad {
+		if _, err := ClusterCheckpointFromValue(v); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestInstantiateFromShippedCheckpoint(t *testing.T) {
+	// Checkpoint on alpha, serialise to a value (as if sent over a
+	// channel), instantiate on beta.
+	f := newFixture()
+	src := f.node(t, "alpha", NodeConfig{})
+	dst := f.node(t, "beta", NodeConfig{})
+	k, ref := deploy(t, src, ClusterOptions{}, 123)
+	ck, err := k.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped, err := ClusterCheckpointFromValue(ck.ToValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear down the source (simulating a node failure after checkpoint).
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	capB, err := dst.CreateCapsule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capB.Instantiate(shipped, ClusterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// The same interface identity now answers at beta.
+	b, err := dst.Bind(ref, channel.BindConfig{Locator: f.reloc, MaxRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	_, res, err := b.Invoke(context.Background(), "Get", nil)
+	if err != nil {
+		t.Fatalf("Get after recovery: %v", err)
+	}
+	if v, _ := res[0].AsInt(); v != 123 {
+		t.Errorf("recovered state = %d, want 123", v)
+	}
+}
+
+func TestVolatileObjectsCheckpointWithoutState(t *testing.T) {
+	f := newFixture()
+	n := f.node(t, "alpha", NodeConfig{})
+	c, _ := n.CreateCapsule()
+	k, _ := c.CreateCluster(ClusterOptions{})
+	if _, err := k.CreateObject("volatile", values.Null()); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := k.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Objects[0].HasState {
+		t.Error("volatile object should have no state")
+	}
+	// Deactivate/reactivate re-creates it from the factory.
+	if err := k.Deactivate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Reactivate(); err != nil {
+		t.Fatal(err)
+	}
+	o, err := k.Object(0)
+	if err != nil || o.Behavior() == nil {
+		t.Errorf("volatile object not re-created: %v", err)
+	}
+}
+
+func TestDeleteObjectAndCluster(t *testing.T) {
+	f := newFixture()
+	n := f.node(t, "alpha", NodeConfig{})
+	k, ref := deploy(t, n, ClusterOptions{}, 0)
+	b := f.bind(t, n, ref)
+	ctx := context.Background()
+	if _, _, err := b.Invoke(ctx, "Get", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DeleteObject(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DeleteObject(0); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("double delete = %v", err)
+	}
+	// The interface is gone from server and relocator.
+	if _, _, err := b.Invoke(ctx, "Get", nil); err == nil {
+		t.Error("call to deleted object should fail")
+	}
+	if _, err := f.reloc.Lookup(ref.ID); !errors.Is(err, relocator.ErrUnknown) {
+		t.Errorf("relocator entry should be removed: %v", err)
+	}
+	// Delete the cluster and capsule too.
+	c, _ := n.Capsule(0)
+	if err := c.DeleteCluster(k.ID().Seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteCluster(k.ID().Seq); !errors.Is(err, ErrNoSuchCluster) {
+		t.Errorf("double cluster delete = %v", err)
+	}
+	if err := n.DeleteCapsule(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DeleteCapsule(0); !errors.Is(err, ErrNoSuchCapsule) {
+		t.Errorf("double capsule delete = %v", err)
+	}
+}
+
+func TestCreateObjectOnDeactivatedCluster(t *testing.T) {
+	f := newFixture()
+	n := f.node(t, "alpha", NodeConfig{})
+	k, _ := deploy(t, n, ClusterOptions{}, 0)
+	if err := k.Deactivate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.CreateObject("counter", values.Int(0)); !errors.Is(err, ErrDeactivated) {
+		t.Errorf("create on deactivated = %v", err)
+	}
+}
+
+func TestNodeCloseIsIdempotentAndTearsDown(t *testing.T) {
+	f := newFixture()
+	n := f.node(t, "alpha", NodeConfig{})
+	_, ref := deploy(t, n, ClusterOptions{}, 0)
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if _, err := n.CreateCapsule(); !errors.Is(err, ErrNodeClosed) {
+		t.Errorf("create after close = %v", err)
+	}
+	if _, err := f.reloc.Lookup(ref.ID); !errors.Is(err, relocator.ErrUnknown) {
+		t.Errorf("locations should be cleaned up: %v", err)
+	}
+}

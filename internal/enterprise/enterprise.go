@@ -1,0 +1,488 @@
+// Package enterprise implements the RM-ODP enterprise viewpoint
+// (Section 3 of the tutorial): organisational purpose, scope and policy.
+//
+// An enterprise specification names objects (active, like bank managers
+// and tellers; passive, like accounts and money), groups them into
+// communities ("a bank branch consists of a bank manager, some tellers,
+// and some bank accounts"), assigns them roles, and expresses the roles'
+// policies as:
+//
+//   - permissions — what can be done ("money can be deposited into an
+//     open account"),
+//   - prohibitions — what must not be done ("customers must not withdraw
+//     more than $500 per day"),
+//   - obligations — what must be done ("the bank manager must advise
+//     customers when the interest rate changes").
+//
+// The enterprise language is "specifically concerned with performative
+// actions that change policy": Community.Perform runs a declared
+// performative action, whose effect may grant or revoke policies and
+// create obligations. Ordinary (non-performative) actions are judged by
+// Community.Check against the current policy set; the policy engine is
+// what keeps policies "determined by the organisation rather than imposed
+// on the organisation by technology choices".
+package enterprise
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/constraint"
+	"repro/internal/values"
+)
+
+// Enterprise error sentinels.
+var (
+	ErrNoSuchRole        = errors.New("enterprise: no such role")
+	ErrNoSuchMember      = errors.New("enterprise: no such member")
+	ErrNoSuchPolicy      = errors.New("enterprise: no such policy")
+	ErrNoSuchAction      = errors.New("enterprise: no such performative action")
+	ErrNoSuchObligation  = errors.New("enterprise: no such obligation")
+	ErrDuplicate         = errors.New("enterprise: duplicate declaration")
+	ErrNotPermitted      = errors.New("enterprise: action not permitted for role")
+	ErrProhibited        = errors.New("enterprise: action prohibited for role")
+	ErrBadPolicy         = errors.New("enterprise: invalid policy")
+	ErrAlreadyDischarged = errors.New("enterprise: obligation already discharged")
+)
+
+// ObjectKind distinguishes active objects (which fill roles and act) from
+// passive ones (which are acted upon).
+type ObjectKind int
+
+// The enterprise object kinds.
+const (
+	Active ObjectKind = iota + 1
+	Passive
+)
+
+// String returns the kind's name.
+func (k ObjectKind) String() string {
+	if k == Active {
+		return "active"
+	}
+	return "passive"
+}
+
+// PolicyKind classifies a policy.
+type PolicyKind int
+
+// The policy kinds.
+const (
+	Permission PolicyKind = iota + 1
+	Prohibition
+	ObligationRule // a standing rule that, when triggered, creates obligation instances
+)
+
+// String returns the policy kind's name.
+func (k PolicyKind) String() string {
+	switch k {
+	case Permission:
+		return "permission"
+	case Prohibition:
+		return "prohibition"
+	case ObligationRule:
+		return "obligation"
+	}
+	return fmt.Sprintf("policykind(%d)", int(k))
+}
+
+// Policy is one rule attached to a role. The condition (if any) is a
+// constraint expression over the action's parameter record; a policy with
+// no condition applies unconditionally.
+type Policy struct {
+	ID        string
+	Kind      PolicyKind
+	Role      string
+	Action    string
+	Condition string // constraint source, "" = always
+	// Duty (ObligationRule only): the action the role becomes obliged to
+	// perform when the rule's Action occurs.
+	Duty string
+
+	cond *constraint.Expr
+}
+
+// Obligation is a live duty created by an ObligationRule (or directly by
+// Oblige): the role must eventually perform the duty action.
+type Obligation struct {
+	ID         uint64
+	Role       string
+	Duty       string
+	Origin     string // the action or policy that created it
+	Discharged bool
+}
+
+// Verdict is the outcome of a policy check.
+type Verdict struct {
+	Allowed bool
+	// Policy identifies the deciding rule (the permission that granted or
+	// the prohibition that denied); empty when denied by default.
+	Policy string
+	Reason string
+}
+
+// Community is a grouping of objects "intended to achieve some purpose":
+// the unit of enterprise specification and the scope of its policies.
+// A Community is safe for concurrent use.
+type Community struct {
+	name    string
+	purpose string
+
+	mu           sync.Mutex
+	roles        map[string]bool
+	objects      map[string]ObjectKind
+	members      map[string]string // object -> role
+	policies     map[string]*Policy
+	policyOrder  []string
+	performative map[string]PerformativeAction
+	obligations  map[uint64]*Obligation
+	nextOblig    uint64
+
+	checks  uint64
+	denials uint64
+}
+
+// PerformativeAction is an action that changes policy. Its effect runs
+// with the community lock held, through the Mutator, which exposes the
+// policy-changing operations only — performative actions change policy,
+// not application state.
+type PerformativeAction struct {
+	Name string
+	// Role that may perform the action ("" = any member).
+	Role string
+	// Effect applies the policy changes given the action parameters.
+	Effect func(m *Mutator, params values.Value) error
+}
+
+// NewCommunity creates a community with the given name and purpose.
+func NewCommunity(name, purpose string) *Community {
+	return &Community{
+		name:         name,
+		purpose:      purpose,
+		roles:        make(map[string]bool),
+		objects:      make(map[string]ObjectKind),
+		members:      make(map[string]string),
+		policies:     make(map[string]*Policy),
+		performative: make(map[string]PerformativeAction),
+		obligations:  make(map[uint64]*Obligation),
+	}
+}
+
+// Name returns the community name.
+func (c *Community) Name() string { return c.name }
+
+// Purpose returns the community's declared purpose.
+func (c *Community) Purpose() string { return c.purpose }
+
+// DeclareRole introduces a role.
+func (c *Community) DeclareRole(role string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.roles[role] {
+		return fmt.Errorf("%w: role %q", ErrDuplicate, role)
+	}
+	c.roles[role] = true
+	return nil
+}
+
+// AddObject introduces an enterprise object of the given kind.
+func (c *Community) AddObject(name string, kind ObjectKind) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.objects[name]; ok {
+		return fmt.Errorf("%w: object %q", ErrDuplicate, name)
+	}
+	c.objects[name] = kind
+	return nil
+}
+
+// Assign binds an active object to a role (filling the role).
+func (c *Community) Assign(object, role string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.roles[role] {
+		return fmt.Errorf("%w: %q", ErrNoSuchRole, role)
+	}
+	kind, ok := c.objects[object]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchMember, object)
+	}
+	if kind != Active {
+		return fmt.Errorf("enterprise: passive object %q cannot fill role %q", object, role)
+	}
+	c.members[object] = role
+	return nil
+}
+
+// RoleOf returns the role an object fills.
+func (c *Community) RoleOf(object string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	role, ok := c.members[object]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoSuchMember, object)
+	}
+	return role, nil
+}
+
+// Members returns the sorted objects filling the given role.
+func (c *Community) Members(role string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for obj, r := range c.members {
+		if r == role {
+			out = append(out, obj)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddPolicy installs a policy after validating it (role declared, known
+// kind, condition parses, obligation rules carry a duty).
+func (c *Community) AddPolicy(p Policy) error {
+	if p.ID == "" || p.Action == "" {
+		return fmt.Errorf("%w: policy needs an id and an action", ErrBadPolicy)
+	}
+	switch p.Kind {
+	case Permission, Prohibition:
+		if p.Duty != "" {
+			return fmt.Errorf("%w: %s policy %q has a duty", ErrBadPolicy, p.Kind, p.ID)
+		}
+	case ObligationRule:
+		if p.Duty == "" {
+			return fmt.Errorf("%w: obligation policy %q has no duty", ErrBadPolicy, p.ID)
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrBadPolicy, int(p.Kind))
+	}
+	expr, err := constraint.Parse(p.Condition)
+	if err != nil {
+		return fmt.Errorf("%w: policy %q: %v", ErrBadPolicy, p.ID, err)
+	}
+	p.cond = expr
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.roles[p.Role] {
+		return fmt.Errorf("%w: %q", ErrNoSuchRole, p.Role)
+	}
+	if _, ok := c.policies[p.ID]; ok {
+		return fmt.Errorf("%w: policy %q", ErrDuplicate, p.ID)
+	}
+	cp := p
+	c.policies[p.ID] = &cp
+	c.policyOrder = append(c.policyOrder, p.ID)
+	return nil
+}
+
+// RevokePolicy removes a policy — itself a performative effect.
+func (c *Community) RevokePolicy(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.revokeLocked(id)
+}
+
+func (c *Community) revokeLocked(id string) error {
+	if _, ok := c.policies[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchPolicy, id)
+	}
+	delete(c.policies, id)
+	for i, pid := range c.policyOrder {
+		if pid == id {
+			c.policyOrder = append(c.policyOrder[:i], c.policyOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Policies returns the community's policies in declaration order.
+func (c *Community) Policies() []Policy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Policy, 0, len(c.policyOrder))
+	for _, id := range c.policyOrder {
+		out = append(out, *c.policies[id])
+	}
+	return out
+}
+
+// Check judges whether actor may perform action with the given parameter
+// record. Prohibitions dominate permissions; absent any applicable
+// permission the default is denial. Matching obligation rules fire as a
+// side effect, creating obligation instances (e.g. a rate change obliging
+// the manager to notify customers).
+func (c *Community) Check(actor, action string, params values.Value) (Verdict, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.checks++
+	role, ok := c.members[actor]
+	if !ok {
+		c.denials++
+		return Verdict{}, fmt.Errorf("%w: %q", ErrNoSuchMember, actor)
+	}
+	verdict := Verdict{Reason: "no applicable permission"}
+	for _, id := range c.policyOrder {
+		p := c.policies[id]
+		if p.Role != role || p.Action != action {
+			continue
+		}
+		match, err := p.cond.Matches(params)
+		if err != nil || !match {
+			continue // an inapplicable condition simply does not fire
+		}
+		switch p.Kind {
+		case Prohibition:
+			c.denials++
+			return Verdict{Allowed: false, Policy: p.ID, Reason: "prohibited"},
+				fmt.Errorf("%w: %q by policy %q", ErrProhibited, action, p.ID)
+		case Permission:
+			if !verdict.Allowed {
+				verdict = Verdict{Allowed: true, Policy: p.ID, Reason: "permitted"}
+			}
+		case ObligationRule:
+			c.obligeLocked(p.Role, p.Duty, p.ID)
+		}
+	}
+	if !verdict.Allowed {
+		c.denials++
+		return verdict, fmt.Errorf("%w: %q for role %q", ErrNotPermitted, action, role)
+	}
+	return verdict, nil
+}
+
+// Performatives returns the sorted names of declared performative actions.
+func (c *Community) Performatives() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.performative))
+	for n := range c.performative {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeclarePerformative registers a performative action.
+func (c *Community) DeclarePerformative(a PerformativeAction) error {
+	if a.Name == "" || a.Effect == nil {
+		return fmt.Errorf("%w: performative action needs a name and an effect", ErrBadPolicy)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.performative[a.Name]; ok {
+		return fmt.Errorf("%w: performative %q", ErrDuplicate, a.Name)
+	}
+	c.performative[a.Name] = a
+	return nil
+}
+
+// Perform executes a performative action: it verifies the actor holds the
+// action's role, then applies the effect, which may change the policy set
+// and create obligations.
+func (c *Community) Perform(actor, action string, params values.Value) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.performative[action]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchAction, action)
+	}
+	role, ok := c.members[actor]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchMember, actor)
+	}
+	if a.Role != "" && a.Role != role {
+		return fmt.Errorf("%w: %q requires role %q, %s holds %q", ErrNotPermitted, action, a.Role, actor, role)
+	}
+	return a.Effect(&Mutator{c: c}, params)
+}
+
+// Oblige creates an obligation directly.
+func (c *Community) Oblige(role, duty, origin string) *Obligation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.obligeLocked(role, duty, origin)
+}
+
+func (c *Community) obligeLocked(role, duty, origin string) *Obligation {
+	c.nextOblig++
+	o := &Obligation{ID: c.nextOblig, Role: role, Duty: duty, Origin: origin}
+	c.obligations[o.ID] = o
+	return o
+}
+
+// Discharge marks an obligation fulfilled.
+func (c *Community) Discharge(id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.obligations[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchObligation, id)
+	}
+	if o.Discharged {
+		return fmt.Errorf("%w: %d", ErrAlreadyDischarged, id)
+	}
+	o.Discharged = true
+	return nil
+}
+
+// Outstanding returns the undischarged obligations of a role ("" = all),
+// ordered by creation.
+func (c *Community) Outstanding(role string) []Obligation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Obligation
+	for _, o := range c.obligations {
+		if !o.Discharged && (role == "" || o.Role == role) {
+			out = append(out, *o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats returns (policy checks performed, denials issued).
+func (c *Community) Stats() (checks, denials uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checks, c.denials
+}
+
+// Mutator is the policy-changing capability handed to performative
+// effects; it operates under the community lock.
+type Mutator struct {
+	c *Community
+}
+
+// Grant adds a policy.
+func (m *Mutator) Grant(p Policy) error {
+	if p.ID == "" || p.Action == "" {
+		return fmt.Errorf("%w: policy needs an id and an action", ErrBadPolicy)
+	}
+	expr, err := constraint.Parse(p.Condition)
+	if err != nil {
+		return fmt.Errorf("%w: policy %q: %v", ErrBadPolicy, p.ID, err)
+	}
+	p.cond = expr
+	if !m.c.roles[p.Role] {
+		return fmt.Errorf("%w: %q", ErrNoSuchRole, p.Role)
+	}
+	if _, ok := m.c.policies[p.ID]; ok {
+		return fmt.Errorf("%w: policy %q", ErrDuplicate, p.ID)
+	}
+	cp := p
+	m.c.policies[p.ID] = &cp
+	m.c.policyOrder = append(m.c.policyOrder, p.ID)
+	return nil
+}
+
+// Revoke removes a policy.
+func (m *Mutator) Revoke(id string) error { return m.c.revokeLocked(id) }
+
+// Oblige creates an obligation.
+func (m *Mutator) Oblige(role, duty, origin string) *Obligation {
+	return m.c.obligeLocked(role, duty, origin)
+}

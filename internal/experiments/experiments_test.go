@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// Every scenario must run cleanly: these are the EXPERIMENTS.md
+// generators, so a broken scenario means an unreproducible experiment.
+
+func runAll(t *testing.T, scenarios []Scenario) {
+	t.Helper()
+	for _, s := range scenarios {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for i := 0; i < 3; i++ {
+				if err := s.Run(); err != nil {
+					t.Fatalf("run %d: %v", i, err)
+				}
+			}
+		})
+	}
+	for _, s := range scenarios {
+		s.Close()
+	}
+}
+
+func TestE1(t *testing.T) {
+	s := E1Consistency()
+	defer s.Close()
+	runAll(t, []Scenario{s})
+}
+
+func TestE2(t *testing.T) { runAll(t, E2Bank()) }
+func TestE3(t *testing.T) { runAll(t, E3Subtype()) }
+func TestE4(t *testing.T) {
+	runAll(t, E4Codec())
+	runAll(t, E4Channel())
+}
+func TestE5(t *testing.T) { runAll(t, E5Structure()) }
+func TestE6(t *testing.T) { runAll(t, E6Transparency()) }
+func TestE7(t *testing.T) { runAll(t, E7Transactions()) }
+func TestE8(t *testing.T) { runAll(t, E8Trader()) }
+
+func TestE6RelocationRecovery(t *testing.T) {
+	samples, err := E6RelocationRecovery(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 6 {
+		t.Errorf("samples = %d", len(samples))
+	}
+	for i, d := range samples {
+		if d <= 0 {
+			t.Errorf("sample %d = %v", i, d)
+		}
+	}
+}
+
+func TestE6FailureMasking(t *testing.T) {
+	withRetries, withoutRetries, err := E6FailureMasking(0.3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withRetries != 60 {
+		t.Errorf("with retries = %d/60", withRetries)
+	}
+	if withoutRetries >= withRetries {
+		t.Errorf("retries should improve success: %d vs %d", withoutRetries, withRetries)
+	}
+}

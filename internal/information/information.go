@@ -1,0 +1,592 @@
+// Package information implements the RM-ODP information viewpoint
+// (Section 4 of the tutorial): the semantics of information and
+// information processing, expressed as schemas over object state.
+//
+//   - a static schema captures state at a particular instant ("at
+//     midnight, the amount-withdrawn-today is $0");
+//   - an invariant schema restricts state at all times ("the
+//     amount-withdrawn-today is less than or equal to $500");
+//   - a dynamic schema defines a permitted change of state ("a withdrawal
+//     of $X decreases the balance by $X and increases the
+//     amount-withdrawn-today by $X") — and "a dynamic schema is always
+//     constrained by the invariant schemas": an update that would violate
+//     an invariant is rejected and the state unchanged.
+//
+// Schemas also describe relationships between objects (the static schema
+// "owns account" associating accounts with customers) and compose into
+// schemas of composite objects (a branch as customers + accounts + the
+// ownership relation).
+//
+// A Model is an executable information specification: it holds object
+// states (record values), enforces invariants on every dynamic change,
+// and maintains declared relationships with cardinality constraints.
+package information
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/constraint"
+	"repro/internal/values"
+)
+
+// Information error sentinels.
+var (
+	ErrNoSuchObject    = errors.New("information: no such object")
+	ErrNoSuchSchema    = errors.New("information: no such schema")
+	ErrNoSuchRelation  = errors.New("information: no such relation")
+	ErrDuplicate       = errors.New("information: duplicate declaration")
+	ErrBadSchema       = errors.New("information: invalid schema")
+	ErrInvariant       = errors.New("information: invariant violated")
+	ErrGuard           = errors.New("information: dynamic schema guard not satisfied")
+	ErrStatic          = errors.New("information: static schema does not hold")
+	ErrCardinality     = errors.New("information: relation cardinality violated")
+	ErrNameCollision   = errors.New("information: state and parameter names collide")
+	ErrNotRelatable    = errors.New("information: relation endpoints must exist")
+	ErrCompositeMember = errors.New("information: composite member must exist")
+)
+
+// Assignment is one declarative field update of a dynamic schema: the
+// expression is evaluated over the object's pre-state merged with the
+// change parameters, and its result becomes the field's new value.
+type Assignment struct {
+	Field string
+	Expr  string
+
+	expr *constraint.Expr
+}
+
+// DynamicSchema is a permitted state change.
+type DynamicSchema struct {
+	Name string
+	// Object names the object (or composite) kind this change applies to;
+	// "" applies to any object.
+	Object string
+	// Guard is a pre-condition over pre-state + parameters ("" = always).
+	Guard string
+	// Assignments compute the post-state.
+	Assignments []Assignment
+	// Post is an optional post-condition over the post-state + parameters.
+	Post string
+
+	guard *constraint.Expr
+	post  *constraint.Expr
+}
+
+// InvariantSchema restricts an object's state at all times.
+type InvariantSchema struct {
+	Name      string
+	Object    string // "" = every object
+	Condition string
+
+	cond *constraint.Expr
+}
+
+// StaticSchema captures a state assertion at some instant, checked on
+// demand (e.g. by the midnight reset job).
+type StaticSchema struct {
+	Name      string
+	Object    string
+	Condition string
+
+	cond *constraint.Expr
+}
+
+// RelationDecl declares a named relationship with optional cardinality
+// bounds: MaxTo bounds how many targets one source may have, MaxFrom how
+// many sources may point at one target (owns-account: MaxFrom = 1 — an
+// account has exactly one owning customer).
+type RelationDecl struct {
+	Name    string
+	MaxTo   int // 0 = unbounded
+	MaxFrom int // 0 = unbounded
+}
+
+// Model is an executable information specification.
+type Model struct {
+	mu         sync.Mutex
+	objects    map[string]values.Value
+	kinds      map[string]string // object -> kind (schema scope)
+	invariants []*InvariantSchema
+	statics    map[string]*StaticSchema
+	dynamics   map[string]*DynamicSchema
+	relations  map[string]*RelationDecl
+	links      map[string]map[string]map[string]bool // rel -> from -> to
+	composites map[string][]string
+
+	changes    uint64
+	rejections uint64
+}
+
+// NewModel returns an empty information model.
+func NewModel() *Model {
+	return &Model{
+		objects:    make(map[string]values.Value),
+		kinds:      make(map[string]string),
+		statics:    make(map[string]*StaticSchema),
+		dynamics:   make(map[string]*DynamicSchema),
+		relations:  make(map[string]*RelationDecl),
+		links:      make(map[string]map[string]map[string]bool),
+		composites: make(map[string][]string),
+	}
+}
+
+// PutObject introduces (or replaces) an object of the given kind with an
+// initial state, which must satisfy the applicable invariants.
+func (m *Model) PutObject(name, kind string, state values.Value) error {
+	if state.Kind() != values.KindRecord {
+		return fmt.Errorf("%w: state of %q must be a record", ErrBadSchema, name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkInvariantsLocked(kind, state); err != nil {
+		return err
+	}
+	m.objects[name] = state
+	m.kinds[name] = kind
+	return nil
+}
+
+// Object returns the current state of an object.
+func (m *Model) Object(name string) (values.Value, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.objects[name]
+	if !ok {
+		return values.Value{}, fmt.Errorf("%w: %q", ErrNoSuchObject, name)
+	}
+	return st, nil
+}
+
+// Objects returns the sorted names of all objects.
+func (m *Model) Objects() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.objects))
+	for n := range m.objects {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddInvariant installs an invariant schema. Every existing object of the
+// schema's kind must already satisfy it.
+func (m *Model) AddInvariant(s InvariantSchema) error {
+	if s.Name == "" || s.Condition == "" {
+		return fmt.Errorf("%w: invariant needs a name and a condition", ErrBadSchema)
+	}
+	expr, err := constraint.Parse(s.Condition)
+	if err != nil {
+		return fmt.Errorf("%w: invariant %q: %v", ErrBadSchema, s.Name, err)
+	}
+	s.cond = expr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, inv := range m.invariants {
+		if inv.Name == s.Name {
+			return fmt.Errorf("%w: invariant %q", ErrDuplicate, s.Name)
+		}
+	}
+	// Retroactive check: an invariant that existing state violates is
+	// rejected, keeping the model consistent by construction.
+	for name, st := range m.objects {
+		if s.Object != "" && m.kinds[name] != s.Object {
+			continue
+		}
+		full := m.stateForChecks(name, st)
+		ok, err := expr.Matches(full)
+		if err == nil && !ok {
+			return fmt.Errorf("%w: existing object %q violates new invariant %q", ErrInvariant, name, s.Name)
+		}
+	}
+	cp := s
+	m.invariants = append(m.invariants, &cp)
+	return nil
+}
+
+// AddStatic installs a static schema, checkable with CheckStatic.
+func (m *Model) AddStatic(s StaticSchema) error {
+	if s.Name == "" || s.Condition == "" {
+		return fmt.Errorf("%w: static schema needs a name and a condition", ErrBadSchema)
+	}
+	expr, err := constraint.Parse(s.Condition)
+	if err != nil {
+		return fmt.Errorf("%w: static %q: %v", ErrBadSchema, s.Name, err)
+	}
+	s.cond = expr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.statics[s.Name]; ok {
+		return fmt.Errorf("%w: static %q", ErrDuplicate, s.Name)
+	}
+	cp := s
+	m.statics[s.Name] = &cp
+	return nil
+}
+
+// CheckStatic verifies a static schema against an object's current state.
+func (m *Model) CheckStatic(schemaName, object string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.statics[schemaName]
+	if !ok {
+		return fmt.Errorf("%w: static %q", ErrNoSuchSchema, schemaName)
+	}
+	st, ok := m.objects[object]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchObject, object)
+	}
+	hold, err := s.cond.Matches(m.stateForChecks(object, st))
+	if err != nil {
+		return fmt.Errorf("%w: static %q on %q: %v", ErrStatic, schemaName, object, err)
+	}
+	if !hold {
+		return fmt.Errorf("%w: %q on %q", ErrStatic, schemaName, object)
+	}
+	return nil
+}
+
+// AddDynamic installs a dynamic schema.
+func (m *Model) AddDynamic(s DynamicSchema) error {
+	if s.Name == "" {
+		return fmt.Errorf("%w: dynamic schema needs a name", ErrBadSchema)
+	}
+	if len(s.Assignments) == 0 {
+		return fmt.Errorf("%w: dynamic %q changes nothing", ErrBadSchema, s.Name)
+	}
+	var err error
+	if s.guard, err = constraint.Parse(s.Guard); err != nil {
+		return fmt.Errorf("%w: dynamic %q guard: %v", ErrBadSchema, s.Name, err)
+	}
+	if s.post, err = constraint.Parse(s.Post); err != nil {
+		return fmt.Errorf("%w: dynamic %q post: %v", ErrBadSchema, s.Name, err)
+	}
+	for i := range s.Assignments {
+		a := &s.Assignments[i]
+		if a.Field == "" {
+			return fmt.Errorf("%w: dynamic %q assignment %d has no field", ErrBadSchema, s.Name, i)
+		}
+		if a.expr, err = constraint.Parse(a.Expr); err != nil {
+			return fmt.Errorf("%w: dynamic %q assignment %q: %v", ErrBadSchema, s.Name, a.Field, err)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.dynamics[s.Name]; ok {
+		return fmt.Errorf("%w: dynamic %q", ErrDuplicate, s.Name)
+	}
+	cp := s
+	cp.Assignments = append([]Assignment(nil), s.Assignments...)
+	m.dynamics[s.Name] = &cp
+	return nil
+}
+
+// Apply performs a dynamic schema on an object: evaluate the guard over
+// pre-state + parameters, compute the post-state from the assignments,
+// check the post-condition and every invariant, and only then install the
+// new state. On any failure the state is unchanged.
+func (m *Model) Apply(object, schemaName string, params values.Value) error {
+	if params.IsNull() {
+		params = values.Record()
+	}
+	if params.Kind() != values.KindRecord {
+		return fmt.Errorf("%w: params must be a record", ErrBadSchema)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.changes++
+	s, ok := m.dynamics[schemaName]
+	if !ok {
+		m.rejections++
+		return fmt.Errorf("%w: dynamic %q", ErrNoSuchSchema, schemaName)
+	}
+	st, ok := m.objects[object]
+	if !ok {
+		m.rejections++
+		return fmt.Errorf("%w: %q", ErrNoSuchObject, object)
+	}
+	if s.Object != "" && m.kinds[object] != s.Object {
+		m.rejections++
+		return fmt.Errorf("%w: dynamic %q applies to %q objects, %q is %q",
+			ErrBadSchema, schemaName, s.Object, object, m.kinds[object])
+	}
+	// Merge pre-state and parameters into the evaluation environment;
+	// name collisions are rejected rather than silently shadowed.
+	env, err := mergeRecords(st, params)
+	if err != nil {
+		m.rejections++
+		return err
+	}
+	if hold, err := s.guard.Matches(env); err != nil || !hold {
+		m.rejections++
+		if err != nil {
+			return fmt.Errorf("%w: %q on %q: %v", ErrGuard, schemaName, object, err)
+		}
+		return fmt.Errorf("%w: %q on %q", ErrGuard, schemaName, object)
+	}
+	// Compute the post-state.
+	post := st
+	for _, a := range s.Assignments {
+		v, err := a.expr.Eval(env)
+		if err != nil {
+			m.rejections++
+			return fmt.Errorf("%w: dynamic %q assignment %q: %v", ErrBadSchema, schemaName, a.Field, err)
+		}
+		post = setField(post, a.Field, v)
+	}
+	// Post-condition over post-state + params.
+	postEnv, err := mergeRecords(post, params)
+	if err != nil {
+		m.rejections++
+		return err
+	}
+	if hold, err := s.post.Matches(postEnv); err != nil || !hold {
+		m.rejections++
+		return fmt.Errorf("%w: post-condition of %q on %q", ErrGuard, schemaName, object)
+	}
+	// "A dynamic schema is always constrained by the invariant schemas."
+	if err := m.checkInvariantsForLocked(object, post); err != nil {
+		m.rejections++
+		return err
+	}
+	m.objects[object] = post
+	return nil
+}
+
+func (m *Model) checkInvariantsForLocked(object string, state values.Value) error {
+	return m.checkInvariantsNamedLocked(m.kinds[object], object, state)
+}
+
+func (m *Model) checkInvariantsLocked(kind string, state values.Value) error {
+	return m.checkInvariantsNamedLocked(kind, "", state)
+}
+
+func (m *Model) checkInvariantsNamedLocked(kind, object string, state values.Value) error {
+	for _, inv := range m.invariants {
+		if inv.Object != "" && inv.Object != kind {
+			continue
+		}
+		env := state
+		if object != "" {
+			env = m.stateForChecksPost(object, state)
+		}
+		hold, err := inv.cond.Matches(env)
+		if err != nil {
+			// An invariant that does not apply to this state shape is
+			// treated as violated: schemas must be total over their kind.
+			return fmt.Errorf("%w: %q: %v", ErrInvariant, inv.Name, err)
+		}
+		if !hold {
+			return fmt.Errorf("%w: %q", ErrInvariant, inv.Name)
+		}
+	}
+	return nil
+}
+
+// stateForChecks augments an object's state record for schema evaluation.
+// Currently the state itself; composites are expanded member-wise.
+func (m *Model) stateForChecks(name string, st values.Value) values.Value {
+	if members, ok := m.composites[name]; ok {
+		fields := make([]values.Field, 0, len(members))
+		for _, mem := range members {
+			fields = append(fields, values.F(mem, m.objects[mem]))
+		}
+		return values.Record(fields...)
+	}
+	return st
+}
+
+func (m *Model) stateForChecksPost(name string, st values.Value) values.Value {
+	if _, ok := m.composites[name]; ok {
+		return m.stateForChecks(name, st)
+	}
+	return st
+}
+
+// DeclareComposite declares a composite object whose state, for schema
+// purposes, is the record of its members' states ("a bank branch consists
+// of a set of customers, a set of accounts, and the owns-account
+// relationships").
+func (m *Model) DeclareComposite(name string, members ...string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.objects[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	for _, mem := range members {
+		if _, ok := m.objects[mem]; !ok {
+			return fmt.Errorf("%w: %q", ErrCompositeMember, mem)
+		}
+	}
+	m.composites[name] = append([]string(nil), members...)
+	m.objects[name] = values.Record() // state materialised on demand
+	m.kinds[name] = "composite:" + name
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// relationships
+
+// DeclareRelation introduces a named relationship.
+func (m *Model) DeclareRelation(d RelationDecl) error {
+	if d.Name == "" {
+		return fmt.Errorf("%w: relation needs a name", ErrBadSchema)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.relations[d.Name]; ok {
+		return fmt.Errorf("%w: relation %q", ErrDuplicate, d.Name)
+	}
+	cp := d
+	m.relations[d.Name] = &cp
+	m.links[d.Name] = make(map[string]map[string]bool)
+	return nil
+}
+
+// Relate records (from, to) in a relation, enforcing its cardinality.
+func (m *Model) Relate(rel, from, to string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.relations[rel]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchRelation, rel)
+	}
+	if _, ok := m.objects[from]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotRelatable, from)
+	}
+	if _, ok := m.objects[to]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotRelatable, to)
+	}
+	links := m.links[rel]
+	if links[from][to] {
+		return nil // idempotent
+	}
+	if d.MaxTo > 0 && len(links[from]) >= d.MaxTo {
+		return fmt.Errorf("%w: %q may relate to at most %d objects via %q", ErrCardinality, from, d.MaxTo, rel)
+	}
+	if d.MaxFrom > 0 {
+		count := 0
+		for _, tos := range links {
+			if tos[to] {
+				count++
+			}
+		}
+		if count >= d.MaxFrom {
+			return fmt.Errorf("%w: %q may be related from at most %d objects via %q", ErrCardinality, to, d.MaxFrom, rel)
+		}
+	}
+	set, ok := links[from]
+	if !ok {
+		set = make(map[string]bool)
+		links[from] = set
+	}
+	set[to] = true
+	return nil
+}
+
+// Unrelate removes (from, to) from a relation.
+func (m *Model) Unrelate(rel, from, to string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.relations[rel]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchRelation, rel)
+	}
+	delete(m.links[rel][from], to)
+	return nil
+}
+
+// Related returns the sorted targets of from under rel.
+func (m *Model) Related(rel, from string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for to := range m.links[rel][from] {
+		out = append(out, to)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owners returns the sorted sources relating to `to` under rel (the
+// inverse query: which customer owns this account?).
+func (m *Model) Owners(rel, to string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for from, tos := range m.links[rel] {
+		if tos[to] {
+			out = append(out, from)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dynamics returns the sorted names of declared dynamic schemas.
+func (m *Model) Dynamics() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.dynamics))
+	for n := range m.dynamics {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasDynamic reports whether a dynamic schema is declared.
+func (m *Model) HasDynamic(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.dynamics[name]
+	return ok
+}
+
+// Stats returns (dynamic changes attempted, rejected).
+func (m *Model) Stats() (changes, rejections uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.changes, m.rejections
+}
+
+// ---------------------------------------------------------------------------
+// record helpers
+
+func mergeRecords(a, b values.Value) (values.Value, error) {
+	fields := make([]values.Field, 0, a.NumFields()+b.NumFields())
+	seen := make(map[string]bool, a.NumFields())
+	for i := 0; i < a.NumFields(); i++ {
+		f := a.FieldAt(i)
+		fields = append(fields, f)
+		seen[f.Name] = true
+	}
+	for i := 0; i < b.NumFields(); i++ {
+		f := b.FieldAt(i)
+		if seen[f.Name] {
+			return values.Value{}, fmt.Errorf("%w: %q", ErrNameCollision, f.Name)
+		}
+		fields = append(fields, f)
+	}
+	return values.Record(fields...), nil
+}
+
+func setField(rec values.Value, name string, v values.Value) values.Value {
+	fields := make([]values.Field, 0, rec.NumFields()+1)
+	replaced := false
+	for i := 0; i < rec.NumFields(); i++ {
+		f := rec.FieldAt(i)
+		if f.Name == name {
+			fields = append(fields, values.F(name, v))
+			replaced = true
+		} else {
+			fields = append(fields, f)
+		}
+	}
+	if !replaced {
+		fields = append(fields, values.F(name, v))
+	}
+	return values.Record(fields...)
+}

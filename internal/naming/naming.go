@@ -1,0 +1,231 @@
+// Package naming defines the identifier space of the engineering viewpoint
+// and the interface references exchanged between objects.
+//
+// RM-ODP structures an ODP system as nodes containing capsules containing
+// clusters containing basic engineering objects, each of which may offer
+// several interfaces (Figure 5 of the tutorial). Every level gets an
+// identifier here, forming a containment path, and interfaces are referred
+// to by InterfaceRef values that carry the interface's identity, its
+// declared type name and a (possibly stale) location hint. Binders resolve
+// stale hints through the relocator; application code never sees raw
+// addresses, which is the essence of location transparency.
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/values"
+)
+
+// ErrBadRef is wrapped by reference-parsing failures.
+var ErrBadRef = errors.New("naming: malformed interface reference")
+
+// NodeID identifies a node: a computer system with a nucleus.
+type NodeID string
+
+// CapsuleID identifies a capsule within a node.
+type CapsuleID struct {
+	Node NodeID
+	Seq  uint32
+}
+
+// String renders the capsule identifier as node/cN.
+func (c CapsuleID) String() string { return fmt.Sprintf("%s/c%d", c.Node, c.Seq) }
+
+// ClusterID identifies a cluster within a capsule. Clusters are the unit
+// of checkpointing, deactivation and migration, so a cluster's identity is
+// stable across moves: Seq is allocated once and travels with the cluster.
+type ClusterID struct {
+	Capsule CapsuleID
+	Seq     uint32
+}
+
+// String renders the cluster identifier as node/cN/kN.
+func (c ClusterID) String() string { return fmt.Sprintf("%s/k%d", c.Capsule, c.Seq) }
+
+// ObjectID identifies a basic engineering object within a cluster.
+type ObjectID struct {
+	Cluster ClusterID
+	Seq     uint32
+}
+
+// String renders the object identifier as node/cN/kN/oN.
+func (o ObjectID) String() string { return fmt.Sprintf("%s/o%d", o.Cluster, o.Seq) }
+
+// InterfaceID identifies one interface of an engineering object. The
+// identity survives relocation and migration of the supporting object;
+// only the location hint in an InterfaceRef changes.
+type InterfaceID struct {
+	Object ObjectID
+	Seq    uint32
+	Nonce  uint64 // unpredictable component, so identifiers cannot be forged by guessing
+}
+
+// String renders the interface identifier as node/cN/kN/oN/iN#nonce.
+func (i InterfaceID) String() string {
+	return fmt.Sprintf("%s/i%d#%x", i.Object, i.Seq, i.Nonce)
+}
+
+// Endpoint is a transport address understood by a protocol object,
+// e.g. "sim://nodeA" for the simulated network or "tcp://127.0.0.1:9000".
+type Endpoint string
+
+// Scheme returns the transport scheme of the endpoint ("sim", "tcp", ...).
+func (e Endpoint) Scheme() string {
+	if i := strings.Index(string(e), "://"); i >= 0 {
+		return string(e)[:i]
+	}
+	return ""
+}
+
+// Address returns the scheme-specific address part of the endpoint.
+func (e Endpoint) Address() string {
+	if i := strings.Index(string(e), "://"); i >= 0 {
+		return string(e)[i+3:]
+	}
+	return string(e)
+}
+
+// InterfaceRef is the engineering realisation of a computational binding
+// endpoint: everything a channel needs to reach an interface. The Endpoint
+// is a hint — it names where the interface was when the reference was
+// created (Epoch counts relocations). A binder that finds the hint stale
+// consults the relocator for the current location.
+type InterfaceRef struct {
+	ID       InterfaceID
+	TypeName string   // declared interface type, checked against the type repository
+	Endpoint Endpoint // location hint
+	Epoch    uint64   // relocation epoch at which the hint was valid
+}
+
+// IsZero reports whether the reference is the zero reference.
+func (r InterfaceRef) IsZero() bool { return r == InterfaceRef{} }
+
+// String renders the reference for diagnostics.
+func (r InterfaceRef) String() string {
+	return fmt.Sprintf("%s:%s@%s/e%d", r.TypeName, r.ID, r.Endpoint, r.Epoch)
+}
+
+// refType is the wire shape of an InterfaceRef when passed as a value in
+// an invocation (e.g. a customer passing its callback interface).
+var refType = values.TRecord("InterfaceRef",
+	values.FT("node", values.TString()),
+	values.FT("capsule", values.TUint()),
+	values.FT("cluster", values.TUint()),
+	values.FT("object", values.TUint()),
+	values.FT("iface", values.TUint()),
+	values.FT("nonce", values.TUint()),
+	values.FT("type", values.TString()),
+	values.FT("endpoint", values.TString()),
+	values.FT("epoch", values.TUint()),
+)
+
+// RefDataType returns the data type of a marshalled interface reference.
+func RefDataType() *values.DataType { return refType }
+
+// ToValue marshals the reference into the value model so it can cross a
+// channel like any other datum.
+func (r InterfaceRef) ToValue() values.Value {
+	return values.Record(
+		values.F("node", values.Str(string(r.ID.Object.Cluster.Capsule.Node))),
+		values.F("capsule", values.Uint(uint64(r.ID.Object.Cluster.Capsule.Seq))),
+		values.F("cluster", values.Uint(uint64(r.ID.Object.Cluster.Seq))),
+		values.F("object", values.Uint(uint64(r.ID.Object.Seq))),
+		values.F("iface", values.Uint(uint64(r.ID.Seq))),
+		values.F("nonce", values.Uint(r.ID.Nonce)),
+		values.F("type", values.Str(r.TypeName)),
+		values.F("endpoint", values.Str(string(r.Endpoint))),
+		values.F("epoch", values.Uint(r.Epoch)),
+	)
+}
+
+// RefFromValue unmarshals a reference previously produced by ToValue.
+func RefFromValue(v values.Value) (InterfaceRef, error) {
+	if err := refType.Check(v); err != nil {
+		return InterfaceRef{}, fmt.Errorf("%w: %v", ErrBadRef, err)
+	}
+	get := func(name string) values.Value {
+		f, _ := v.FieldByName(name)
+		return f
+	}
+	str := func(name string) string { s, _ := get(name).AsString(); return s }
+	u64 := func(name string) uint64 { u, _ := get(name).AsUint(); return u }
+	u32 := func(name string) uint32 { return uint32(u64(name)) }
+
+	return InterfaceRef{
+		ID: InterfaceID{
+			Object: ObjectID{
+				Cluster: ClusterID{
+					Capsule: CapsuleID{Node: NodeID(str("node")), Seq: u32("capsule")},
+					Seq:     u32("cluster"),
+				},
+				Seq: u32("object"),
+			},
+			Seq:   u32("iface"),
+			Nonce: u64("nonce"),
+		},
+		TypeName: str("type"),
+		Endpoint: Endpoint(str("endpoint")),
+		Epoch:    u64("epoch"),
+	}, nil
+}
+
+// ParseInterfaceID parses the String form of an InterfaceID
+// ("node/cN/kN/oN/iN#nonce"). It is the inverse of InterfaceID.String and
+// is used by command-line tools.
+func ParseInterfaceID(s string) (InterfaceID, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 5 {
+		return InterfaceID{}, fmt.Errorf("%w: %q", ErrBadRef, s)
+	}
+	capSeq, err := parseSeq(parts[1], 'c')
+	if err != nil {
+		return InterfaceID{}, fmt.Errorf("%w: capsule in %q: %v", ErrBadRef, s, err)
+	}
+	cluSeq, err := parseSeq(parts[2], 'k')
+	if err != nil {
+		return InterfaceID{}, fmt.Errorf("%w: cluster in %q: %v", ErrBadRef, s, err)
+	}
+	objSeq, err := parseSeq(parts[3], 'o')
+	if err != nil {
+		return InterfaceID{}, fmt.Errorf("%w: object in %q: %v", ErrBadRef, s, err)
+	}
+	last := parts[4]
+	hash := strings.IndexByte(last, '#')
+	if hash < 0 {
+		return InterfaceID{}, fmt.Errorf("%w: missing nonce in %q", ErrBadRef, s)
+	}
+	ifSeq, err := parseSeq(last[:hash], 'i')
+	if err != nil {
+		return InterfaceID{}, fmt.Errorf("%w: interface in %q: %v", ErrBadRef, s, err)
+	}
+	nonce, err := strconv.ParseUint(last[hash+1:], 16, 64)
+	if err != nil {
+		return InterfaceID{}, fmt.Errorf("%w: nonce in %q: %v", ErrBadRef, s, err)
+	}
+	return InterfaceID{
+		Object: ObjectID{
+			Cluster: ClusterID{
+				Capsule: CapsuleID{Node: NodeID(parts[0]), Seq: capSeq},
+				Seq:     cluSeq,
+			},
+			Seq: objSeq,
+		},
+		Seq:   ifSeq,
+		Nonce: nonce,
+	}, nil
+}
+
+func parseSeq(s string, prefix byte) (uint32, error) {
+	if len(s) < 2 || s[0] != prefix {
+		return 0, fmt.Errorf("expected %c-prefixed segment, got %q", prefix, s)
+	}
+	n, err := strconv.ParseUint(s[1:], 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(n), nil
+}

@@ -1,0 +1,167 @@
+package naming
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/values"
+)
+
+func sampleID() InterfaceID {
+	return InterfaceID{
+		Object: ObjectID{
+			Cluster: ClusterID{
+				Capsule: CapsuleID{Node: "alpha", Seq: 2},
+				Seq:     7,
+			},
+			Seq: 3,
+		},
+		Seq:   1,
+		Nonce: 0xdeadbeef,
+	}
+}
+
+func TestIDStrings(t *testing.T) {
+	id := sampleID()
+	if got, want := id.Object.Cluster.Capsule.String(), "alpha/c2"; got != want {
+		t.Errorf("CapsuleID = %q, want %q", got, want)
+	}
+	if got, want := id.Object.Cluster.String(), "alpha/c2/k7"; got != want {
+		t.Errorf("ClusterID = %q, want %q", got, want)
+	}
+	if got, want := id.Object.String(), "alpha/c2/k7/o3"; got != want {
+		t.Errorf("ObjectID = %q, want %q", got, want)
+	}
+	if got, want := id.String(), "alpha/c2/k7/o3/i1#deadbeef"; got != want {
+		t.Errorf("InterfaceID = %q, want %q", got, want)
+	}
+}
+
+func TestEndpoint(t *testing.T) {
+	e := Endpoint("tcp://127.0.0.1:9000")
+	if e.Scheme() != "tcp" {
+		t.Errorf("Scheme = %q", e.Scheme())
+	}
+	if e.Address() != "127.0.0.1:9000" {
+		t.Errorf("Address = %q", e.Address())
+	}
+	bare := Endpoint("nodeA")
+	if bare.Scheme() != "" || bare.Address() != "nodeA" {
+		t.Errorf("bare endpoint: scheme=%q address=%q", bare.Scheme(), bare.Address())
+	}
+}
+
+func TestRefRoundTripValue(t *testing.T) {
+	ref := InterfaceRef{
+		ID:       sampleID(),
+		TypeName: "BankTeller",
+		Endpoint: "sim://alpha",
+		Epoch:    4,
+	}
+	v := ref.ToValue()
+	if err := RefDataType().Check(v); err != nil {
+		t.Fatalf("marshalled ref fails its own type: %v", err)
+	}
+	got, err := RefFromValue(v)
+	if err != nil {
+		t.Fatalf("RefFromValue: %v", err)
+	}
+	if got != ref {
+		t.Errorf("round trip: got %+v, want %+v", got, ref)
+	}
+}
+
+func TestRefFromValueRejectsGarbage(t *testing.T) {
+	_, err := RefFromValue(values.Int(3))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, ErrBadRef) {
+		t.Errorf("error %v should wrap ErrBadRef", err)
+	}
+}
+
+func TestRefIsZero(t *testing.T) {
+	var zero InterfaceRef
+	if !zero.IsZero() {
+		t.Error("zero ref should be zero")
+	}
+	ref := InterfaceRef{TypeName: "X"}
+	if ref.IsZero() {
+		t.Error("non-zero ref reported zero")
+	}
+}
+
+func TestRefString(t *testing.T) {
+	ref := InterfaceRef{ID: sampleID(), TypeName: "BankTeller", Endpoint: "sim://alpha", Epoch: 1}
+	want := "BankTeller:alpha/c2/k7/o3/i1#deadbeef@sim://alpha/e1"
+	if got := ref.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestParseInterfaceIDRoundTrip(t *testing.T) {
+	id := sampleID()
+	got, err := ParseInterfaceID(id.String())
+	if err != nil {
+		t.Fatalf("ParseInterfaceID: %v", err)
+	}
+	if got != id {
+		t.Errorf("round trip: got %+v, want %+v", got, id)
+	}
+}
+
+func TestParseInterfaceIDErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"alpha",
+		"alpha/c2/k7/o3",             // too few segments
+		"alpha/x2/k7/o3/i1#1",        // wrong capsule prefix
+		"alpha/c2/x7/o3/i1#1",        // wrong cluster prefix
+		"alpha/c2/k7/x3/i1#1",        // wrong object prefix
+		"alpha/c2/k7/o3/x1#1",        // wrong interface prefix
+		"alpha/c2/k7/o3/i1",          // missing nonce
+		"alpha/c2/k7/o3/i1#zzzz_not", // bad nonce
+		"alpha/cX/k7/o3/i1#1",        // non-numeric seq
+		"alpha/c2/k7/o3/i1#1/extra",  // too many segments
+	}
+	for _, s := range bad {
+		if _, err := ParseInterfaceID(s); err == nil {
+			t.Errorf("ParseInterfaceID(%q) should fail", s)
+		} else if !errors.Is(err, ErrBadRef) {
+			t.Errorf("ParseInterfaceID(%q) error %v should wrap ErrBadRef", s, err)
+		}
+	}
+}
+
+func TestParseInterfaceIDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		id := InterfaceID{
+			Object: ObjectID{
+				Cluster: ClusterID{
+					Capsule: CapsuleID{Node: NodeID(randName(r)), Seq: r.Uint32()},
+					Seq:     r.Uint32(),
+				},
+				Seq: r.Uint32(),
+			},
+			Seq:   r.Uint32(),
+			Nonce: r.Uint64(),
+		}
+		got, err := ParseInterfaceID(id.String())
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randName(r *rand.Rand) string {
+	b := make([]byte, 1+r.Intn(8))
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}

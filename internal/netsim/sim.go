@@ -1,0 +1,422 @@
+package netsim
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/naming"
+)
+
+// LinkProfile describes the behaviour of one direction of a simulated link.
+// The zero profile is a perfect link: instantaneous, lossless, exactly-once.
+type LinkProfile struct {
+	Latency   time.Duration // fixed one-way delay
+	Jitter    time.Duration // uniform random extra delay in [0, Jitter)
+	DropRate  float64       // probability a frame is silently lost
+	DupRate   float64       // probability a frame is delivered twice
+	Bandwidth int           // bytes per second; 0 = infinite
+}
+
+func (p LinkProfile) perfect() bool {
+	return p.Latency == 0 && p.Jitter == 0 && p.DropRate == 0 && p.DupRate == 0 && p.Bandwidth == 0
+}
+
+// Stats counts frames at the network level.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+}
+
+// Network is an in-memory simulated network. Endpoints have the form
+// "sim://<host>". Behaviour between each ordered host pair is controlled by
+// a LinkProfile (default: the network-wide default profile, itself a
+// perfect link unless changed). Partitions block all delivery between two
+// hosts until healed. All randomness comes from the seed passed to New, so
+// runs are reproducible.
+type Network struct {
+	mu         sync.Mutex
+	rng        *rand.Rand
+	listeners  map[string]*simListener
+	links      map[[2]string]LinkProfile
+	partitions map[[2]string]bool
+	defaultLP  LinkProfile
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+var _ Transport = (*Network)(nil)
+
+// New returns a simulated network seeded for reproducible loss and jitter.
+func New(seed int64) *Network {
+	return &Network{
+		rng:        rand.New(rand.NewSource(seed)),
+		listeners:  make(map[string]*simListener),
+		links:      make(map[[2]string]LinkProfile),
+		partitions: make(map[[2]string]bool),
+	}
+}
+
+// SetDefaultLink sets the profile used for host pairs without an explicit
+// SetLink.
+func (n *Network) SetDefaultLink(p LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaultLP = p
+}
+
+// SetLink sets the profile for frames flowing from host a to host b.
+func (n *Network) SetLink(a, b string, p LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]string{a, b}] = p
+}
+
+// Partition blocks all traffic between hosts a and b (both directions).
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[[2]string{a, b}] = true
+	n.partitions[[2]string{b, a}] = true
+}
+
+// Heal removes a partition between hosts a and b.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, [2]string{a, b})
+	delete(n.partitions, [2]string{b, a})
+}
+
+// Stats returns a snapshot of network-wide frame counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Sent:      n.sent.Load(),
+		Delivered: n.delivered.Load(),
+		Dropped:   n.dropped.Load(),
+	}
+}
+
+func (n *Network) linkFor(a, b string) LinkProfile {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.links[[2]string{a, b}]; ok {
+		return p
+	}
+	return n.defaultLP
+}
+
+func (n *Network) partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitions[[2]string{a, b}]
+}
+
+// From returns a view of the network whose Dial calls originate at the
+// given host name, so per-link profiles and partitions apply. Engineering
+// nodes use this so that all their traffic is attributed to the node.
+func (n *Network) From(host string) Transport {
+	return fromTransport{net: n, host: host}
+}
+
+type fromTransport struct {
+	net  *Network
+	host string
+}
+
+func (f fromTransport) Dial(ctx context.Context, ep naming.Endpoint) (Conn, error) {
+	return f.net.DialFrom(ctx, f.host, ep)
+}
+
+func (f fromTransport) Listen(ep naming.Endpoint) (Listener, error) {
+	return f.net.Listen(ep)
+}
+
+// Listen opens a listener at ep ("sim://host"). One listener per host.
+func (n *Network) Listen(ep naming.Endpoint) (Listener, error) {
+	host := ep.Address()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[host]; exists {
+		return nil, &addrInUseError{host}
+	}
+	l := &simListener{
+		net:     n,
+		ep:      ep,
+		backlog: make(chan *simConn, 16), // small accept backlog, like a socket
+		done:    make(chan struct{}),
+	}
+	n.listeners[host] = l
+	return l, nil
+}
+
+type addrInUseError struct{ host string }
+
+func (e *addrInUseError) Error() string { return "netsim: address in use: " + e.host }
+
+// Dial connects to the listener at ep. The local host name is synthesised
+// from the dialling goroutine; for link-profile purposes the connection's
+// client side is named by DialFrom if used, else "client".
+func (n *Network) Dial(ctx context.Context, ep naming.Endpoint) (Conn, error) {
+	return n.DialFrom(ctx, "client", ep)
+}
+
+// DialFrom connects to ep with an explicit local host name, so per-link
+// profiles and partitions apply to the connection.
+func (n *Network) DialFrom(ctx context.Context, fromHost string, ep naming.Endpoint) (Conn, error) {
+	host := ep.Address()
+	n.mu.Lock()
+	l, ok := n.listeners[host]
+	n.mu.Unlock()
+	if !ok {
+		return nil, &hostError{host}
+	}
+	if n.partitioned(fromHost, host) {
+		// Connection attempts across a partition hang until the context
+		// gives up, like SYNs into a black hole.
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	client := newSimConn(n, naming.Endpoint("sim://"+fromHost), ep)
+	server := newSimConn(n, ep, naming.Endpoint("sim://"+fromHost))
+	client.peer, server.peer = server, client
+	select {
+	case l.backlog <- server:
+	case <-l.done:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return client, nil
+}
+
+type hostError struct{ host string }
+
+func (e *hostError) Error() string { return "netsim: no listener at endpoint: " + e.host }
+func (e *hostError) Is(target error) bool {
+	return target == ErrNoSuchHost
+}
+
+type simListener struct {
+	net     *Network
+	ep      naming.Endpoint
+	backlog chan *simConn
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (l *simListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *simListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.ep.Address())
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *simListener) Endpoint() naming.Endpoint { return l.ep }
+
+// simConn is one end of a simulated connection. Each direction applies the
+// sender→receiver link profile. Delivery order is FIFO per direction (like
+// a stream transport) even under jitter: frames pass through a single
+// delivery goroutine when the link is imperfect.
+type simConn struct {
+	net    *Network
+	local  naming.Endpoint
+	remote naming.Endpoint
+	peer   *simConn
+
+	mu     sync.Mutex
+	queue  [][]byte
+	notify chan struct{} // capacity 1: wake one waiting Recv
+	closed bool
+
+	sendQ    chan []byte // delayed-path queue, created lazily
+	sendOnce sync.Once
+}
+
+func newSimConn(n *Network, local, remote naming.Endpoint) *simConn {
+	return &simConn{
+		net:    n,
+		local:  local,
+		remote: remote,
+		notify: make(chan struct{}, 1),
+	}
+}
+
+func (c *simConn) LocalEndpoint() naming.Endpoint  { return c.local }
+func (c *simConn) RemoteEndpoint() naming.Endpoint { return c.remote }
+
+func (c *simConn) Send(frame []byte) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	n := c.net
+	n.sent.Add(1)
+	if n.partitioned(c.local.Address(), c.remote.Address()) {
+		n.dropped.Add(1)
+		return nil // black hole
+	}
+	p := n.linkFor(c.local.Address(), c.remote.Address())
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	if p.perfect() {
+		c.peer.deliver(cp)
+		return nil
+	}
+	// Imperfect link: apply loss/duplication now (seeded RNG), delay in the
+	// per-direction delivery goroutine to preserve FIFO order.
+	n.mu.Lock()
+	drop := n.rng.Float64() < p.DropRate
+	dup := n.rng.Float64() < p.DupRate
+	var jitter time.Duration
+	if p.Jitter > 0 {
+		jitter = time.Duration(n.rng.Int63n(int64(p.Jitter)))
+	}
+	n.mu.Unlock()
+	if drop {
+		n.dropped.Add(1)
+		return nil
+	}
+	delay := p.Latency + jitter
+	if p.Bandwidth > 0 {
+		delay += time.Duration(float64(len(cp)) / float64(p.Bandwidth) * float64(time.Second))
+	}
+	c.sendOnce.Do(func() {
+		c.sendQ = make(chan []byte, 1024) // bounded in-flight window for the delayed path
+		go c.deliveryLoop()
+	})
+	deliverOnce := func(b []byte) {
+		env := append(delayEnvelope{}, delayHeader(delay)...)
+		env = append(env, b...)
+		select {
+		case c.sendQ <- env:
+		default:
+			// Window full: a real link would also drop under overload.
+			n.dropped.Add(1)
+		}
+	}
+	deliverOnce(cp)
+	if dup {
+		cp2 := make([]byte, len(cp))
+		copy(cp2, cp)
+		deliverOnce(cp2)
+	}
+	return nil
+}
+
+// delayEnvelope prefixes a frame with its delivery delay so the single
+// delivery goroutine can sleep the right amount while preserving order.
+type delayEnvelope = []byte
+
+func delayHeader(d time.Duration) []byte {
+	u := uint64(d)
+	return []byte{
+		byte(u >> 56), byte(u >> 48), byte(u >> 40), byte(u >> 32),
+		byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u),
+	}
+}
+
+func parseDelayHeader(b []byte) (time.Duration, []byte) {
+	u := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+	return time.Duration(u), b[8:]
+}
+
+func (c *simConn) deliveryLoop() {
+	for env := range c.sendQ {
+		delay, frame := parseDelayHeader(env)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		c.peer.deliver(frame)
+	}
+}
+
+func (c *simConn) deliver(frame []byte) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.net.dropped.Add(1)
+		return
+	}
+	c.queue = append(c.queue, frame)
+	c.mu.Unlock()
+	c.net.delivered.Add(1)
+	select {
+	case c.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (c *simConn) Recv() ([]byte, error) {
+	for {
+		c.mu.Lock()
+		if len(c.queue) > 0 {
+			frame := c.queue[0]
+			c.queue = c.queue[1:]
+			more := len(c.queue) > 0
+			c.mu.Unlock()
+			if more {
+				// Pass the wakeup on: another Recv may be waiting for a
+				// frame whose notify signal coalesced with ours.
+				c.signal()
+			}
+			return frame, nil
+		}
+		if c.closed {
+			c.mu.Unlock()
+			c.signal() // wake any other blocked Recv so it too sees the close
+			return nil, ErrClosed
+		}
+		c.mu.Unlock()
+		<-c.notify
+	}
+}
+
+func (c *simConn) signal() {
+	select {
+	case c.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (c *simConn) Close() error {
+	c.closeOneSide()
+	if c.peer != nil {
+		c.peer.closeOneSide()
+	}
+	return nil
+}
+
+func (c *simConn) closeOneSide() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	select {
+	case c.notify <- struct{}{}:
+	default:
+	}
+}

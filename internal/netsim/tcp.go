@@ -1,0 +1,127 @@
+package netsim
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/naming"
+)
+
+// maxFrame bounds a single TCP frame; larger length prefixes indicate
+// corruption or a hostile peer.
+const maxFrame = 64 << 20
+
+// TCP is the real-network transport: frames travel length-prefixed over
+// TCP connections. Endpoints have the form "tcp://host:port".
+type TCP struct{}
+
+var _ Transport = TCP{}
+
+// NewTCP returns the TCP transport.
+func NewTCP() TCP { return TCP{} }
+
+// Dial connects to a TCP endpoint.
+func (TCP) Dial(ctx context.Context, ep naming.Endpoint) (Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", ep.Address())
+	if err != nil {
+		return nil, fmt.Errorf("netsim: dial %s: %w", ep, err)
+	}
+	return newTCPConn(nc, ep), nil
+}
+
+// Listen opens a TCP listener. The address "tcp://127.0.0.1:0" asks the
+// kernel for a free port; Listener.Endpoint reports the bound address.
+func (TCP) Listen(ep naming.Endpoint) (Listener, error) {
+	nl, err := net.Listen("tcp", ep.Address())
+	if err != nil {
+		return nil, fmt.Errorf("netsim: listen %s: %w", ep, err)
+	}
+	return &tcpListener{nl: nl}, nil
+}
+
+type tcpListener struct {
+	nl net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("netsim: accept: %w", err)
+	}
+	return newTCPConn(nc, naming.Endpoint("tcp://"+nc.RemoteAddr().String())), nil
+}
+
+func (l *tcpListener) Close() error { return l.nl.Close() }
+
+func (l *tcpListener) Endpoint() naming.Endpoint {
+	return naming.Endpoint("tcp://" + l.nl.Addr().String())
+}
+
+type tcpConn struct {
+	nc     net.Conn
+	remote naming.Endpoint
+
+	readMu  sync.Mutex
+	writeMu sync.Mutex
+	lenBuf  [4]byte // guarded by writeMu
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+func newTCPConn(nc net.Conn, remote naming.Endpoint) *tcpConn {
+	return &tcpConn{nc: nc, remote: remote}
+}
+
+func (c *tcpConn) Send(frame []byte) error {
+	if len(frame) > maxFrame {
+		return fmt.Errorf("netsim: frame of %d bytes exceeds limit", len(frame))
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	binary.BigEndian.PutUint32(c.lenBuf[:], uint32(len(frame)))
+	if _, err := c.nc.Write(c.lenBuf[:]); err != nil {
+		return fmt.Errorf("netsim: write length: %w", err)
+	}
+	if _, err := c.nc.Write(frame); err != nil {
+		return fmt.Errorf("netsim: write frame: %w", err)
+	}
+	return nil
+}
+
+func (c *tcpConn) Recv() ([]byte, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.nc, lenBuf[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF || errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("netsim: read length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("netsim: frame of %d bytes exceeds limit", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(c.nc, frame); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF || errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("netsim: read frame: %w", err)
+	}
+	return frame, nil
+}
+
+func (c *tcpConn) Close() error { return c.nc.Close() }
+
+func (c *tcpConn) RemoteEndpoint() naming.Endpoint { return c.remote }
+
+func (c *tcpConn) LocalEndpoint() naming.Endpoint {
+	return naming.Endpoint("tcp://" + c.nc.LocalAddr().String())
+}

@@ -1,0 +1,160 @@
+package odp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engineering"
+	"repro/internal/enterprise"
+	"repro/internal/information"
+	"repro/internal/technology"
+)
+
+// Severity grades a consistency finding.
+type Severity int
+
+// Finding severities.
+const (
+	Warning Severity = iota + 1
+	Error
+)
+
+// String returns the severity name.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one cross-viewpoint inconsistency.
+type Finding struct {
+	Severity  Severity
+	Viewpoint string // where the problem manifests
+	Detail    string
+}
+
+// Correspondence links the viewpoints for one action, following Figure 1:
+// an enterprise-governed action is realised by an operation of a
+// computational interface, whose state change is specified by an
+// information dynamic schema.
+type Correspondence struct {
+	Action    string // enterprise action name ("" if purely computational)
+	Interface string // computational interface type name
+	Operation string // operation on that interface
+	Schema    string // information dynamic schema ("" if stateless)
+}
+
+// Spec gathers an application's five viewpoint specifications plus the
+// declared correspondences between them.
+type Spec struct {
+	Community  *enterprise.Community
+	Model      *information.Model
+	Templates  []core.ObjectTemplate
+	Technology *technology.Specification
+	Links      []Correspondence
+}
+
+// CheckConsistency verifies the Figure 1 correspondences. The behaviours
+// registry, when given, additionally checks that every template is
+// deployable (its behaviour exists). An empty result means the five
+// specifications agree.
+func CheckConsistency(spec Spec, behaviors *engineering.BehaviorRegistry) []Finding {
+	var out []Finding
+	report := func(sev Severity, vp, format string, args ...any) {
+		out = append(out, Finding{Severity: sev, Viewpoint: vp, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// Computational: templates must validate and be deployable.
+	ifaceOps := map[string]map[string]bool{} // interface type -> operations
+	for i := range spec.Templates {
+		t := &spec.Templates[i]
+		if err := t.Validate(); err != nil {
+			report(Error, "computational", "template %q invalid: %v", t.Name, err)
+			continue
+		}
+		if behaviors != nil && !behaviors.Known(t.Behavior) {
+			report(Error, "engineering", "template %q needs behaviour %q, not in registry", t.Name, t.Behavior)
+		}
+		for _, decl := range t.Interfaces {
+			ops, ok := ifaceOps[decl.Type.Name]
+			if !ok {
+				ops = map[string]bool{}
+				ifaceOps[decl.Type.Name] = ops
+			}
+			for _, op := range decl.Type.Operations {
+				ops[op.Name] = true
+			}
+		}
+	}
+
+	// Correspondences: each must land on a real interface operation, a
+	// governed enterprise action and a declared dynamic schema.
+	governed := map[string]bool{}
+	if spec.Community != nil {
+		for _, p := range spec.Community.Policies() {
+			governed[p.Action] = true
+		}
+		for _, a := range spec.Community.Performatives() {
+			governed[a] = true
+		}
+	}
+	realised := map[string]bool{} // enterprise actions realised computationally
+	for _, l := range spec.Links {
+		ops, ok := ifaceOps[l.Interface]
+		if !ok {
+			report(Error, "computational", "correspondence names unknown interface %q", l.Interface)
+			continue
+		}
+		if !ops[l.Operation] {
+			report(Error, "computational", "interface %q has no operation %q", l.Interface, l.Operation)
+			continue
+		}
+		if l.Action != "" {
+			if spec.Community == nil {
+				report(Warning, "enterprise", "correspondence for %q but no community given", l.Action)
+			} else if !governed[l.Action] {
+				report(Error, "enterprise", "action %q is not governed by any policy or performative", l.Action)
+			} else {
+				realised[l.Action] = true
+			}
+		}
+		if l.Schema != "" {
+			if spec.Model == nil {
+				report(Warning, "information", "correspondence for schema %q but no model given", l.Schema)
+			} else if !spec.Model.HasDynamic(l.Schema) {
+				report(Error, "information", "dynamic schema %q is not declared", l.Schema)
+			}
+		}
+	}
+
+	// Enterprise completeness: a governed action with no computational
+	// realisation is a specification gap (the policy would be vacuous).
+	if spec.Community != nil {
+		for action := range governed {
+			if !realised[action] {
+				report(Warning, "enterprise", "governed action %q has no computational realisation", action)
+			}
+		}
+	}
+
+	// Technology: the chosen technology must conform.
+	if spec.Technology != nil {
+		if err := spec.Technology.MustConform(); err != nil {
+			report(Error, "technology", "%v", err)
+		}
+	}
+
+	return out
+}
+
+// Errors filters the findings to hard errors.
+func Errors(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Severity == Error {
+			out = append(out, f)
+		}
+	}
+	return out
+}

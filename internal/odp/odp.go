@@ -1,0 +1,240 @@
+// Package odp is the facade that assembles an ODP system from the
+// viewpoint packages: it owns the infrastructure objects (type repository,
+// relocator, trader, event bus) of Section 8 of the tutorial, creates
+// engineering nodes, deploys computational object templates onto them and
+// binds clients through the transparency configurator.
+//
+// It also implements the Figure 1 correspondence: CheckConsistency
+// verifies that an application's enterprise, information, computational,
+// engineering and technology specifications agree with one another —
+// every governed action is realised by an operation, every dynamic schema
+// has a computational counterpart, every template can actually be
+// instantiated, and the chosen technology conforms.
+package odp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/channel"
+	"repro/internal/coordination"
+	"repro/internal/core"
+	"repro/internal/engineering"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/relocator"
+	"repro/internal/trader"
+	"repro/internal/transparency"
+	"repro/internal/typerepo"
+	"repro/internal/values"
+)
+
+// Facade error sentinels.
+var (
+	ErrNodeExists = errors.New("odp: node already exists")
+	ErrNoSuchNode = errors.New("odp: no such node")
+	ErrNoOffers   = errors.New("odp: no matching offers")
+)
+
+// System is one ODP system: a simulated network, the shared
+// infrastructure objects, and the nodes deployed into it.
+type System struct {
+	Net       *netsim.Network
+	Relocator *relocator.Relocator
+	Types     *typerepo.Repository
+	Trader    *trader.Trader
+	Bus       *coordination.Bus
+
+	mu    sync.Mutex
+	nodes map[string]*engineering.Node
+}
+
+// NewSystem creates a system over a seeded simulated network.
+func NewSystem(seed int64) *System {
+	repo := typerepo.New()
+	return &System{
+		Net:       netsim.New(seed),
+		Relocator: relocator.New(),
+		Types:     repo,
+		Trader:    trader.New("trader", repo),
+		Bus:       coordination.NewBus(),
+		nodes:     make(map[string]*engineering.Node),
+	}
+}
+
+// CreateNode starts an engineering node on the simulated network.
+func (s *System) CreateNode(name string) (*engineering.Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.nodes[name]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrNodeExists, name)
+	}
+	n, err := engineering.NewNode(engineering.NodeConfig{
+		ID:        naming.NodeID(name),
+		Endpoint:  naming.Endpoint("sim://" + name),
+		Transport: s.Net.From(name),
+		Locations: s.Relocator,
+		Server:    channel.ServerConfig{ReplayGuard: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.nodes[name] = n
+	return n, nil
+}
+
+// Node returns a previously created node.
+func (s *System) Node(name string) (*engineering.Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchNode, name)
+	}
+	return n, nil
+}
+
+// Nodes lists node names, sorted.
+func (s *System) Nodes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.nodes))
+	for n := range s.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close shuts every node down.
+func (s *System) Close() error {
+	s.mu.Lock()
+	nodes := make([]*engineering.Node, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		nodes = append(nodes, n)
+	}
+	s.nodes = map[string]*engineering.Node{}
+	s.mu.Unlock()
+	var first error
+	for _, n := range nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Deployment records a deployed computational object: its engineering
+// realisation plus the references and trader offers of its interfaces.
+type Deployment struct {
+	Cluster *engineering.Cluster
+	Object  *engineering.Object
+	Refs    map[string]naming.InterfaceRef // interface type name -> ref
+	Offers  map[string]string              // interface type name -> trader offer id
+}
+
+// Ref returns the deployed reference for an interface type.
+func (d *Deployment) Ref(typeName string) (naming.InterfaceRef, bool) {
+	ref, ok := d.Refs[typeName]
+	return ref, ok
+}
+
+// Deploy instantiates a computational object template on a node: it
+// validates the template, registers its interface types with the type
+// repository, creates a capsule and a cluster (configured from the
+// template's contracts — persistence transparency turns on
+// auto-reactivation), creates the object, adds its interfaces and exports
+// each to the trader with the given service properties.
+func (s *System) Deploy(node *engineering.Node, tmpl core.ObjectTemplate, props values.Value) (*Deployment, error) {
+	if err := tmpl.Validate(); err != nil {
+		return nil, err
+	}
+	for _, decl := range tmpl.Interfaces {
+		if err := s.Types.RegisterInterface(decl.Type); err != nil {
+			return nil, err
+		}
+	}
+	// One interface with persistence in its contract makes the whole
+	// cluster reactivatable (the cluster is the unit of deactivation).
+	opts := engineering.ClusterOptions{}
+	for _, decl := range tmpl.Interfaces {
+		if transparency.ClusterOptions(decl.Contract).AutoReactivate {
+			opts.AutoReactivate = true
+		}
+	}
+	capsule, err := node.CreateCapsule()
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := capsule.CreateCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := cluster.CreateObject(tmpl.Behavior, tmpl.Arg)
+	if err != nil {
+		return nil, err
+	}
+	dep := &Deployment{
+		Cluster: cluster,
+		Object:  obj,
+		Refs:    make(map[string]naming.InterfaceRef, len(tmpl.Interfaces)),
+		Offers:  make(map[string]string, len(tmpl.Interfaces)),
+	}
+	for _, decl := range tmpl.Interfaces {
+		ref, err := obj.AddInterface(decl.Type)
+		if err != nil {
+			return nil, err
+		}
+		dep.Refs[decl.Type.Name] = ref
+		offerID, err := s.Trader.Export(decl.Type.Name, ref, props)
+		if err != nil {
+			return nil, err
+		}
+		dep.Offers[decl.Type.Name] = offerID
+	}
+	s.Bus.Publish("odp.deployed", values.Record(
+		values.F("template", values.Str(tmpl.Name)),
+		values.F("node", values.Str(string(node.ID()))),
+	))
+	return dep, nil
+}
+
+// Env builds the transparency environment for a client at the given
+// simulated host.
+func (s *System) Env(clientHost string) transparency.Env {
+	return transparency.Env{
+		Transport: s.Net.From(clientHost),
+		Locator:   s.Relocator,
+	}
+}
+
+// Bind creates a contract-configured binding to ref from clientHost.
+func (s *System) Bind(clientHost string, ref naming.InterfaceRef, contract core.Contract) (*channel.Binding, error) {
+	env := s.Env(clientHost)
+	if it, err := s.Types.LookupInterface(ref.TypeName); err == nil {
+		env.Type = it
+	}
+	return transparency.Bind(ref, contract, env)
+}
+
+// ImportAndBind discovers a service through the trader (type-checked
+// substitutability, constraint over properties) and binds to the best
+// offer under the contract — the canonical ODP client path:
+// trade, then bind.
+func (s *System) ImportAndBind(clientHost, serviceType, constraintSrc string, contract core.Contract) (*channel.Binding, error) {
+	offers, err := s.Trader.Import(trader.ImportRequest{
+		ServiceType: serviceType,
+		Constraint:  constraintSrc,
+		MaxMatches:  1,
+		MaxHops:     2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(offers) == 0 {
+		return nil, fmt.Errorf("%w: %s with %q", ErrNoOffers, serviceType, constraintSrc)
+	}
+	return s.Bind(clientHost, offers[0].Ref, contract)
+}

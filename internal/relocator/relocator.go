@@ -1,0 +1,172 @@
+// Package relocator implements the ODP relocator function
+// (Section 8.3.3 of the tutorial): "a repository of interface locations
+// (a white pages service)".
+//
+// Binders register the location of the interfaces they support and consult
+// the relocator when a cached location turns out to be stale; that is the
+// mechanism behind location and relocation transparency (Section 9.2).
+// Every relocation bumps the interface's epoch, so a binder can tell a
+// fresh answer from the stale hint it already has.
+//
+// A Relocator is safe for concurrent use.
+package relocator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/naming"
+)
+
+// Relocator error sentinels.
+var (
+	ErrUnknown = errors.New("relocator: unknown interface")
+	ErrStale   = errors.New("relocator: registration is older than current epoch")
+)
+
+// Event describes one change to the location database.
+type Event struct {
+	Ref     naming.InterfaceRef
+	Removed bool
+}
+
+// Relocator is the white-pages repository of interface locations.
+type Relocator struct {
+	mu      sync.RWMutex
+	entries map[naming.InterfaceID]naming.InterfaceRef
+	nextSub int
+	subs    map[int]func(Event)
+
+	lookups   uint64
+	misses    uint64
+	relocates uint64
+}
+
+// New returns an empty relocator.
+func New() *Relocator {
+	return &Relocator{
+		entries: make(map[naming.InterfaceID]naming.InterfaceRef),
+		subs:    make(map[int]func(Event)),
+	}
+}
+
+// Register records the location of an interface. A later registration for
+// the same interface must carry an epoch at least as new as the stored
+// one, otherwise ErrStale is returned — this stops a delayed registration
+// from a previous home overwriting the interface's current location.
+func (r *Relocator) Register(ref naming.InterfaceRef) error {
+	if ref.IsZero() {
+		return fmt.Errorf("%w: zero reference", ErrUnknown)
+	}
+	r.mu.Lock()
+	if cur, ok := r.entries[ref.ID]; ok && ref.Epoch < cur.Epoch {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s has epoch %d, refusing epoch %d", ErrStale, ref.ID, cur.Epoch, ref.Epoch)
+	}
+	r.entries[ref.ID] = ref
+	subs := r.snapshot()
+	r.mu.Unlock()
+	notify(subs, Event{Ref: ref})
+	return nil
+}
+
+// Lookup returns the current location of the interface.
+func (r *Relocator) Lookup(id naming.InterfaceID) (naming.InterfaceRef, error) {
+	r.mu.Lock()
+	r.lookups++
+	ref, ok := r.entries[id]
+	if !ok {
+		r.misses++
+	}
+	r.mu.Unlock()
+	if !ok {
+		return naming.InterfaceRef{}, fmt.Errorf("%w: %s", ErrUnknown, id)
+	}
+	return ref, nil
+}
+
+// Move relocates an interface to a new endpoint, bumping its epoch, and
+// returns the updated reference. This is what a migrating capsule manager
+// calls for each interface of a moved cluster.
+func (r *Relocator) Move(id naming.InterfaceID, to naming.Endpoint) (naming.InterfaceRef, error) {
+	r.mu.Lock()
+	ref, ok := r.entries[id]
+	if !ok {
+		r.mu.Unlock()
+		return naming.InterfaceRef{}, fmt.Errorf("%w: %s", ErrUnknown, id)
+	}
+	ref.Endpoint = to
+	ref.Epoch++
+	r.entries[id] = ref
+	r.relocates++
+	subs := r.snapshot()
+	r.mu.Unlock()
+	notify(subs, Event{Ref: ref})
+	return ref, nil
+}
+
+// Remove deletes an interface's registration (e.g. on object deletion).
+// Removing an unknown interface is a no-op.
+func (r *Relocator) Remove(id naming.InterfaceID) {
+	r.mu.Lock()
+	ref, ok := r.entries[id]
+	if ok {
+		delete(r.entries, id)
+	}
+	subs := r.snapshot()
+	r.mu.Unlock()
+	if ok {
+		notify(subs, Event{Ref: ref, Removed: true})
+	}
+}
+
+// Subscribe registers a callback invoked (synchronously, without internal
+// locks held) for every registration, move and removal. The returned
+// function cancels the subscription.
+func (r *Relocator) Subscribe(fn func(Event)) (cancel func()) {
+	r.mu.Lock()
+	id := r.nextSub
+	r.nextSub++
+	r.subs[id] = fn
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		delete(r.subs, id)
+		r.mu.Unlock()
+	}
+}
+
+// Entries returns a snapshot of all registrations, sorted by interface id.
+func (r *Relocator) Entries() []naming.InterfaceRef {
+	r.mu.RLock()
+	out := make([]naming.InterfaceRef, 0, len(r.entries))
+	for _, ref := range r.entries {
+		out = append(out, ref)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.String() < out[j].ID.String() })
+	return out
+}
+
+// Stats reports cumulative lookup, miss and relocation counts.
+func (r *Relocator) Stats() (lookups, misses, relocates uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.lookups, r.misses, r.relocates
+}
+
+func (r *Relocator) snapshot() []func(Event) {
+	out := make([]func(Event), 0, len(r.subs))
+	for _, fn := range r.subs {
+		out = append(out, fn)
+	}
+	return out
+}
+
+func notify(subs []func(Event), ev Event) {
+	for _, fn := range subs {
+		fn(ev)
+	}
+}

@@ -1,0 +1,175 @@
+package relocator
+
+// Like the trader, the relocator is an ODP infrastructure object: nodes in
+// other capsules (or other processes) reach it through an ordinary
+// operational interface. Servant adapts a *Relocator to channel.Handler;
+// Remote is the client proxy, satisfying both channel.Locator (for
+// binders) and engineering.LocationRegistry (for nodes), so a whole node
+// can be pointed at a relocator living elsewhere.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/naming"
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+// InterfaceType returns the relocator's operational interface type.
+func InterfaceType() *types.Interface {
+	return types.OpInterface("odp.Relocator",
+		types.Op("Register",
+			types.Params(types.P("ref", naming.RefDataType())),
+			types.Term("OK"),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
+		types.Op("Lookup",
+			types.Params(types.P("id", values.TString())),
+			types.Term("OK", types.P("ref", naming.RefDataType())),
+			types.Term("Unknown"),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
+		types.Op("Move",
+			types.Params(
+				types.P("id", values.TString()),
+				types.P("to", values.TString()),
+			),
+			types.Term("OK", types.P("ref", naming.RefDataType())),
+			types.Term("Unknown"),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
+		types.Announce("Remove", types.P("id", values.TString())),
+	)
+}
+
+// Servant adapts a Relocator to channel.Handler.
+type Servant struct {
+	R *Relocator
+}
+
+var _ channel.Handler = (*Servant)(nil)
+
+// Invoke implements channel.Handler.
+func (s *Servant) Invoke(_ context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	fail := func(err error) (string, []values.Value, error) {
+		return "Error", []values.Value{values.Str(err.Error())}, nil
+	}
+	switch op {
+	case "Register":
+		ref, err := naming.RefFromValue(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.R.Register(ref); err != nil {
+			return fail(err)
+		}
+		return "OK", nil, nil
+	case "Lookup":
+		idStr, _ := args[0].AsString()
+		id, err := naming.ParseInterfaceID(idStr)
+		if err != nil {
+			return fail(err)
+		}
+		ref, err := s.R.Lookup(id)
+		if err != nil {
+			return "Unknown", nil, nil
+		}
+		return "OK", []values.Value{ref.ToValue()}, nil
+	case "Move":
+		idStr, _ := args[0].AsString()
+		to, _ := args[1].AsString()
+		id, err := naming.ParseInterfaceID(idStr)
+		if err != nil {
+			return fail(err)
+		}
+		ref, err := s.R.Move(id, naming.Endpoint(to))
+		if err != nil {
+			return "Unknown", nil, nil
+		}
+		return "OK", []values.Value{ref.ToValue()}, nil
+	case "Remove":
+		idStr, _ := args[0].AsString()
+		id, err := naming.ParseInterfaceID(idStr)
+		if err != nil {
+			return "", nil, nil // announcements have no failure path
+		}
+		s.R.Remove(id)
+		return "", nil, nil
+	}
+	return "", nil, fmt.Errorf("relocator: no operation %q", op)
+}
+
+// Remote is a client proxy to a relocator reachable over a channel. It
+// satisfies channel.Locator and engineering.LocationRegistry, so both
+// binders and whole nodes can use a relocator hosted elsewhere.
+type Remote struct {
+	b *channel.Binding
+}
+
+// NewRemote wraps a binding to a relocator interface.
+func NewRemote(b *channel.Binding) *Remote { return &Remote{b: b} }
+
+// Close releases the underlying binding.
+func (r *Remote) Close() error { return r.b.Close() }
+
+// Register records an interface location at the remote relocator.
+func (r *Remote) Register(ref naming.InterfaceRef) error {
+	term, res, err := r.b.Invoke(context.Background(), "Register", []values.Value{ref.ToValue()})
+	if err != nil {
+		return err
+	}
+	if term != "OK" {
+		return remoteFailure("Register", res)
+	}
+	return nil
+}
+
+// Lookup resolves an interface's current location.
+func (r *Remote) Lookup(id naming.InterfaceID) (naming.InterfaceRef, error) {
+	term, res, err := r.b.Invoke(context.Background(), "Lookup", []values.Value{values.Str(id.String())})
+	if err != nil {
+		return naming.InterfaceRef{}, err
+	}
+	switch term {
+	case "OK":
+		return naming.RefFromValue(res[0])
+	case "Unknown":
+		return naming.InterfaceRef{}, fmt.Errorf("%w: %s", ErrUnknown, id)
+	}
+	return naming.InterfaceRef{}, remoteFailure("Lookup", res)
+}
+
+// Move relocates an interface at the remote relocator.
+func (r *Remote) Move(id naming.InterfaceID, to naming.Endpoint) (naming.InterfaceRef, error) {
+	term, res, err := r.b.Invoke(context.Background(), "Move", []values.Value{
+		values.Str(id.String()), values.Str(string(to)),
+	})
+	if err != nil {
+		return naming.InterfaceRef{}, err
+	}
+	switch term {
+	case "OK":
+		return naming.RefFromValue(res[0])
+	case "Unknown":
+		return naming.InterfaceRef{}, fmt.Errorf("%w: %s", ErrUnknown, id)
+	}
+	return naming.InterfaceRef{}, remoteFailure("Move", res)
+}
+
+// Remove deletes an interface's registration (fire-and-forget, like the
+// announcement it is).
+func (r *Remote) Remove(id naming.InterfaceID) {
+	_ = r.b.Announce(context.Background(), "Remove", []values.Value{values.Str(id.String())})
+}
+
+func remoteFailure(op string, res []values.Value) error {
+	reason := "unknown"
+	if len(res) == 1 {
+		if s, ok := res[0].AsString(); ok {
+			reason = s
+		}
+	}
+	return fmt.Errorf("relocator: remote %s failed: %s", op, reason)
+}

@@ -1,0 +1,225 @@
+package security
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/types"
+	"repro/internal/values"
+	"repro/internal/wire"
+)
+
+func echoType() *types.Interface {
+	return types.OpInterface("Echo",
+		types.Op("Echo", types.Params(types.P("x", values.TString())), types.Term("OK", types.P("x", values.TString()))),
+		types.Op("Admin", nil, types.Term("OK")),
+	)
+}
+
+type echoServant struct{}
+
+func (echoServant) Invoke(_ context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	if op == "Admin" {
+		return "OK", nil, nil
+	}
+	return "OK", []values.Value{args[0]}, nil
+}
+
+type secureEnv struct {
+	net    *netsim.Network
+	server *channel.Server
+	realm  *Realm
+	policy *Policy
+	audit  *AuditLog
+	ref    naming.InterfaceRef
+}
+
+func newSecureEnv(t *testing.T) *secureEnv {
+	t.Helper()
+	env := &secureEnv{
+		net:    netsim.New(1),
+		realm:  NewRealm(),
+		policy: NewPolicy(),
+		audit:  &AuditLog{},
+	}
+	env.realm.AddPrincipal("alice", []byte("alice-secret"))
+	env.realm.AddPrincipal("mallory", []byte("mallory-secret"))
+	env.policy.Allow("alice", "Echo")
+
+	l, err := env.net.Listen("sim://server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.server = channel.NewServer(l, channel.ServerConfig{
+		ReplayGuard: true,
+		Stages: []channel.Stage{
+			&VerifyStage{Realm: env.realm, Policy: env.policy, Audit: env.audit.Record},
+		},
+	})
+	id := naming.InterfaceID{Nonce: 1}
+	if err := env.server.Register(id, echoType(), echoServant{}); err != nil {
+		t.Fatal(err)
+	}
+	env.server.Start()
+	t.Cleanup(func() { env.server.Close() })
+	env.ref = naming.InterfaceRef{ID: id, TypeName: "Echo", Endpoint: "sim://server"}
+	return env
+}
+
+func (e *secureEnv) bindAs(t *testing.T, principal string, secret []byte) *channel.Binding {
+	t.Helper()
+	b, err := channel.Bind(e.ref, channel.BindConfig{
+		Transport: e.net,
+		Stages:    []channel.Stage{&SignStage{Principal: principal, Secret: secret}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+func TestAuthenticatedInvocation(t *testing.T) {
+	env := newSecureEnv(t)
+	b := env.bindAs(t, "alice", []byte("alice-secret"))
+	term, res, err := b.Invoke(context.Background(), "Echo", []values.Value{values.Str("hi")})
+	if err != nil || term != "OK" {
+		t.Fatalf("Invoke = %q, %v, %v", term, res, err)
+	}
+	ds := env.audit.Decisions()
+	if len(ds) != 1 || !ds[0].Allowed || ds[0].Principal != "alice" || ds[0].Operation != "Echo" {
+		t.Errorf("audit = %+v", ds)
+	}
+}
+
+func TestMissingCredentialRejected(t *testing.T) {
+	env := newSecureEnv(t)
+	b, err := channel.Bind(env.ref, channel.BindConfig{Transport: env.net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	_, _, err = b.Invoke(context.Background(), "Echo", []values.Value{values.Str("x")})
+	if !channel.IsRemote(err, channel.CodeAuth) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWrongSecretRejected(t *testing.T) {
+	env := newSecureEnv(t)
+	b := env.bindAs(t, "alice", []byte("wrong"))
+	_, _, err := b.Invoke(context.Background(), "Echo", []values.Value{values.Str("x")})
+	if !channel.IsRemote(err, channel.CodeAuth) {
+		t.Errorf("err = %v", err)
+	}
+	ds := env.audit.Decisions()
+	if len(ds) != 1 || ds[0].Allowed || ds[0].Reason != "bad credential" {
+		t.Errorf("audit = %+v", ds)
+	}
+}
+
+func TestUnknownPrincipalRejected(t *testing.T) {
+	env := newSecureEnv(t)
+	b := env.bindAs(t, "eve", []byte("whatever"))
+	_, _, err := b.Invoke(context.Background(), "Echo", []values.Value{values.Str("x")})
+	if !channel.IsRemote(err, channel.CodeAuth) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPolicyDeniesUnauthorizedOperation(t *testing.T) {
+	env := newSecureEnv(t)
+	// mallory authenticates fine but has no rights.
+	b := env.bindAs(t, "mallory", []byte("mallory-secret"))
+	_, _, err := b.Invoke(context.Background(), "Echo", []values.Value{values.Str("x")})
+	if !channel.IsRemote(err, channel.CodeAuth) {
+		t.Errorf("err = %v", err)
+	}
+	// alice may Echo but not Admin.
+	ba := env.bindAs(t, "alice", []byte("alice-secret"))
+	if _, _, err := ba.Invoke(context.Background(), "Admin", nil); !channel.IsRemote(err, channel.CodeAuth) {
+		t.Errorf("Admin = %v", err)
+	}
+	// Grant, call, revoke, call.
+	env.policy.Allow("alice", "Admin")
+	if _, _, err := ba.Invoke(context.Background(), "Admin", nil); err != nil {
+		t.Errorf("Admin after grant = %v", err)
+	}
+	env.policy.Revoke("alice", "Admin")
+	if _, _, err := ba.Invoke(context.Background(), "Admin", nil); !channel.IsRemote(err, channel.CodeAuth) {
+		t.Errorf("Admin after revoke = %v", err)
+	}
+}
+
+func TestWildcardPolicy(t *testing.T) {
+	p := NewPolicy()
+	p.Allow("root", "*")
+	if !p.Allowed("root", "Anything") {
+		t.Error("wildcard should allow")
+	}
+	if p.Allowed("other", "Anything") {
+		t.Error("unknown principal should be denied")
+	}
+	p.Revoke("root", "*")
+	if p.Allowed("root", "Anything") {
+		t.Error("revoked wildcard should deny")
+	}
+	p.Revoke("ghost", "x") // no-op
+}
+
+func TestRevokedPrincipal(t *testing.T) {
+	env := newSecureEnv(t)
+	b := env.bindAs(t, "alice", []byte("alice-secret"))
+	if _, _, err := b.Invoke(context.Background(), "Echo", []values.Value{values.Str("x")}); err != nil {
+		t.Fatal(err)
+	}
+	env.realm.RemovePrincipal("alice")
+	if _, _, err := b.Invoke(context.Background(), "Echo", []values.Value{values.Str("x")}); !channel.IsRemote(err, channel.CodeAuth) {
+		t.Errorf("after revocation = %v", err)
+	}
+}
+
+func TestCredentialBoundToMessage(t *testing.T) {
+	// A credential lifted from one message must not authenticate another
+	// operation: the MAC covers target, operation, binding and sequence.
+	secret := []byte("alice-secret")
+	m1 := &wire.Message{Kind: wire.Call, Operation: "Echo", BindingID: 1, Seq: 1, Correlation: 1}
+	m2 := &wire.Message{Kind: wire.Call, Operation: "Admin", BindingID: 1, Seq: 1, Correlation: 1}
+	mac1 := computeMAC(secret, "alice", m1)
+	mac2 := computeMAC(secret, "alice", m2)
+	if string(mac1) == string(mac2) {
+		t.Error("MACs for different operations must differ")
+	}
+	m3 := *m1
+	m3.Seq = 2
+	if string(computeMAC(secret, "alice", &m3)) == string(mac1) {
+		t.Error("MACs for different sequence numbers must differ")
+	}
+}
+
+func TestDecodeCredentialErrors(t *testing.T) {
+	if _, _, err := decodeCredential(nil); err == nil {
+		t.Error("nil credential should fail")
+	}
+	if _, _, err := decodeCredential([]byte{0, 5, 'a'}); err == nil {
+		t.Error("truncated credential should fail")
+	}
+	cred := encodeCredential("alice", make([]byte, macSize))
+	if p, mac, err := decodeCredential(cred); err != nil || p != "alice" || len(mac) != macSize {
+		t.Errorf("round trip = %q, %d, %v", p, len(mac), err)
+	}
+}
+
+func TestVerifyStagePassesRepliesThrough(t *testing.T) {
+	s := &VerifyStage{Realm: NewRealm(), Policy: NewPolicy()}
+	reply := &wire.Message{Kind: wire.Reply}
+	if err := s.Process(channel.Inbound, reply); err != nil {
+		t.Errorf("reply should pass: %v", err)
+	}
+	if err := s.Process(channel.Outbound, &wire.Message{Kind: wire.Call}); err != nil {
+		t.Errorf("outbound should pass: %v", err)
+	}
+}

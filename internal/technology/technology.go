@@ -1,0 +1,273 @@
+// Package technology implements the RM-ODP technology viewpoint
+// (Section 7 of the tutorial): "a technology specification of an ODP
+// system describes the implementation of that system and the information
+// required for testing".
+//
+// A Specification records the concrete technology choices (transport,
+// transfer syntax, platform, ...) as descriptor records, the requirements
+// those choices must satisfy (constraint expressions — e.g. "the chosen
+// codec must be canonical when interworking is claimed"), and the
+// conformance test cases to run at declared reference points. RM-ODP
+// distinguishes four classes of reference point at which conformance can
+// be tested: programmatic (an API), perceptual (a user or physical
+// interface), interworking (a protocol between systems) and interchange
+// (an exchange medium such as a file format).
+package technology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/constraint"
+	"repro/internal/values"
+)
+
+// Technology error sentinels.
+var (
+	ErrDuplicate    = errors.New("technology: duplicate declaration")
+	ErrNoSuchChoice = errors.New("technology: no such technology choice")
+	ErrBadDecl      = errors.New("technology: invalid declaration")
+	ErrNonConformed = errors.New("technology: specification does not conform")
+)
+
+// RefPointClass classifies a conformance reference point.
+type RefPointClass int
+
+// The four RM-ODP conformance reference point classes.
+const (
+	Programmatic RefPointClass = iota + 1
+	Perceptual
+	Interworking
+	Interchange
+)
+
+// String returns the class name.
+func (c RefPointClass) String() string {
+	switch c {
+	case Programmatic:
+		return "programmatic"
+	case Perceptual:
+		return "perceptual"
+	case Interworking:
+		return "interworking"
+	case Interchange:
+		return "interchange"
+	}
+	return fmt.Sprintf("refpointclass(%d)", int(c))
+}
+
+// Requirement constrains the technology choices: the expression is
+// evaluated over a record whose fields are the choice names, each bound
+// to its descriptor record.
+type Requirement struct {
+	Name      string
+	Condition string
+
+	cond *constraint.Expr
+}
+
+// TestCase is one conformance test exercised at a reference point.
+type TestCase struct {
+	Name string
+	At   RefPointClass
+	Run  func() error
+}
+
+// Result records one requirement evaluation or test execution.
+type Result struct {
+	Name   string
+	Kind   string // "requirement" or "test"
+	At     RefPointClass
+	Passed bool
+	Detail string
+}
+
+// Report is the outcome of a conformance assessment.
+type Report struct {
+	Results []Result
+}
+
+// Passed reports whether every requirement and test passed.
+func (r *Report) Passed() bool {
+	for _, res := range r.Results {
+		if !res.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures returns the failed results.
+func (r *Report) Failures() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if !res.Passed {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Specification is a technology specification under assessment.
+type Specification struct {
+	name string
+
+	mu           sync.Mutex
+	choices      map[string]values.Value
+	requirements []*Requirement
+	tests        []TestCase
+}
+
+// NewSpecification names a technology specification.
+func NewSpecification(name string) *Specification {
+	return &Specification{name: name, choices: make(map[string]values.Value)}
+}
+
+// Name returns the specification's name.
+func (s *Specification) Name() string { return s.name }
+
+// Choose records a technology choice: a named descriptor record, e.g.
+//
+//	spec.Choose("transport", values.Record(
+//		values.F("kind", values.Str("tcp")),
+//		values.F("reliable", values.Bool(true)),
+//	))
+func (s *Specification) Choose(name string, descriptor values.Value) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty choice name", ErrBadDecl)
+	}
+	if descriptor.Kind() != values.KindRecord {
+		return fmt.Errorf("%w: descriptor of %q must be a record", ErrBadDecl, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.choices[name] = descriptor
+	return nil
+}
+
+// Choice returns a recorded technology choice.
+func (s *Specification) Choice(name string) (values.Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.choices[name]
+	if !ok {
+		return values.Value{}, fmt.Errorf("%w: %q", ErrNoSuchChoice, name)
+	}
+	return d, nil
+}
+
+// Choices lists recorded choice names, sorted.
+func (s *Specification) Choices() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.choices))
+	for n := range s.choices {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Require adds a requirement over the choices.
+func (s *Specification) Require(r Requirement) error {
+	if r.Name == "" || r.Condition == "" {
+		return fmt.Errorf("%w: requirement needs a name and a condition", ErrBadDecl)
+	}
+	expr, err := constraint.Parse(r.Condition)
+	if err != nil {
+		return fmt.Errorf("%w: requirement %q: %v", ErrBadDecl, r.Name, err)
+	}
+	r.cond = expr
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, existing := range s.requirements {
+		if existing.Name == r.Name {
+			return fmt.Errorf("%w: requirement %q", ErrDuplicate, r.Name)
+		}
+	}
+	cp := r
+	s.requirements = append(s.requirements, &cp)
+	return nil
+}
+
+// AddTest registers a conformance test case.
+func (s *Specification) AddTest(tc TestCase) error {
+	if tc.Name == "" || tc.Run == nil {
+		return fmt.Errorf("%w: test needs a name and a body", ErrBadDecl)
+	}
+	switch tc.At {
+	case Programmatic, Perceptual, Interworking, Interchange:
+	default:
+		return fmt.Errorf("%w: test %q has invalid reference point", ErrBadDecl, tc.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, existing := range s.tests {
+		if existing.Name == tc.Name {
+			return fmt.Errorf("%w: test %q", ErrDuplicate, tc.Name)
+		}
+	}
+	s.tests = append(s.tests, tc)
+	return nil
+}
+
+// Assess evaluates every requirement against the choices and runs every
+// conformance test, returning the full report.
+func (s *Specification) Assess() *Report {
+	s.mu.Lock()
+	fields := make([]values.Field, 0, len(s.choices))
+	names := make([]string, 0, len(s.choices))
+	for n := range s.choices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fields = append(fields, values.F(n, s.choices[n]))
+	}
+	env := values.Record(fields...)
+	reqs := append([]*Requirement(nil), s.requirements...)
+	tests := append([]TestCase(nil), s.tests...)
+	s.mu.Unlock()
+
+	rep := &Report{}
+	for _, r := range reqs {
+		res := Result{Name: r.Name, Kind: "requirement"}
+		ok, err := r.cond.Matches(env)
+		switch {
+		case err != nil:
+			res.Detail = err.Error()
+		case ok:
+			res.Passed = true
+		default:
+			res.Detail = "condition not satisfied"
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	for _, tc := range tests {
+		res := Result{Name: tc.Name, Kind: "test", At: tc.At}
+		if err := tc.Run(); err != nil {
+			res.Detail = err.Error()
+		} else {
+			res.Passed = true
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// MustConform runs Assess and returns an error naming the failures, for
+// deployment pipelines that refuse to install non-conforming technology.
+func (s *Specification) MustConform() error {
+	rep := s.Assess()
+	if rep.Passed() {
+		return nil
+	}
+	fails := rep.Failures()
+	names := make([]string, len(fails))
+	for i, f := range fails {
+		names[i] = f.Name
+	}
+	return fmt.Errorf("%w: %s: failed %v", ErrNonConformed, s.name, names)
+}

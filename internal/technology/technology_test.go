@@ -1,0 +1,182 @@
+package technology
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/values"
+)
+
+func spec(t *testing.T) *Specification {
+	t.Helper()
+	s := NewSpecification("node-alpha")
+	if err := s.Choose("transport", values.Record(
+		values.F("kind", values.Str("tcp")),
+		values.F("reliable", values.Bool(true)),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Choose("codec", values.Record(
+		values.F("name", values.Str("canonical")),
+		values.F("byte_order", values.Str("big")),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestChoices(t *testing.T) {
+	s := spec(t)
+	if s.Name() != "node-alpha" {
+		t.Errorf("name = %q", s.Name())
+	}
+	got := s.Choices()
+	if len(got) != 2 || got[0] != "codec" || got[1] != "transport" {
+		t.Errorf("choices = %v", got)
+	}
+	d, err := s.Choice("codec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.FieldByName("name"); !n.Equal(values.Str("canonical")) {
+		t.Errorf("codec = %v", d)
+	}
+	if _, err := s.Choice("ghost"); !errors.Is(err, ErrNoSuchChoice) {
+		t.Errorf("ghost choice = %v", err)
+	}
+	if err := s.Choose("", values.Record()); !errors.Is(err, ErrBadDecl) {
+		t.Errorf("empty name = %v", err)
+	}
+	if err := s.Choose("x", values.Int(1)); !errors.Is(err, ErrBadDecl) {
+		t.Errorf("non-record descriptor = %v", err)
+	}
+}
+
+func TestRequirements(t *testing.T) {
+	s := spec(t)
+	if err := s.Require(Requirement{
+		Name:      "interworking-needs-canonical",
+		Condition: "codec.name == 'canonical'",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Require(Requirement{
+		Name:      "reliable-transport",
+		Condition: "transport.reliable",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Assess()
+	if !rep.Passed() || len(rep.Results) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if err := s.MustConform(); err != nil {
+		t.Errorf("MustConform = %v", err)
+	}
+	// A failing requirement.
+	if err := s.Require(Requirement{Name: "impossible", Condition: "codec.name == 'exotic'"}); err != nil {
+		t.Fatal(err)
+	}
+	rep = s.Assess()
+	if rep.Passed() {
+		t.Error("report should fail")
+	}
+	fails := rep.Failures()
+	if len(fails) != 1 || fails[0].Name != "impossible" || fails[0].Kind != "requirement" {
+		t.Errorf("failures = %+v", fails)
+	}
+	if err := s.MustConform(); !errors.Is(err, ErrNonConformed) {
+		t.Errorf("MustConform = %v", err)
+	}
+	// A requirement over a missing choice reports the evaluation error.
+	if err := s.Require(Requirement{Name: "ghostly", Condition: "ghost.prop == 1"}); err != nil {
+		t.Fatal(err)
+	}
+	rep = s.Assess()
+	var found bool
+	for _, r := range rep.Results {
+		if r.Name == "ghostly" && !r.Passed && r.Detail != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("evaluation error should be reported")
+	}
+}
+
+func TestRequirementValidation(t *testing.T) {
+	s := spec(t)
+	if err := s.Require(Requirement{Name: "", Condition: "true"}); !errors.Is(err, ErrBadDecl) {
+		t.Errorf("unnamed = %v", err)
+	}
+	if err := s.Require(Requirement{Name: "x", Condition: "(("}); !errors.Is(err, ErrBadDecl) {
+		t.Errorf("bad condition = %v", err)
+	}
+	if err := s.Require(Requirement{Name: "x", Condition: "true"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Require(Requirement{Name: "x", Condition: "true"}); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("dup = %v", err)
+	}
+}
+
+func TestConformanceTests(t *testing.T) {
+	s := spec(t)
+	ran := map[string]bool{}
+	if err := s.AddTest(TestCase{
+		Name: "api-smoke", At: Programmatic,
+		Run: func() error { ran["api"] = true; return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTest(TestCase{
+		Name: "wire-interop", At: Interworking,
+		Run: func() error { ran["wire"] = true; return errors.New("peer rejected frame") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Assess()
+	if !ran["api"] || !ran["wire"] {
+		t.Error("tests did not run")
+	}
+	if rep.Passed() {
+		t.Error("failing test should fail the report")
+	}
+	fails := rep.Failures()
+	if len(fails) != 1 || fails[0].Name != "wire-interop" || fails[0].At != Interworking ||
+		fails[0].Detail != "peer rejected frame" {
+		t.Errorf("failures = %+v", fails)
+	}
+}
+
+func TestAddTestValidation(t *testing.T) {
+	s := spec(t)
+	if err := s.AddTest(TestCase{Name: "", At: Programmatic, Run: func() error { return nil }}); !errors.Is(err, ErrBadDecl) {
+		t.Errorf("unnamed = %v", err)
+	}
+	if err := s.AddTest(TestCase{Name: "x", At: Programmatic}); !errors.Is(err, ErrBadDecl) {
+		t.Errorf("no body = %v", err)
+	}
+	if err := s.AddTest(TestCase{Name: "x", At: RefPointClass(9), Run: func() error { return nil }}); !errors.Is(err, ErrBadDecl) {
+		t.Errorf("bad refpoint = %v", err)
+	}
+	ok := TestCase{Name: "x", At: Interchange, Run: func() error { return nil }}
+	if err := s.AddTest(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTest(ok); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("dup = %v", err)
+	}
+}
+
+func TestRefPointClassString(t *testing.T) {
+	for c, want := range map[RefPointClass]string{
+		Programmatic: "programmatic", Perceptual: "perceptual",
+		Interworking: "interworking", Interchange: "interchange",
+		RefPointClass(9): "refpointclass(9)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("%d = %q, want %q", int(c), got, want)
+		}
+	}
+}

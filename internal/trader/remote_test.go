@@ -1,0 +1,154 @@
+package trader
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/engineering"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/relocator"
+	"repro/internal/values"
+)
+
+// deployTrader hosts a trader as an infrastructure object on a node and
+// returns a Remote proxy bound to it.
+func deployTrader(t *testing.T, net *netsim.Network, reloc *relocator.Relocator, host string, tr *Trader) (*Remote, naming.InterfaceRef) {
+	t.Helper()
+	node, err := engineering.NewNode(engineering.NodeConfig{
+		ID:        naming.NodeID(host),
+		Endpoint:  naming.Endpoint("sim://" + host),
+		Transport: net.From(host),
+		Locations: reloc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	node.Behaviors().Register("odp.trader", func(values.Value) (engineering.Behavior, error) {
+		return &Servant{T: tr}, nil
+	})
+	capsule, err := node.CreateCapsule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := capsule.CreateCluster(engineering.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := cluster.CreateObject("odp.trader", values.Null())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := obj.AddInterface(InterfaceType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := node.Bind(ref, channel.BindConfig{Type: InterfaceType(), Locator: reloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := NewRemote(b)
+	t.Cleanup(func() { remote.Close() })
+	return remote, ref
+}
+
+func TestRemoteTraderEndToEnd(t *testing.T) {
+	net := netsim.New(1)
+	reloc := relocator.New()
+	repo := repoWithBank(t)
+	tr := New("T1", repo)
+	remote, _ := deployTrader(t, net, reloc, "traderhost", tr)
+
+	// Export through the channel.
+	id, err := remote.Export("BankTeller", refOf("BankTeller", 7),
+		rec(values.F("queue", values.Int(2))))
+	if err != nil {
+		t.Fatalf("remote Export: %v", err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("trader offers = %d", tr.Len())
+	}
+	// Import through the channel: constraint + preference survive the trip.
+	offers, err := remote.Import(ImportRequest{
+		ServiceType: "BankTeller",
+		Constraint:  "queue < 5",
+		Preference:  Preference{Kind: PrefMin, Expr: "queue"},
+	})
+	if err != nil || len(offers) != 1 {
+		t.Fatalf("remote Import = %v, %v", offers, err)
+	}
+	got := offers[0]
+	if got.ID != id || got.ServiceType != "BankTeller" || got.Ref.ID.Nonce != 7 {
+		t.Errorf("offer = %+v", got)
+	}
+	if q, ok := got.Properties.FieldByName("queue"); !ok || !q.Equal(values.Int(2)) {
+		t.Errorf("properties = %v", got.Properties)
+	}
+	// Remote failure surfaces as an error.
+	if _, err := remote.Import(ImportRequest{ServiceType: "Ghost"}); err == nil {
+		t.Error("import of unknown type should fail")
+	}
+	if _, err := remote.Export("Ghost", refOf("Ghost", 9), values.Null()); err == nil {
+		t.Error("export of unknown type should fail")
+	}
+	if err := remote.Withdraw("nope"); err == nil {
+		t.Error("withdraw of unknown offer should fail")
+	}
+	// Withdraw through the channel.
+	if err := remote.Withdraw(id); err != nil {
+		t.Fatalf("remote Withdraw: %v", err)
+	}
+	if tr.Len() != 0 {
+		t.Errorf("offers after withdraw = %d", tr.Len())
+	}
+}
+
+func TestCrossNodeFederationViaRemote(t *testing.T) {
+	// Two traders on different nodes, federated through a Remote proxy —
+	// the full "interworking between trading domains" picture.
+	net := netsim.New(2)
+	reloc := relocator.New()
+	repo := repoWithBank(t)
+	t1 := New("T1", repo)
+	t2 := New("T2", repo)
+	_, _ = deployTrader(t, net, reloc, "host1", t1)
+	remote2, _ := deployTrader(t, net, reloc, "host2", t2)
+
+	// T1 links to T2 through the network.
+	t1.Link("t2", remote2)
+	if _, err := t2.Export("BankManager", refOf("BankManager", 5), values.Null()); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := t1.Import(ImportRequest{ServiceType: "BankTeller", MaxHops: 1})
+	if err != nil {
+		t.Fatalf("federated import: %v", err)
+	}
+	if len(offers) != 1 || offers[0].Ref.ID.Nonce != 5 {
+		t.Errorf("offers = %v", nonces(offers))
+	}
+}
+
+func TestOfferValueRoundTrip(t *testing.T) {
+	o := Offer{
+		ID:          "T1/9",
+		ServiceType: "BankTeller",
+		Ref:         refOf("BankManager", 3),
+		Properties:  rec(values.F("queue", values.Int(1))),
+	}
+	got, err := offerFromValue(offerToValue(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != o.ID || got.ServiceType != o.ServiceType || got.Ref != o.Ref ||
+		!got.Properties.Equal(o.Properties) {
+		t.Errorf("round trip: %+v vs %+v", got, o)
+	}
+	// Malformed offers fail to decode.
+	if _, err := offerFromValue(values.Record()); err == nil {
+		t.Error("empty record should fail")
+	}
+	if _, err := offerFromValue(values.Record(values.F("id", values.Str("x")))); err == nil {
+		t.Error("missing fields should fail")
+	}
+}

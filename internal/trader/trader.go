@@ -1,0 +1,421 @@
+// Package trader implements the ODP Trading function (Section 8.3.2 of
+// the tutorial): "a dating service for objects".
+//
+// Server objects advertise services by exporting offers — an interface
+// reference plus a service type and a property list. Client objects import
+// by service type and a constraint over the properties (package
+// constraint); matching uses the type repository's substitutability
+// relation, so an offer of a subtype satisfies an import of its supertype
+// (the BankManager-for-BankTeller rule of Figure 3). Traders federate
+// through links, giving hop-bounded import propagation across trading
+// domains.
+package trader
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/constraint"
+	"repro/internal/naming"
+	"repro/internal/typerepo"
+	"repro/internal/values"
+)
+
+// Trader error sentinels.
+var (
+	ErrNoSuchOffer  = errors.New("trader: no such offer")
+	ErrTypeUnknown  = errors.New("trader: service type not in type repository")
+	ErrTypeMismatch = errors.New("trader: offered interface does not substitute for service type")
+	ErrBadRequest   = errors.New("trader: invalid import request")
+	ErrBadProps     = errors.New("trader: offer properties must be a record")
+)
+
+// Offer is one service advertisement held by a trader.
+type Offer struct {
+	ID          string              // unique within the federation: "<trader>/<seq>"
+	ServiceType string              // advertised service type name
+	Ref         naming.InterfaceRef // the offered interface
+	Properties  values.Value        // record of service attributes
+}
+
+// PreferenceKind orders the matched offers of an import.
+type PreferenceKind int
+
+// The preference rules: first (export order), random, max/min of a
+// numeric expression over the offer properties.
+const (
+	PrefFirst PreferenceKind = iota
+	PrefRandom
+	PrefMax
+	PrefMin
+)
+
+// Preference selects among matching offers.
+type Preference struct {
+	Kind PreferenceKind
+	Expr string // for PrefMax/PrefMin: numeric expression over properties
+}
+
+// ImportRequest is a client's service request.
+type ImportRequest struct {
+	// ServiceType names the wanted interface type. Offers whose advertised
+	// type substitutes for it (per the type repository) match.
+	ServiceType string
+	// Constraint filters offers by their properties ("" = all).
+	Constraint string
+	// Preference orders the matches.
+	Preference Preference
+	// MaxMatches bounds the result (0 = all).
+	MaxMatches int
+	// MaxHops bounds federation traversal: 0 searches only this trader.
+	MaxHops int
+}
+
+// Importer is anything that can answer an import — a local trader or a
+// proxy to a remote one. Federation links hold Importers.
+type Importer interface {
+	Import(req ImportRequest) ([]Offer, error)
+}
+
+// Stats counts trading activity.
+type Stats struct {
+	Exports    uint64
+	Withdraws  uint64
+	Imports    uint64
+	Matched    uint64
+	Federated  uint64 // imports forwarded to linked traders
+	Considered uint64 // offers examined during matching
+}
+
+// Trader is a repository of service offers with type-checked matching and
+// hop-bounded federation.
+type Trader struct {
+	name  string
+	types *typerepo.Repository
+
+	mu      sync.RWMutex
+	offers  map[string]*Offer
+	order   []string // export order, for PrefFirst and deterministic scans
+	links   map[string]Importer
+	nextID  uint64
+	rng     *rand.Rand
+	exports uint64
+	withdrs uint64
+	imports uint64
+	matched uint64
+	feder   uint64
+	consid  uint64
+}
+
+// New creates a trader backed by a type repository. The name prefixes
+// offer identifiers and must be unique within a federation.
+func New(name string, repo *typerepo.Repository) *Trader {
+	seed := int64(1)
+	for _, c := range name {
+		seed = seed*31 + int64(c)
+	}
+	return &Trader{
+		name:   name,
+		types:  repo,
+		offers: make(map[string]*Offer),
+		links:  make(map[string]Importer),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name returns the trader's name.
+func (t *Trader) Name() string { return t.name }
+
+// Export advertises a service: the interface in ref, offered as
+// serviceType, with the given properties (a record value, or Null for
+// none). The advertised type and the interface's actual type must both be
+// registered, and the actual type must substitute for the advertised one.
+func (t *Trader) Export(serviceType string, ref naming.InterfaceRef, props values.Value) (string, error) {
+	if props.IsNull() {
+		props = values.Record()
+	}
+	if props.Kind() != values.KindRecord {
+		return "", fmt.Errorf("%w: got %v", ErrBadProps, props.Kind())
+	}
+	if _, err := t.types.LookupInterface(serviceType); err != nil {
+		return "", fmt.Errorf("%w: %q", ErrTypeUnknown, serviceType)
+	}
+	if ref.TypeName != serviceType {
+		ok, err := t.types.IsSubtype(ref.TypeName, serviceType)
+		if err != nil {
+			return "", fmt.Errorf("%w: %q", ErrTypeUnknown, ref.TypeName)
+		}
+		if !ok {
+			return "", fmt.Errorf("%w: %q as %q", ErrTypeMismatch, ref.TypeName, serviceType)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := fmt.Sprintf("%s/%d", t.name, t.nextID)
+	t.offers[id] = &Offer{ID: id, ServiceType: serviceType, Ref: ref, Properties: props}
+	t.order = append(t.order, id)
+	t.exports++
+	return id, nil
+}
+
+// Withdraw removes an offer.
+func (t *Trader) Withdraw(offerID string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.offers[offerID]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchOffer, offerID)
+	}
+	delete(t.offers, offerID)
+	for i, id := range t.order {
+		if id == offerID {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	t.withdrs++
+	return nil
+}
+
+// Modify replaces an offer's properties.
+func (t *Trader) Modify(offerID string, props values.Value) error {
+	if props.IsNull() {
+		props = values.Record()
+	}
+	if props.Kind() != values.KindRecord {
+		return fmt.Errorf("%w: got %v", ErrBadProps, props.Kind())
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o, ok := t.offers[offerID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchOffer, offerID)
+	}
+	o.Properties = props
+	return nil
+}
+
+// Offer returns a copy of the identified offer.
+func (t *Trader) Offer(offerID string) (Offer, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	o, ok := t.offers[offerID]
+	if !ok {
+		return Offer{}, fmt.Errorf("%w: %q", ErrNoSuchOffer, offerID)
+	}
+	return *o, nil
+}
+
+// Len returns the number of offers held.
+func (t *Trader) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.offers)
+}
+
+// Link federates this trader with another (or with a proxy to a remote
+// one). Imports with MaxHops > 0 propagate along links.
+func (t *Trader) Link(name string, target Importer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.links[name] = target
+}
+
+// Unlink removes a federation link.
+func (t *Trader) Unlink(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.links, name)
+}
+
+// Links returns the sorted names of federation links.
+func (t *Trader) Links() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.links))
+	for n := range t.links {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Import finds offers matching the request: correct (sub)type, constraint
+// satisfied, ordered by the preference, truncated to MaxMatches, searching
+// linked traders up to MaxHops away.
+func (t *Trader) Import(req ImportRequest) ([]Offer, error) {
+	if req.ServiceType == "" {
+		return nil, fmt.Errorf("%w: empty service type", ErrBadRequest)
+	}
+	if req.MaxMatches < 0 || req.MaxHops < 0 {
+		return nil, fmt.Errorf("%w: negative bounds", ErrBadRequest)
+	}
+	expr, err := constraint.Parse(req.Constraint)
+	if err != nil {
+		return nil, err
+	}
+	var prefExpr *constraint.Expr
+	if req.Preference.Kind == PrefMax || req.Preference.Kind == PrefMin {
+		prefExpr, err = constraint.Parse(req.Preference.Expr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := t.types.LookupInterface(req.ServiceType); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrTypeUnknown, req.ServiceType)
+	}
+
+	t.mu.Lock()
+	t.imports++
+	t.mu.Unlock()
+
+	matches, err := t.localMatches(req.ServiceType, expr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Federation: propagate with a decremented hop budget and merge,
+	// deduplicating by offer id (diamond topologies would otherwise
+	// duplicate).
+	if req.MaxHops > 0 {
+		t.mu.RLock()
+		linked := make([]Importer, 0, len(t.links))
+		for _, imp := range t.links {
+			linked = append(linked, imp)
+		}
+		t.mu.RUnlock()
+		seen := make(map[string]bool, len(matches))
+		for _, o := range matches {
+			seen[o.ID] = true
+		}
+		sub := req
+		sub.MaxHops = req.MaxHops - 1
+		sub.MaxMatches = 0 // collect everything; order and truncate at the origin
+		sub.Preference = Preference{}
+		for _, imp := range linked {
+			t.mu.Lock()
+			t.feder++
+			t.mu.Unlock()
+			remote, err := imp.Import(sub)
+			if err != nil {
+				continue // a dead federation partner must not fail the import
+			}
+			for _, o := range remote {
+				if !seen[o.ID] {
+					seen[o.ID] = true
+					matches = append(matches, o)
+				}
+			}
+		}
+	}
+
+	if err := t.orderMatches(matches, req.Preference, prefExpr); err != nil {
+		return nil, err
+	}
+	if req.MaxMatches > 0 && len(matches) > req.MaxMatches {
+		matches = matches[:req.MaxMatches]
+	}
+	t.mu.Lock()
+	t.matched += uint64(len(matches))
+	t.mu.Unlock()
+	return matches, nil
+}
+
+func (t *Trader) localMatches(serviceType string, expr *constraint.Expr) ([]Offer, error) {
+	t.mu.RLock()
+	ids := make([]string, len(t.order))
+	copy(ids, t.order)
+	offers := make([]*Offer, 0, len(ids))
+	for _, id := range ids {
+		offers = append(offers, t.offers[id])
+	}
+	t.mu.RUnlock()
+
+	var out []Offer
+	defer func(n int) {
+		t.mu.Lock()
+		t.consid += uint64(n)
+		t.mu.Unlock()
+	}(len(offers))
+	for _, o := range offers {
+		if o.ServiceType != serviceType {
+			ok, err := t.types.IsSubtype(o.ServiceType, serviceType)
+			if err != nil || !ok {
+				continue
+			}
+		}
+		ok, err := expr.Matches(o.Properties)
+		if err != nil {
+			// A constraint referencing properties this offer lacks simply
+			// does not match it; true evaluation errors (type abuse) do the
+			// same rather than failing the whole import.
+			continue
+		}
+		if ok {
+			out = append(out, *o)
+		}
+	}
+	return out, nil
+}
+
+func (t *Trader) orderMatches(matches []Offer, pref Preference, prefExpr *constraint.Expr) error {
+	switch pref.Kind {
+	case PrefFirst:
+		// already in export order (local first, then federation arrivals)
+		return nil
+	case PrefRandom:
+		t.mu.Lock()
+		t.rng.Shuffle(len(matches), func(i, j int) {
+			matches[i], matches[j] = matches[j], matches[i]
+		})
+		t.mu.Unlock()
+		return nil
+	case PrefMax, PrefMin:
+		type scored struct {
+			offer Offer
+			score float64
+			ok    bool
+		}
+		rows := make([]scored, len(matches))
+		for i, o := range matches {
+			rows[i] = scored{offer: o}
+			v, err := prefExpr.Eval(o.Properties)
+			if err != nil {
+				continue // unscoreable offers sort last
+			}
+			rows[i].score, rows[i].ok = constraint.AsFloat(v)
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			si, sj := rows[i], rows[j]
+			if si.ok != sj.ok {
+				return si.ok // scoreable offers ahead of unscoreable
+			}
+			if pref.Kind == PrefMax {
+				return si.score > sj.score
+			}
+			return si.score < sj.score
+		})
+		for i, r := range rows {
+			matches[i] = r.offer
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: unknown preference %d", ErrBadRequest, pref.Kind)
+}
+
+// Stats returns a snapshot of trading counters.
+func (t *Trader) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return Stats{
+		Exports:    t.exports,
+		Withdraws:  t.withdrs,
+		Imports:    t.imports,
+		Matched:    t.matched,
+		Federated:  t.feder,
+		Considered: t.consid,
+	}
+}

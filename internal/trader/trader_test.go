@@ -1,0 +1,376 @@
+package trader
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/naming"
+	"repro/internal/typerepo"
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+func tellerT() *types.Interface {
+	return types.OpInterface("BankTeller",
+		types.Op("Deposit",
+			types.Params(types.P("a", values.TString()), types.P("d", values.TInt())),
+			types.Term("OK", types.P("b", values.TInt())),
+		),
+	)
+}
+
+func managerT() *types.Interface {
+	return types.Extend("BankManager", tellerT(),
+		types.Op("CreateAccount",
+			types.Params(types.P("c", values.TString())),
+			types.Term("OK", types.P("a", values.TString())),
+		),
+	)
+}
+
+func printerT() *types.Interface {
+	return types.OpInterface("Printer", types.Announce("Print", types.P("doc", values.TBytes())))
+}
+
+func repoWithBank(t *testing.T) *typerepo.Repository {
+	t.Helper()
+	repo := typerepo.New()
+	for _, it := range []*types.Interface{tellerT(), managerT(), printerT()} {
+		if err := repo.RegisterInterface(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return repo
+}
+
+func refOf(typeName string, nonce uint64) naming.InterfaceRef {
+	return naming.InterfaceRef{
+		ID: naming.InterfaceID{
+			Object: naming.ObjectID{
+				Cluster: naming.ClusterID{Capsule: naming.CapsuleID{Node: "n", Seq: 0}, Seq: 0},
+				Seq:     0,
+			},
+			Seq:   0,
+			Nonce: nonce,
+		},
+		TypeName: typeName,
+		Endpoint: "sim://n",
+	}
+}
+
+func rec(fs ...values.Field) values.Value { return values.Record(fs...) }
+
+func TestExportImportBasic(t *testing.T) {
+	tr := New("T1", repoWithBank(t))
+	id, err := tr.Export("BankTeller", refOf("BankTeller", 1),
+		rec(values.F("branch", values.Str("cbd")), values.F("queue", values.Int(3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	got, err := tr.Offer(id)
+	if err != nil || got.ServiceType != "BankTeller" {
+		t.Errorf("Offer = %+v, %v", got, err)
+	}
+	offers, err := tr.Import(ImportRequest{ServiceType: "BankTeller"})
+	if err != nil || len(offers) != 1 {
+		t.Fatalf("Import = %v, %v", offers, err)
+	}
+	if offers[0].Ref.ID.Nonce != 1 {
+		t.Errorf("ref = %+v", offers[0].Ref)
+	}
+}
+
+func TestExportTypeChecking(t *testing.T) {
+	tr := New("T1", repoWithBank(t))
+	// Subtype substitutability: a BankManager interface may be offered as
+	// a BankTeller service.
+	if _, err := tr.Export("BankTeller", refOf("BankManager", 1), values.Null()); err != nil {
+		t.Errorf("manager-as-teller export: %v", err)
+	}
+	// But not the reverse.
+	if _, err := tr.Export("BankManager", refOf("BankTeller", 2), values.Null()); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("teller-as-manager export = %v", err)
+	}
+	// Unknown types are rejected.
+	if _, err := tr.Export("Ghost", refOf("Ghost", 3), values.Null()); !errors.Is(err, ErrTypeUnknown) {
+		t.Errorf("unknown service type = %v", err)
+	}
+	if _, err := tr.Export("BankTeller", refOf("Ghost", 4), values.Null()); !errors.Is(err, ErrTypeUnknown) {
+		t.Errorf("unknown offered type = %v", err)
+	}
+	// Properties must be a record (or null).
+	if _, err := tr.Export("BankTeller", refOf("BankTeller", 5), values.Int(3)); !errors.Is(err, ErrBadProps) {
+		t.Errorf("non-record props = %v", err)
+	}
+}
+
+func TestImportSubtypeMatching(t *testing.T) {
+	tr := New("T1", repoWithBank(t))
+	if _, err := tr.Export("BankTeller", refOf("BankTeller", 1), values.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Export("BankManager", refOf("BankManager", 2), values.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Export("Printer", refOf("Printer", 3), values.Null()); err != nil {
+		t.Fatal(err)
+	}
+	// Importing BankTeller finds both the teller and the manager offer.
+	offers, err := tr.Import(ImportRequest{ServiceType: "BankTeller"})
+	if err != nil || len(offers) != 2 {
+		t.Fatalf("Import teller = %d offers, %v", len(offers), err)
+	}
+	// Importing BankManager finds only the manager.
+	offers, err = tr.Import(ImportRequest{ServiceType: "BankManager"})
+	if err != nil || len(offers) != 1 || offers[0].Ref.ID.Nonce != 2 {
+		t.Fatalf("Import manager = %v, %v", offers, err)
+	}
+	// Unknown service type.
+	if _, err := tr.Import(ImportRequest{ServiceType: "Ghost"}); !errors.Is(err, ErrTypeUnknown) {
+		t.Errorf("unknown import = %v", err)
+	}
+	if _, err := tr.Import(ImportRequest{}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("empty import = %v", err)
+	}
+	if _, err := tr.Import(ImportRequest{ServiceType: "BankTeller", MaxHops: -1}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("negative hops = %v", err)
+	}
+}
+
+func TestImportConstraints(t *testing.T) {
+	tr := New("T1", repoWithBank(t))
+	for i, queue := range []int64{5, 1, 9} {
+		_, err := tr.Export("BankTeller", refOf("BankTeller", uint64(i+1)),
+			rec(values.F("queue", values.Int(queue)), values.F("branch", values.Str(fmt.Sprintf("b%d", i)))))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	offers, err := tr.Import(ImportRequest{ServiceType: "BankTeller", Constraint: "queue < 6"})
+	if err != nil || len(offers) != 2 {
+		t.Fatalf("constrained import = %d, %v", len(offers), err)
+	}
+	offers, err = tr.Import(ImportRequest{ServiceType: "BankTeller", Constraint: "branch == 'b1'"})
+	if err != nil || len(offers) != 1 || offers[0].Ref.ID.Nonce != 2 {
+		t.Fatalf("string constraint = %v, %v", offers, err)
+	}
+	// A constraint referencing a missing property matches nothing (not an error).
+	offers, err = tr.Import(ImportRequest{ServiceType: "BankTeller", Constraint: "missing == 1"})
+	if err != nil || len(offers) != 0 {
+		t.Fatalf("missing-prop constraint = %v, %v", offers, err)
+	}
+	// A syntactically bad constraint is an error.
+	if _, err := tr.Import(ImportRequest{ServiceType: "BankTeller", Constraint: "(("}); !errors.Is(err, constraint.ErrSyntax) {
+		t.Errorf("bad constraint = %v", err)
+	}
+}
+
+func TestImportPreferences(t *testing.T) {
+	tr := New("T1", repoWithBank(t))
+	for i, queue := range []int64{5, 1, 9} {
+		if _, err := tr.Export("BankTeller", refOf("BankTeller", uint64(i+1)),
+			rec(values.F("queue", values.Int(queue)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Min queue first.
+	offers, err := tr.Import(ImportRequest{
+		ServiceType: "BankTeller",
+		Preference:  Preference{Kind: PrefMin, Expr: "queue"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offers[0].Ref.ID.Nonce != 2 || offers[2].Ref.ID.Nonce != 3 {
+		t.Errorf("min order = %v", nonces(offers))
+	}
+	// Max queue first, truncated.
+	offers, err = tr.Import(ImportRequest{
+		ServiceType: "BankTeller",
+		Preference:  Preference{Kind: PrefMax, Expr: "queue"},
+		MaxMatches:  1,
+	})
+	if err != nil || len(offers) != 1 || offers[0].Ref.ID.Nonce != 3 {
+		t.Errorf("max truncated = %v, %v", nonces(offers), err)
+	}
+	// First preserves export order.
+	offers, err = tr.Import(ImportRequest{ServiceType: "BankTeller"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offers[0].Ref.ID.Nonce != 1 || offers[1].Ref.ID.Nonce != 2 {
+		t.Errorf("first order = %v", nonces(offers))
+	}
+	// Random returns all offers, just permuted.
+	offers, err = tr.Import(ImportRequest{
+		ServiceType: "BankTeller",
+		Preference:  Preference{Kind: PrefRandom},
+	})
+	if err != nil || len(offers) != 3 {
+		t.Errorf("random = %v, %v", nonces(offers), err)
+	}
+	// Bad preference expression is an error.
+	if _, err := tr.Import(ImportRequest{
+		ServiceType: "BankTeller",
+		Preference:  Preference{Kind: PrefMax, Expr: "(("},
+	}); !errors.Is(err, constraint.ErrSyntax) {
+		t.Errorf("bad pref expr = %v", err)
+	}
+	// Offers that cannot be scored sort after those that can.
+	if _, err := tr.Export("BankTeller", refOf("BankTeller", 4), values.Null()); err != nil {
+		t.Fatal(err)
+	}
+	offers, err = tr.Import(ImportRequest{
+		ServiceType: "BankTeller",
+		Preference:  Preference{Kind: PrefMin, Expr: "queue"},
+	})
+	if err != nil || offers[len(offers)-1].Ref.ID.Nonce != 4 {
+		t.Errorf("unscoreable ordering = %v, %v", nonces(offers), err)
+	}
+}
+
+func nonces(offers []Offer) []uint64 {
+	out := make([]uint64, len(offers))
+	for i, o := range offers {
+		out[i] = o.Ref.ID.Nonce
+	}
+	return out
+}
+
+func TestWithdrawAndModify(t *testing.T) {
+	tr := New("T1", repoWithBank(t))
+	id, err := tr.Export("BankTeller", refOf("BankTeller", 1), rec(values.F("queue", values.Int(9))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Modify(id, rec(values.F("queue", values.Int(1)))); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := tr.Import(ImportRequest{ServiceType: "BankTeller", Constraint: "queue == 1"})
+	if err != nil || len(offers) != 1 {
+		t.Fatalf("after modify = %v, %v", offers, err)
+	}
+	if err := tr.Modify(id, values.Int(1)); !errors.Is(err, ErrBadProps) {
+		t.Errorf("bad modify = %v", err)
+	}
+	if err := tr.Withdraw(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Withdraw(id); !errors.Is(err, ErrNoSuchOffer) {
+		t.Errorf("double withdraw = %v", err)
+	}
+	if err := tr.Modify(id, values.Null()); !errors.Is(err, ErrNoSuchOffer) {
+		t.Errorf("modify withdrawn = %v", err)
+	}
+	if _, err := tr.Offer(id); !errors.Is(err, ErrNoSuchOffer) {
+		t.Errorf("offer withdrawn = %v", err)
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestFederation(t *testing.T) {
+	repo := repoWithBank(t)
+	t1 := New("T1", repo)
+	t2 := New("T2", repo)
+	t3 := New("T3", repo)
+	// Chain T1 -> T2 -> T3.
+	t1.Link("t2", t2)
+	t2.Link("t3", t3)
+	if _, err := t2.Export("BankTeller", refOf("BankTeller", 2), values.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t3.Export("BankTeller", refOf("BankTeller", 3), values.Null()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hops 0: nothing local.
+	offers, err := t1.Import(ImportRequest{ServiceType: "BankTeller"})
+	if err != nil || len(offers) != 0 {
+		t.Fatalf("hops 0 = %v, %v", nonces(offers), err)
+	}
+	// Hops 1: sees T2's offer only.
+	offers, err = t1.Import(ImportRequest{ServiceType: "BankTeller", MaxHops: 1})
+	if err != nil || len(offers) != 1 || offers[0].Ref.ID.Nonce != 2 {
+		t.Fatalf("hops 1 = %v, %v", nonces(offers), err)
+	}
+	// Hops 2: sees both.
+	offers, err = t1.Import(ImportRequest{ServiceType: "BankTeller", MaxHops: 2})
+	if err != nil || len(offers) != 2 {
+		t.Fatalf("hops 2 = %v, %v", nonces(offers), err)
+	}
+	if st := t1.Stats(); st.Federated == 0 {
+		t.Errorf("federation stats = %+v", st)
+	}
+	if links := t1.Links(); len(links) != 1 || links[0] != "t2" {
+		t.Errorf("links = %v", links)
+	}
+}
+
+func TestFederationCycleAndDiamond(t *testing.T) {
+	repo := repoWithBank(t)
+	a := New("A", repo)
+	b := New("B", repo)
+	c := New("C", repo)
+	d := New("D", repo)
+	// Diamond with a cycle: A->B, A->C, B->D, C->D, D->A.
+	a.Link("b", b)
+	a.Link("c", c)
+	b.Link("d", d)
+	c.Link("d", d)
+	d.Link("a", a)
+	if _, err := d.Export("BankTeller", refOf("BankTeller", 9), values.Null()); err != nil {
+		t.Fatal(err)
+	}
+	// The offer is reachable via two paths but must appear once.
+	offers, err := a.Import(ImportRequest{ServiceType: "BankTeller", MaxHops: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 {
+		t.Errorf("diamond dedup: %d offers, want 1", len(offers))
+	}
+}
+
+func TestFederationPartnerFailureTolerated(t *testing.T) {
+	repo := repoWithBank(t)
+	a := New("A", repo)
+	a.Link("dead", importerFunc(func(ImportRequest) ([]Offer, error) {
+		return nil, errors.New("partner down")
+	}))
+	if _, err := a.Export("BankTeller", refOf("BankTeller", 1), values.Null()); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := a.Import(ImportRequest{ServiceType: "BankTeller", MaxHops: 1})
+	if err != nil || len(offers) != 1 {
+		t.Errorf("import with dead partner = %v, %v", nonces(offers), err)
+	}
+	a.Unlink("dead")
+	if len(a.Links()) != 0 {
+		t.Errorf("links after unlink = %v", a.Links())
+	}
+}
+
+type importerFunc func(ImportRequest) ([]Offer, error)
+
+func (f importerFunc) Import(req ImportRequest) ([]Offer, error) { return f(req) }
+
+func TestStats(t *testing.T) {
+	tr := New("T1", repoWithBank(t))
+	if _, err := tr.Export("BankTeller", refOf("BankTeller", 1), values.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Import(ImportRequest{ServiceType: "BankTeller"}); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Exports != 1 || st.Imports != 1 || st.Matched != 1 || st.Considered != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,90 @@
+package transactions
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/values"
+)
+
+// ErrBadLog is returned when replaying a corrupt log.
+var ErrBadLog = errors.New("transactions: malformed log")
+
+// RecordKind classifies write-ahead-log records.
+type RecordKind int
+
+// The log record kinds. A store's log carries Prepare (with the redo
+// write set), Commit and Abort records; the coordinator's decision log
+// carries Commit/Abort decisions only.
+const (
+	RecPrepare RecordKind = iota + 1
+	RecCommit
+	RecAbort
+)
+
+// String returns the record kind's name.
+func (k RecordKind) String() string {
+	switch k {
+	case RecPrepare:
+		return "prepare"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	}
+	return "unknown"
+}
+
+// WriteOp is one redo operation in a prepare record.
+type WriteOp struct {
+	Key    string
+	Value  values.Value
+	Delete bool
+}
+
+// Record is one write-ahead-log entry.
+type Record struct {
+	Kind   RecordKind
+	TxID   uint64
+	Writes []WriteOp // RecPrepare only
+}
+
+// Log is an append-only record log. The in-memory implementation stands
+// in for stable storage: it deliberately lives outside the Store so a
+// "crashed" store can be reconstructed from it (see Recover), which is
+// exactly the permanence property the transaction function requires.
+type Log struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append appends a record. It models a forced (synchronous) log write:
+// when Append returns, the record is durable.
+func (l *Log) Append(r Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Deep-copy the write set so later mutation cannot corrupt history.
+	cp := r
+	cp.Writes = make([]WriteOp, len(r.Writes))
+	copy(cp.Writes, r.Writes)
+	l.recs = append(l.recs, cp)
+}
+
+// Records returns a copy of the log contents.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.recs))
+	copy(out, l.recs)
+	return out
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}

@@ -1,0 +1,275 @@
+package transactions
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/values"
+)
+
+// Store error sentinels.
+var (
+	ErrNotFound    = errors.New("transactions: key not found")
+	ErrNotPrepared = errors.New("transactions: commit without prepare")
+)
+
+// Participant is one party in a two-phase commit: it votes in Prepare and
+// then obeys the coordinator's Commit or Abort decision. *Store implements
+// it; so could any other transactional resource.
+type Participant interface {
+	Name() string
+	Prepare(txID uint64) error
+	Commit(txID uint64) error
+	Abort(txID uint64) error
+}
+
+// Store is a transactional key/value resource holding values. Reads take
+// shared locks, writes exclusive locks (strict 2PL); updates are deferred
+// into a per-transaction write set and applied at commit, after a forced
+// prepare record makes them durable.
+type Store struct {
+	name   string
+	lm     *lockManager
+	log    *Log
+	forced *FileLog // non-nil when the WAL is file-backed
+
+	mu        sync.Mutex
+	committed map[string]values.Value
+	writeSets map[uint64]map[string]WriteOp
+	prepared  map[uint64]bool
+}
+
+var _ Participant = (*Store)(nil)
+
+// NewStore creates a store writing its WAL to log (a fresh log if nil).
+func NewStore(name string, log *Log) *Store {
+	if log == nil {
+		log = NewLog()
+	}
+	return &Store{
+		name:      name,
+		lm:        newLockManager(),
+		log:       log,
+		committed: make(map[string]values.Value),
+		writeSets: make(map[uint64]map[string]WriteOp),
+		prepared:  make(map[uint64]bool),
+	}
+}
+
+// Name returns the store's name.
+func (s *Store) Name() string { return s.name }
+
+// Log exposes the store's write-ahead log (for Recover).
+func (s *Store) Log() *Log { return s.log }
+
+// get reads a key under a shared lock, seeing the transaction's own
+// pending writes first.
+func (s *Store) get(ctx context.Context, txID uint64, key string) (values.Value, error) {
+	if err := s.lm.acquire(ctx, txID, key, lockShared); err != nil {
+		return values.Value{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ws, ok := s.writeSets[txID]; ok {
+		if op, ok := ws[key]; ok {
+			if op.Delete {
+				return values.Value{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+			}
+			return op.Value, nil
+		}
+	}
+	v, ok := s.committed[key]
+	if !ok {
+		return values.Value{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return v, nil
+}
+
+// put stages a write under an exclusive lock.
+func (s *Store) put(ctx context.Context, txID uint64, key string, v values.Value) error {
+	if err := s.lm.acquire(ctx, txID, key, lockExclusive); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws, ok := s.writeSets[txID]
+	if !ok {
+		ws = make(map[string]WriteOp)
+		s.writeSets[txID] = ws
+	}
+	ws[key] = WriteOp{Key: key, Value: v}
+	return nil
+}
+
+// del stages a deletion under an exclusive lock.
+func (s *Store) del(ctx context.Context, txID uint64, key string) error {
+	if err := s.lm.acquire(ctx, txID, key, lockExclusive); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws, ok := s.writeSets[txID]
+	if !ok {
+		ws = make(map[string]WriteOp)
+		s.writeSets[txID] = ws
+	}
+	ws[key] = WriteOp{Key: key, Delete: true}
+	return nil
+}
+
+// Prepare forces the transaction's write set to the log and votes yes.
+// A transaction that never touched this store may still be prepared (it
+// votes yes with an empty write set).
+func (s *Store) Prepare(txID uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prepared[txID] {
+		return nil // idempotent
+	}
+	ws := s.writeSets[txID]
+	ops := make([]WriteOp, 0, len(ws))
+	for _, op := range ws {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Key < ops[j].Key })
+	if err := s.appendLog(Record{Kind: RecPrepare, TxID: txID, Writes: ops}); err != nil {
+		return err
+	}
+	s.prepared[txID] = true
+	return nil
+}
+
+// appendLog forces the record to stable storage when the WAL is
+// file-backed, and always mirrors it in memory.
+func (s *Store) appendLog(r Record) error {
+	if s.forced != nil {
+		return s.forced.Append(r) // mirrors into s.log
+	}
+	s.log.Append(r)
+	return nil
+}
+
+// Commit applies the prepared write set and releases the locks.
+func (s *Store) Commit(txID uint64) error {
+	s.mu.Lock()
+	if !s.prepared[txID] {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: tx %d at %s", ErrNotPrepared, txID, s.name)
+	}
+	if err := s.appendLog(Record{Kind: RecCommit, TxID: txID}); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	for key, op := range s.writeSets[txID] {
+		if op.Delete {
+			delete(s.committed, key)
+		} else {
+			s.committed[key] = op.Value
+		}
+	}
+	delete(s.writeSets, txID)
+	delete(s.prepared, txID)
+	s.mu.Unlock()
+	s.lm.releaseAll(txID)
+	return nil
+}
+
+// Abort discards the write set and releases the locks. Aborting a
+// transaction the store has never seen is a no-op.
+func (s *Store) Abort(txID uint64) error {
+	s.mu.Lock()
+	_, hadWrites := s.writeSets[txID]
+	if hadWrites || s.prepared[txID] {
+		_ = s.appendLog(Record{Kind: RecAbort, TxID: txID}) // abort is presumed anyway
+	}
+	delete(s.writeSets, txID)
+	delete(s.prepared, txID)
+	s.mu.Unlock()
+	s.lm.releaseAll(txID)
+	return nil
+}
+
+// Snapshot returns a copy of the committed state (non-transactional read,
+// for tests and tooling).
+func (s *Store) Snapshot() map[string]values.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]values.Value, len(s.committed))
+	for k, v := range s.committed {
+		out[k] = v
+	}
+	return out
+}
+
+// InDoubt lists transactions that prepared at this store but have no
+// recorded outcome — after a crash these must be resolved against the
+// coordinator's decision log.
+func InDoubt(log *Log) []uint64 {
+	state := map[uint64]RecordKind{}
+	for _, r := range log.Records() {
+		state[r.TxID] = r.Kind
+	}
+	var out []uint64
+	for tx, k := range state {
+		if k == RecPrepare {
+			out = append(out, tx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Recover rebuilds a store from its write-ahead log, redoing the write
+// sets of committed transactions. In-doubt transactions (prepared, no
+// outcome) are resolved by the decide callback — normally a lookup in the
+// coordinator's decision log; deciding false aborts them.
+func Recover(name string, log *Log, decide func(txID uint64) bool) *Store {
+	return recoverInto(name, log, decide, nil)
+}
+
+func recoverInto(name string, log *Log, decide func(txID uint64) bool, forced *FileLog) *Store {
+	s := NewStore(name, log)
+	s.forced = forced
+	prepared := map[uint64][]WriteOp{}
+	for _, r := range log.Records() {
+		switch r.Kind {
+		case RecPrepare:
+			prepared[r.TxID] = r.Writes
+		case RecCommit:
+			for _, op := range prepared[r.TxID] {
+				if op.Delete {
+					delete(s.committed, op.Key)
+				} else {
+					s.committed[op.Key] = op.Value
+				}
+			}
+			delete(prepared, r.TxID)
+		case RecAbort:
+			delete(prepared, r.TxID)
+		}
+	}
+	// Resolve in-doubt transactions, deterministically ordered.
+	var inDoubt []uint64
+	for tx := range prepared {
+		inDoubt = append(inDoubt, tx)
+	}
+	sort.Slice(inDoubt, func(i, j int) bool { return inDoubt[i] < inDoubt[j] })
+	for _, tx := range inDoubt {
+		if decide != nil && decide(tx) {
+			_ = s.appendLog(Record{Kind: RecCommit, TxID: tx})
+			for _, op := range prepared[tx] {
+				if op.Delete {
+					delete(s.committed, op.Key)
+				} else {
+					s.committed[op.Key] = op.Value
+				}
+			}
+		} else {
+			_ = s.appendLog(Record{Kind: RecAbort, TxID: tx})
+		}
+	}
+	return s
+}

@@ -1,0 +1,221 @@
+package transactions
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/values"
+)
+
+// Transaction error sentinels.
+var (
+	ErrTxDone = errors.New("transactions: transaction already finished")
+	ErrVetoed = errors.New("transactions: a participant vetoed commit")
+)
+
+// Decision is a coordinator-log entry: the durable commit/abort verdict
+// for one transaction, consulted when recovering in-doubt participants.
+type Decision struct {
+	TxID      uint64
+	Committed bool
+}
+
+// Coordinator is the ACID transaction function: it creates transactions
+// and drives two-phase commit across their participants, recording every
+// decision durably before announcing it (the standard presumed-abort
+// discipline: no decision record means abort).
+type Coordinator struct {
+	mu        sync.Mutex
+	nextTx    uint64
+	decisions map[uint64]bool
+	active    map[uint64]*Tx
+
+	commits uint64
+	aborts  uint64
+}
+
+// NewCoordinator returns a coordinator with an empty decision log.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{
+		decisions: make(map[uint64]bool),
+		active:    make(map[uint64]*Tx),
+	}
+}
+
+// Begin starts a transaction. The context bounds every lock wait inside
+// the transaction.
+func (c *Coordinator) Begin(ctx context.Context) *Tx {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextTx++
+	t := &Tx{
+		id:           c.nextTx,
+		ctx:          ctx,
+		coord:        c,
+		participants: make(map[string]Participant),
+	}
+	c.active[t.id] = t
+	return t
+}
+
+// Decided reports the durable outcome of a transaction: committed, and
+// whether any decision exists. Recovery uses it as the decide callback:
+//
+//	transactions.Recover("bank", log, func(tx uint64) bool {
+//		committed, _ := coord.Decided(tx)
+//		return committed
+//	})
+func (c *Coordinator) Decided(txID uint64) (committed, known bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.decisions[txID]
+	return v, ok
+}
+
+// Stats returns the numbers of committed and aborted transactions.
+func (c *Coordinator) Stats() (commits, aborts uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.commits, c.aborts
+}
+
+func (c *Coordinator) finish(t *Tx, committed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.active, t.id)
+	if committed {
+		c.decisions[t.id] = true
+		c.commits++
+	} else {
+		c.aborts++
+	}
+}
+
+type txState int
+
+const (
+	txActive txState = iota
+	txCommitted
+	txAborted
+)
+
+// Tx is one ACID transaction. It is not safe for concurrent use by
+// multiple goroutines (like database transactions generally); run
+// concurrent work in separate transactions.
+type Tx struct {
+	id           uint64
+	ctx          context.Context
+	coord        *Coordinator
+	participants map[string]Participant
+	state        txState
+}
+
+// ID returns the transaction identifier.
+func (t *Tx) ID() uint64 { return t.id }
+
+// Enlist adds a participant; stores enlist automatically on first touch.
+func (t *Tx) Enlist(p Participant) error {
+	if t.state != txActive {
+		return ErrTxDone
+	}
+	t.participants[p.Name()] = p
+	return nil
+}
+
+// Read reads a key from a store within the transaction.
+func (t *Tx) Read(s *Store, key string) (values.Value, error) {
+	if t.state != txActive {
+		return values.Value{}, ErrTxDone
+	}
+	t.participants[s.Name()] = s
+	return s.get(t.ctx, t.id, key)
+}
+
+// Write stages a write to a store within the transaction.
+func (t *Tx) Write(s *Store, key string, v values.Value) error {
+	if t.state != txActive {
+		return ErrTxDone
+	}
+	t.participants[s.Name()] = s
+	return s.put(t.ctx, t.id, key, v)
+}
+
+// Delete stages a deletion within the transaction.
+func (t *Tx) Delete(s *Store, key string) error {
+	if t.state != txActive {
+		return ErrTxDone
+	}
+	t.participants[s.Name()] = s
+	return s.del(t.ctx, t.id, key)
+}
+
+// Commit runs two-phase commit: every participant prepares (forcing its
+// redo log); if all vote yes the decision is logged and participants
+// commit, otherwise everything aborts and ErrVetoed (wrapping the veto)
+// is returned.
+func (t *Tx) Commit() error {
+	if t.state != txActive {
+		return ErrTxDone
+	}
+	// Phase 1: voting.
+	for name, p := range t.participants {
+		if err := p.Prepare(t.id); err != nil {
+			t.rollback()
+			return fmt.Errorf("%w: %s: %v", ErrVetoed, name, err)
+		}
+	}
+	// Decision point: once logged, the transaction IS committed, whatever
+	// happens to individual participants afterwards (they hold prepare
+	// records and recover forward).
+	t.coord.finish(t, true)
+	t.state = txCommitted
+	// Phase 2: completion.
+	var firstErr error
+	for name, p := range t.participants {
+		if err := p.Commit(t.id); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("transactions: participant %s failed after decision: %w", name, err)
+		}
+	}
+	return firstErr
+}
+
+// Abort rolls the transaction back everywhere.
+func (t *Tx) Abort() error {
+	if t.state != txActive {
+		return ErrTxDone
+	}
+	t.rollback()
+	return nil
+}
+
+func (t *Tx) rollback() {
+	for _, p := range t.participants {
+		_ = p.Abort(t.id)
+	}
+	t.coord.finish(t, false)
+	t.state = txAborted
+}
+
+// Atomically runs fn inside a transaction, committing on nil and aborting
+// on error; deadlock aborts are retried up to 10 times with fresh
+// transactions, which is the standard application-level response to
+// ErrDeadlock.
+func (c *Coordinator) Atomically(ctx context.Context, fn func(tx *Tx) error) error {
+	const maxAttempts = 10
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		tx := c.Begin(ctx)
+		err := fn(tx)
+		if err == nil {
+			return tx.Commit()
+		}
+		_ = tx.Abort()
+		if !errors.Is(err, ErrDeadlock) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("transactions: giving up after %d deadlock retries: %w", maxAttempts, lastErr)
+}

@@ -1,0 +1,109 @@
+package values
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TypeOf soundness: every value conforms to its own derived type, and the
+// derived type is assignable to itself.
+func TestTypeOfSoundnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 3)
+		if !homogeneousSeqs(v) {
+			// Heterogeneous sequences have no finite derived type in this
+			// algebra (TypeOf uses the first element); they are out of the
+			// property's scope.
+			return true
+		}
+		dt := TypeOf(v)
+		if dt == nil {
+			return false
+		}
+		if err := dt.Check(v); err != nil {
+			t.Logf("TypeOf(%v) = %s: %v", v, dt, err)
+			return false
+		}
+		return dt.AssignableTo(dt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeOfScalars(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Bool(true), KindBool},
+		{Int(1), KindInt},
+		{Uint(1), KindUint},
+		{Float(1), KindFloat},
+		{Str("x"), KindString},
+		{BytesVal(nil), KindBytes},
+		{Enum("a"), KindEnum},
+		{Record(F("a", Int(1))), KindRecord},
+		{Seq(Int(1)), KindSeq},
+		{Seq(), KindSeq},
+		{Any(TInt(), Int(1)), KindAny},
+		{Null(), KindNull},
+	}
+	for _, c := range cases {
+		dt := TypeOf(c.v)
+		if dt.Kind != c.kind {
+			t.Errorf("TypeOf(%v).Kind = %v, want %v", c.v, dt.Kind, c.kind)
+		}
+		if c.kind != KindSeq || c.v.Len() > 0 {
+			if err := dt.Check(c.v); err != nil && c.kind != KindNull {
+				t.Errorf("TypeOf(%v) fails own check: %v", c.v, err)
+			}
+		}
+	}
+	// Enum type derives a single-symbol set containing the value.
+	dt := TypeOf(Enum("NotToday"))
+	if len(dt.Symbols) != 1 || dt.Symbols[0] != "NotToday" {
+		t.Errorf("enum TypeOf = %v", dt.Symbols)
+	}
+	// Empty seq derives seq<null>.
+	if dt := TypeOf(Seq()); dt.Elem.Kind != KindNull {
+		t.Errorf("empty seq elem = %v", dt.Elem.Kind)
+	}
+	// NaN floats still derive float.
+	if dt := TypeOf(Float(math.NaN())); dt.Kind != KindFloat {
+		t.Errorf("NaN type = %v", dt.Kind)
+	}
+}
+
+// homogeneousSeqs reports whether every sequence in v (recursively) has
+// elements of one structural type.
+func homogeneousSeqs(v Value) bool {
+	switch v.Kind() {
+	case KindSeq:
+		if v.Len() == 0 {
+			return true
+		}
+		first := TypeOf(v.ElemAt(0))
+		for i := 0; i < v.Len(); i++ {
+			e := v.ElemAt(i)
+			if !homogeneousSeqs(e) {
+				return false
+			}
+			if !TypeOf(e).Equal(first) {
+				return false
+			}
+		}
+		return true
+	case KindRecord:
+		for i := 0; i < v.NumFields(); i++ {
+			if !homogeneousSeqs(v.FieldAt(i).Value) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}

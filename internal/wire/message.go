@@ -1,0 +1,226 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/naming"
+	"repro/internal/values"
+)
+
+// Framing error sentinels.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+)
+
+const (
+	frameMagic   uint16 = 0x0D90 // "ODP"
+	frameVersion byte   = 1
+)
+
+// MsgKind classifies a frame.
+type MsgKind uint8
+
+// The frame kinds exchanged by protocol objects. Call/Reply carry
+// interrogations, OneWay carries announcements, SignalMsg carries raw
+// signal-interface primitives, FlowMsg carries stream elements, ErrReply
+// carries infrastructure failures (as opposed to application terminations),
+// and Probe/ProbeAck support liveness checks.
+const (
+	Call MsgKind = iota + 1
+	Reply
+	OneWay
+	SignalMsg
+	FlowMsg
+	ErrReply
+	Probe
+	ProbeAck
+)
+
+// String returns the name of the message kind.
+func (k MsgKind) String() string {
+	switch k {
+	case Call:
+		return "call"
+	case Reply:
+		return "reply"
+	case OneWay:
+		return "oneway"
+	case SignalMsg:
+		return "signal"
+	case FlowMsg:
+		return "flow"
+	case ErrReply:
+		return "error"
+	case Probe:
+		return "probe"
+	case ProbeAck:
+		return "probeack"
+	}
+	return fmt.Sprintf("msgkind(%d)", int(k))
+}
+
+// Message is one frame on a channel. The header travels in the canonical
+// representation regardless of codec; only the argument payload uses the
+// negotiated codec (heterogeneous peers must at least agree on headers).
+type Message struct {
+	Kind        MsgKind
+	BindingID   uint64             // identifies the binding within the channel
+	Seq         uint64             // binder sequence number (replay defence)
+	Correlation uint64             // matches a Reply/ErrReply to its Call
+	Epoch       uint64             // sender's view of the target's relocation epoch
+	Target      naming.InterfaceID // destination interface
+	Operation   string             // operation, signal or flow name
+	Termination string             // termination name (Reply) or error code (ErrReply)
+	Auth        []byte             // security credentials, if any
+	Args        []values.Value     // payload
+
+	// Codec records the payload codec of a decoded frame. It is set by
+	// Decode and ignored by Encode (which takes the codec explicitly);
+	// servers use it to mirror the client's representation in replies.
+	Codec CodecID
+}
+
+// Encode serialises the message using the given codec for the payload.
+func (m *Message) Encode(codec Codec) ([]byte, error) {
+	// Header size estimate; the payload appends as needed.
+	dst := make([]byte, 0, 96+16*len(m.Args))
+	dst = binary.BigEndian.AppendUint16(dst, frameMagic)
+	dst = append(dst, frameVersion, byte(codec.ID()), byte(m.Kind), 0 /* flags */)
+	dst = binary.BigEndian.AppendUint64(dst, m.BindingID)
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, m.Correlation)
+	dst = binary.BigEndian.AppendUint64(dst, m.Epoch)
+	dst = appendHdrBytes(dst, []byte(m.Target.Object.Cluster.Capsule.Node))
+	dst = binary.BigEndian.AppendUint32(dst, m.Target.Object.Cluster.Capsule.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, m.Target.Object.Cluster.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, m.Target.Object.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, m.Target.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, m.Target.Nonce)
+	dst = appendHdrBytes(dst, []byte(m.Operation))
+	dst = appendHdrBytes(dst, []byte(m.Termination))
+	dst = appendHdrBytes(dst, m.Auth)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Args)))
+	var err error
+	for _, a := range m.Args {
+		if dst, err = codec.AppendValue(dst, a); err != nil {
+			return nil, fmt.Errorf("wire: encoding argument: %w", err)
+		}
+	}
+	return dst, nil
+}
+
+// Decode parses a frame produced by Encode, selecting the payload codec
+// from the header.
+func Decode(data []byte) (*Message, error) {
+	if len(data) < 6 {
+		return nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(data) != frameMagic {
+		return nil, ErrBadMagic
+	}
+	if data[2] != frameVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, data[2])
+	}
+	codec, err := ByID(CodecID(data[3]))
+	if err != nil {
+		return nil, err
+	}
+	m := &Message{Kind: MsgKind(data[4]), Codec: codec.ID()}
+	off := 6 // skip flags byte
+
+	if m.BindingID, off, err = readU64(data, off, binary.BigEndian); err != nil {
+		return nil, err
+	}
+	if m.Seq, off, err = readU64(data, off, binary.BigEndian); err != nil {
+		return nil, err
+	}
+	if m.Correlation, off, err = readU64(data, off, binary.BigEndian); err != nil {
+		return nil, err
+	}
+	if m.Epoch, off, err = readU64(data, off, binary.BigEndian); err != nil {
+		return nil, err
+	}
+	var nodeB []byte
+	if nodeB, off, err = readHdrBytes(data, off); err != nil {
+		return nil, err
+	}
+	m.Target.Object.Cluster.Capsule.Node = naming.NodeID(nodeB)
+	var u32 uint32
+	if u32, off, err = readU32(data, off, binary.BigEndian); err != nil {
+		return nil, err
+	}
+	m.Target.Object.Cluster.Capsule.Seq = u32
+	if u32, off, err = readU32(data, off, binary.BigEndian); err != nil {
+		return nil, err
+	}
+	m.Target.Object.Cluster.Seq = u32
+	if u32, off, err = readU32(data, off, binary.BigEndian); err != nil {
+		return nil, err
+	}
+	m.Target.Object.Seq = u32
+	if u32, off, err = readU32(data, off, binary.BigEndian); err != nil {
+		return nil, err
+	}
+	m.Target.Seq = u32
+	if m.Target.Nonce, off, err = readU64(data, off, binary.BigEndian); err != nil {
+		return nil, err
+	}
+	var opB, termB, authB []byte
+	if opB, off, err = readHdrBytes(data, off); err != nil {
+		return nil, err
+	}
+	m.Operation = string(opB)
+	if termB, off, err = readHdrBytes(data, off); err != nil {
+		return nil, err
+	}
+	m.Termination = string(termB)
+	if authB, off, err = readHdrBytes(data, off); err != nil {
+		return nil, err
+	}
+	if len(authB) > 0 {
+		m.Auth = make([]byte, len(authB))
+		copy(m.Auth, authB)
+	}
+	if off+2 > len(data) {
+		return nil, ErrTruncated
+	}
+	argc := binary.BigEndian.Uint16(data[off:])
+	off += 2
+	if argc > 0 {
+		m.Args = make([]values.Value, 0, argc)
+		for i := 0; i < int(argc); i++ {
+			var v values.Value
+			if v, off, err = codec.ReadValue(data, off); err != nil {
+				return nil, fmt.Errorf("wire: decoding argument %d: %w", i, err)
+			}
+			m.Args = append(m.Args, v)
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(data)-off)
+	}
+	return m, nil
+}
+
+func appendHdrBytes(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func readHdrBytes(data []byte, off int) ([]byte, int, error) {
+	n, off2, err := readU32(data, off, binary.BigEndian)
+	if err != nil {
+		return nil, off, err
+	}
+	if n > MaxLen {
+		return nil, off, fmt.Errorf("%w: header field %d bytes", ErrTooLarge, n)
+	}
+	end := off2 + int(n)
+	if end > len(data) {
+		return nil, off2, ErrTruncated
+	}
+	return data[off2:end], end, nil
+}
