@@ -1,0 +1,80 @@
+// Package bufpool provides size-classed free lists of byte buffers shared
+// by the wire layer and the transports, so one frame buffer can travel the
+// whole hot path — encode, transport copy, receive, decode — and then be
+// recycled instead of garbage-collected.
+//
+// Buffers flow between packages: a channel client encodes into a pooled
+// buffer, the simulated network copies frames into pooled buffers, and the
+// receiving channel end returns frames to the pool once decoding has
+// copied every escaping payload out. Ownership is strict: after Put the
+// caller must not touch the buffer again.
+//
+// The free lists are plain buffered channels rather than sync.Pool so that
+// Get and Put are themselves allocation-free (boxing a []byte in an
+// interface allocates, which would defeat the point on an allocs/op
+// benchmark). Capacity per class is bounded, so the worst-case retained
+// memory is a few megabytes; overflow buffers are simply dropped for the
+// garbage collector.
+package bufpool
+
+// classes are the buffer capacities served, smallest first. Slot counts
+// shrink as sizes grow to bound total retained memory (~8 MiB worst case).
+var classes = []struct {
+	size  int
+	slots int
+}{
+	{256, 256},
+	{1 << 10, 128},
+	{4 << 10, 64},
+	{16 << 10, 32},
+	{64 << 10, 16},
+	{256 << 10, 8},
+	{1 << 20, 4},
+}
+
+var lists = func() []chan []byte {
+	ls := make([]chan []byte, len(classes))
+	for i, c := range classes {
+		ls[i] = make(chan []byte, c.slots)
+	}
+	return ls
+}()
+
+// Get returns a zero-length buffer with capacity at least size, reusing a
+// pooled buffer when one is available. Buffers larger than the biggest
+// class are allocated directly.
+func Get(size int) []byte {
+	for i, c := range classes {
+		if c.size >= size {
+			select {
+			case b := <-lists[i]:
+				return b[:0]
+			default:
+				return make([]byte, 0, c.size)
+			}
+		}
+	}
+	return make([]byte, 0, size)
+}
+
+// Put recycles a buffer for a later Get. Buffers smaller than the smallest
+// class or larger than the biggest are dropped, as are buffers arriving
+// when the class is full. Put(nil) is a no-op. The caller must not use b
+// after Put returns.
+func Put(b []byte) {
+	c := cap(b)
+	if c < classes[0].size {
+		return
+	}
+	// Find the largest class whose size fits within cap(b), so a Get for
+	// that class is guaranteed the capacity it asked for.
+	for i := len(classes) - 1; i >= 0; i-- {
+		if classes[i].size <= c {
+			select {
+			case lists[i] <- b[:0]:
+			default:
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetCapacity(t *testing.T) {
+	for _, size := range []int{0, 1, 255, 256, 257, 4 << 10, 1 << 20, 2 << 20} {
+		b := Get(size)
+		if len(b) != 0 {
+			t.Fatalf("Get(%d) len = %d, want 0", size, len(b))
+		}
+		if cap(b) < size {
+			t.Fatalf("Get(%d) cap = %d, want >= %d", size, cap(b), size)
+		}
+	}
+}
+
+func TestPutGetReuse(t *testing.T) {
+	// Drain the class first so this test observes its own buffer.
+	for {
+		select {
+		case <-lists[1]:
+			continue
+		default:
+		}
+		break
+	}
+	b := make([]byte, 0, 1<<10)
+	Put(b)
+	got := Get(1 << 10)
+	if cap(got) < 1<<10 {
+		t.Fatalf("reused cap = %d, want >= %d", cap(got), 1<<10)
+	}
+}
+
+func TestPutRejectsTiny(t *testing.T) {
+	Put(nil)
+	Put(make([]byte, 0, 16)) // below smallest class: dropped, must not panic
+}
+
+func TestPutClassFitsGet(t *testing.T) {
+	// A buffer put back must only satisfy Gets it has capacity for.
+	Put(make([]byte, 0, 300)) // lands in the 256 class
+	b := Get(256)
+	if cap(b) < 256 {
+		t.Fatalf("cap = %d, want >= 256", cap(b))
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b := Get(512)
+				b = append(b, make([]byte, 100)...)
+				Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+}

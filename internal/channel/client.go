@@ -2,8 +2,10 @@ package channel
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"fmt"
-	"math/rand"
+	mathrand "math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,21 @@ import (
 	"repro/internal/values"
 	"repro/internal/wire"
 )
+
+// newBindingID draws a binding id from the OS entropy source. The global
+// math/rand generator used previously is deterministic per process start
+// in older Go releases, so two processes (or a process restarted within
+// the same tick) could mint colliding binding ids and poison each other's
+// replay-guard state at a shared server. crypto/rand cannot collide that
+// way; math/rand/v2's per-process random seed is the fallback if the
+// entropy source fails.
+func newBindingID() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		return binary.BigEndian.Uint64(b[:])
+	}
+	return mathrand.Uint64()
+}
 
 // BindConfig configures the client end of a channel. Transport is
 // required; everything else has working defaults. The set of stages and
@@ -93,7 +110,7 @@ func Bind(ref naming.InterfaceRef, cfg BindConfig) (*Binding, error) {
 	}
 	return &Binding{
 		cfg:       cfg,
-		bindingID: rand.Uint64(),
+		bindingID: newBindingID(),
 		ref:       ref,
 		pending:   make(map[uint64]chan *wire.Message),
 	}, nil
@@ -149,17 +166,18 @@ func (b *Binding) Invoke(ctx context.Context, op string, args []values.Value) (s
 	relocations := 0
 	attempt := 0
 	for {
-		m := &wire.Message{
-			Kind:        wire.Call,
-			BindingID:   b.bindingID,
-			Seq:         b.nextSeq.Add(1),
-			Correlation: correl,
-			Target:      b.ref.ID,
-			Epoch:       b.Ref().Epoch,
-			Operation:   op,
-			Args:        args,
-		}
+		m := wire.GetMessage()
+		m.Kind = wire.Call
+		m.BindingID = b.bindingID
+		m.Seq = b.nextSeq.Add(1)
+		m.Correlation = correl
+		m.Target = b.ref.ID
+		m.Epoch = b.Ref().Epoch
+		m.Operation = op
+		m.Args = args
 		reply, err := b.attempt(ctx, m)
+		// attempt encodes the request and does not retain it.
+		wire.PutMessage(m)
 		if err != nil {
 			if ctx.Err() != nil {
 				return "", nil, ctx.Err()
@@ -183,7 +201,11 @@ func (b *Binding) Invoke(ctx context.Context, op string, args []values.Value) (s
 			if err := b.typeCheckReply(op, reply); err != nil {
 				return "", nil, err
 			}
-			return reply.Termination, reply.Args, nil
+			term, results := reply.Termination, reply.Args
+			// The reply was delivered solely to this call; the termination
+			// string and results slice survive recycling the struct.
+			wire.PutMessage(reply)
+			return term, results, nil
 		case wire.ErrReply:
 			if reply.Termination == CodeNoSuchInterface &&
 				b.cfg.Locator != nil && relocations < b.cfg.MaxRelocations {
@@ -364,7 +386,7 @@ func (b *Binding) attempt(ctx context.Context, m *wire.Message) (*wire.Message, 
 	if err != nil {
 		return nil, err
 	}
-	frame, err := m.Encode(b.cfg.Codec)
+	frame, err := m.EncodeAppend(wire.GetFrame(m.SizeHint()), b.cfg.Codec)
 	if err != nil {
 		return nil, err
 	}
@@ -382,7 +404,11 @@ func (b *Binding) attempt(ctx context.Context, m *wire.Message) (*wire.Message, 
 		b.mu.Unlock()
 	}()
 
-	if err := conn.Send(frame); err != nil {
+	err = conn.Send(frame)
+	// Send does not keep a reference past return (transports copy or write
+	// synchronously), so the frame can be recycled either way.
+	wire.PutFrame(frame)
+	if err != nil {
 		b.dropConn(conn)
 		return nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
 	}
@@ -406,10 +432,12 @@ func (b *Binding) sendOneWay(ctx context.Context, m *wire.Message) error {
 	if err := runStages(b.cfg.Stages, Outbound, m); err != nil {
 		return err
 	}
-	frame, err := m.Encode(b.cfg.Codec)
+	frame, err := m.EncodeAppend(wire.GetFrame(m.SizeHint()), b.cfg.Codec)
 	if err != nil {
 		return err
 	}
+	// The frame is resent across retries; recycle it once the loop exits.
+	defer wire.PutFrame(frame)
 	for attempt := 0; ; attempt++ {
 		conn, err := b.ensureConn(ctx)
 		if err == nil {
@@ -522,6 +550,9 @@ func (b *Binding) readLoop(conn netsim.Conn) {
 			break
 		}
 		m, err := wire.Decode(frame)
+		// Decode copies every escaping payload out of the frame, so the
+		// buffer can be recycled immediately, whatever the outcome.
+		wire.PutFrame(frame)
 		if err != nil {
 			continue // a corrupt frame fails its call by timeout, not panic
 		}

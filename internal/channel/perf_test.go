@@ -1,0 +1,205 @@
+package channel
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/naming"
+	"repro/internal/values"
+	"repro/internal/wire"
+)
+
+func TestWorkerPoolDefaults(t *testing.T) {
+	env := newEnv(t, ServerConfig{})
+	if env.server.cfg.Workers <= 0 {
+		t.Fatalf("default Workers = %d, want > 0", env.server.cfg.Workers)
+	}
+	if env.server.cfg.MaxGuardBindings != 1024 {
+		t.Fatalf("default MaxGuardBindings = %d, want 1024", env.server.cfg.MaxGuardBindings)
+	}
+}
+
+// gateServant counts concurrent Invoke executions and answers after a
+// short pause, so overlapping calls are observable.
+type gateServant struct {
+	cur, max atomic.Int64
+}
+
+func (g *gateServant) Invoke(context.Context, string, []values.Value) (string, []values.Value, error) {
+	c := g.cur.Add(1)
+	for {
+		m := g.max.Load()
+		if c <= m || g.max.CompareAndSwap(m, c) {
+			break
+		}
+	}
+	time.Sleep(time.Millisecond)
+	g.cur.Add(-1)
+	return "OK", nil, nil
+}
+
+// TestWorkerPoolBoundsConcurrency drives many concurrent calls down one
+// connection with a single-worker pool: at most the worker plus the
+// connection's read loop (inline overflow) may execute servant code at
+// once, and every call must still be answered.
+func TestWorkerPoolBoundsConcurrency(t *testing.T) {
+	env := newEnv(t, ServerConfig{Workers: 1})
+	g := &gateServant{}
+	id := ifaceID(77)
+	if err := env.server.Register(id, nil, g); err != nil {
+		t.Fatal(err)
+	}
+	bg, err := Bind(naming.InterfaceRef{ID: id, TypeName: "Gate", Endpoint: "sim://server"},
+		BindConfig{Transport: env.net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bg.Close()
+
+	const calls = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			term, _, err := bg.Invoke(context.Background(), "Anything", nil)
+			if err != nil {
+				errs <- err
+			} else if term != "OK" {
+				errs <- fmt.Errorf("term = %q", term)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if m := g.max.Load(); m > 2 {
+		t.Fatalf("max concurrent executions = %d, want <= 2 (1 worker + inline read loop)", m)
+	}
+}
+
+// TestServerCloseDrainsWorkers ensures Close waits for queued work: after
+// Close returns, no servant execution is still in flight.
+func TestServerCloseDrainsWorkers(t *testing.T) {
+	env := newEnv(t, ServerConfig{Workers: 2})
+	b := env.bind(t, BindConfig{})
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Errors are fine once the server starts closing; the point is
+			// that Close below never races a worker.
+			_, _, _ = b.Invoke(context.Background(), "Echo",
+				[]values.Value{values.Str(fmt.Sprint(i))})
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := env.server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestGuardEviction checks the replay guard's binding bound: tracking a
+// binding beyond MaxGuardBindings evicts the oldest tracked binding.
+func TestGuardEviction(t *testing.T) {
+	s := NewServer(nil, ServerConfig{ReplayGuard: true, MaxGuardBindings: 2})
+	for bid := uint64(1); bid <= 4; bid++ {
+		v, _ := s.guardCheck(&wire.Message{Kind: wire.Call, BindingID: bid, Correlation: 1})
+		if v != guardFresh {
+			t.Fatalf("binding %d: verdict = %v, want fresh", bid, v)
+		}
+	}
+	if len(s.guards) != 2 {
+		t.Fatalf("guards tracked = %d, want 2", len(s.guards))
+	}
+	if _, ok := s.guards[1]; ok {
+		t.Fatal("oldest binding 1 still tracked after eviction")
+	}
+	if _, ok := s.guards[4]; !ok {
+		t.Fatal("newest binding 4 not tracked")
+	}
+	// An evicted binding that reappears is tracked afresh (its correlation
+	// history restarts, so the duplicate defence degrades gracefully rather
+	// than growing without bound).
+	if v, _ := s.guardCheck(&wire.Message{Kind: wire.Call, BindingID: 1, Correlation: 9}); v != guardFresh {
+		t.Fatalf("re-tracked binding verdict = %v, want fresh", v)
+	}
+	if len(s.guards) != 2 {
+		t.Fatalf("guards tracked after re-track = %d, want 2", len(s.guards))
+	}
+}
+
+// TestPooledFrameAliasingStress hammers one server from many goroutines
+// with distinct payloads while frame buffers recycle through the pool; any
+// aliasing bug (a frame recycled while a decoded view or cached reply still
+// needs it) surfaces as a wrong echo or a race report under -race.
+func TestPooledFrameAliasingStress(t *testing.T) {
+	env := newEnv(t, ServerConfig{ReplayGuard: true, ReplyCacheSize: 8})
+	const goroutines = 8
+	const calls = 150
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churn the frame pool from outside the invocation path to maximise
+	// buffer reuse across goroutines.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f := wire.GetFrame(256)
+			f = append(f, 0xEE)
+			wire.PutFrame(f)
+		}
+	}()
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			b, err := Bind(env.ref, BindConfig{Transport: env.net, Type: echoType()})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer b.Close()
+			for i := 0; i < calls; i++ {
+				msg := fmt.Sprintf("g%d-call-%d-payload-%s", g, i, "0123456789abcdef")
+				term, res, err := b.Invoke(context.Background(), "Echo",
+					[]values.Value{values.Str(msg)})
+				if err != nil {
+					errs <- fmt.Errorf("g%d call %d: %v", g, i, err)
+					return
+				}
+				if term != "OK" || len(res) != 1 {
+					errs <- fmt.Errorf("g%d call %d: term=%q res=%v", g, i, term, res)
+					return
+				}
+				if got, _ := res[0].AsString(); got != msg {
+					errs <- fmt.Errorf("g%d call %d: echo corrupted: %q != %q", g, i, got, msg)
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

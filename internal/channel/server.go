@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,8 +52,19 @@ type ServerConfig struct {
 	ReplayGuard bool
 	// ReplyCacheSize bounds the per-binding reply cache (default 128).
 	ReplyCacheSize int
+	// MaxGuardBindings bounds how many bindings the replay guard tracks
+	// (default 1024). When full, the oldest binding's state is evicted, so
+	// a flood of fresh binding ids cannot grow the guard without bound.
+	MaxGuardBindings int
 	// HandlerTimeout bounds servant execution per call (default: none).
 	HandlerTimeout time.Duration
+	// Workers bounds how many servant executions run concurrently
+	// (default GOMAXPROCS*4). Calls and announcements are dispatched to a
+	// fixed pool of worker goroutines instead of one goroutine per
+	// message; when the pool's queue is full the message executes inline
+	// on the connection's read loop, so every message is still handled
+	// and backpressure reaches the transport naturally.
+	Workers int
 }
 
 // ServerStats counts channel events at the server end.
@@ -78,13 +90,16 @@ type Server struct {
 	cfg      ServerConfig
 	listener netsim.Listener
 
-	mu       sync.RWMutex
-	servants map[naming.InterfaceID]*servantEntry
-	guards   map[uint64]*bindingGuard
-	conns    map[netsim.Conn]struct{}
-	closed   bool
+	mu         sync.RWMutex
+	servants   map[naming.InterfaceID]*servantEntry
+	guards     map[uint64]*bindingGuard
+	guardOrder []uint64 // binding ids in creation order, for eviction
+	conns      map[netsim.Conn]struct{}
+	closed     bool
 
-	wg sync.WaitGroup
+	wg       sync.WaitGroup
+	tasks    chan task
+	workerWG sync.WaitGroup
 
 	calls     atomic.Uint64
 	oneWays   atomic.Uint64
@@ -99,6 +114,12 @@ type Server struct {
 func NewServer(l netsim.Listener, cfg ServerConfig) *Server {
 	if cfg.ReplyCacheSize <= 0 {
 		cfg.ReplyCacheSize = 128
+	}
+	if cfg.MaxGuardBindings <= 0 {
+		cfg.MaxGuardBindings = 1024
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0) * 4
 	}
 	return &Server{
 		cfg:      cfg,
@@ -139,6 +160,16 @@ func (s *Server) Unregister(id naming.InterfaceID) {
 // Start begins accepting connections; it returns immediately. Use Close to
 // stop and wait for connection handlers to drain.
 func (s *Server) Start() {
+	s.tasks = make(chan task, s.cfg.Workers*4)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			for t := range s.tasks {
+				s.runTask(t)
+			}
+		}()
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -175,7 +206,46 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	// All read loops have exited, so no more work can be queued; drain the
+	// worker pool before reporting the server closed.
+	if s.tasks != nil {
+		close(s.tasks)
+		s.workerWG.Wait()
+	}
 	return err
+}
+
+// task is one unit of servant work for the worker pool: a call (conn set)
+// or an announcement (conn nil). A plain struct rather than a closure so
+// dispatching allocates nothing.
+type task struct {
+	conn netsim.Conn
+	m    *wire.Message
+}
+
+func (s *Server) runTask(t task) {
+	if t.conn != nil {
+		s.handleCall(t.conn, t.m)
+	} else {
+		s.handleOneWay(t.m)
+	}
+	// The request message is finished: handlers pass on operation names and
+	// argument slices, never the Message itself, so it can be recycled.
+	wire.PutMessage(t.m)
+}
+
+// dispatch hands work to the bounded pool, executing inline when the queue
+// is full (or when Start was never called) so no message is ever lost.
+func (s *Server) dispatch(t task) {
+	if s.tasks == nil {
+		s.runTask(t)
+		return
+	}
+	select {
+	case s.tasks <- t:
+	default:
+		s.runTask(t)
+	}
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -212,6 +282,9 @@ func (s *Server) serveConn(conn netsim.Conn) {
 			return
 		}
 		m, err := wire.Decode(frame)
+		// Decode copies every escaping payload out of the frame, so the
+		// buffer can be recycled immediately, whatever the outcome.
+		wire.PutFrame(frame)
 		if err != nil {
 			s.badFrames.Add(1)
 			continue
@@ -221,16 +294,19 @@ func (s *Server) serveConn(conn netsim.Conn) {
 			if m.Kind == wire.Call {
 				s.sendErr(conn, m, stageCode(err), err.Error())
 			}
+			wire.PutMessage(m)
 			continue
 		}
 		switch m.Kind {
 		case wire.Probe:
-			s.reply(conn, m, &wire.Message{
-				Kind:        wire.ProbeAck,
-				BindingID:   m.BindingID,
-				Correlation: m.Correlation,
-				Target:      m.Target,
-			})
+			ack := wire.GetMessage()
+			ack.Kind = wire.ProbeAck
+			ack.BindingID = m.BindingID
+			ack.Correlation = m.Correlation
+			ack.Target = m.Target
+			s.reply(conn, m, ack)
+			wire.PutMessage(ack)
+			wire.PutMessage(m)
 		case wire.Call:
 			s.calls.Add(1)
 			if s.cfg.ReplayGuard {
@@ -238,38 +314,34 @@ func (s *Server) serveConn(conn netsim.Conn) {
 				case guardReplayCached:
 					s.replays.Add(1)
 					_ = conn.Send(cached)
+					wire.PutMessage(m)
 					continue
 				case guardReplayReject:
 					s.replays.Add(1)
 					s.sendErr(conn, m, CodeReplay, "correlation id regressed")
+					wire.PutMessage(m)
 					continue
 				case guardInFlight:
 					s.replays.Add(1)
+					wire.PutMessage(m)
 					continue // original execution will answer
 				}
 			}
-			mm := m
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				s.handleCall(conn, mm)
-			}()
+			s.dispatch(task{conn: conn, m: m})
 		case wire.OneWay:
 			s.oneWays.Add(1)
-			mm := m
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				s.handleOneWay(mm)
-			}()
+			s.dispatch(task{m: m})
 		case wire.FlowMsg:
 			s.flows.Add(1)
 			s.handleFlow(m)
+			wire.PutMessage(m)
 		case wire.SignalMsg:
 			s.signals.Add(1)
 			s.handleSignal(m)
+			wire.PutMessage(m)
 		default:
 			s.badFrames.Add(1)
+			wire.PutMessage(m)
 		}
 	}
 }
@@ -328,15 +400,16 @@ func (s *Server) handleCall(conn netsim.Conn, m *wire.Message) {
 			return
 		}
 	}
-	s.reply(conn, m, &wire.Message{
-		Kind:        wire.Reply,
-		BindingID:   m.BindingID,
-		Correlation: m.Correlation,
-		Target:      m.Target,
-		Operation:   m.Operation,
-		Termination: term,
-		Args:        results,
-	})
+	rm := wire.GetMessage()
+	rm.Kind = wire.Reply
+	rm.BindingID = m.BindingID
+	rm.Correlation = m.Correlation
+	rm.Target = m.Target
+	rm.Operation = m.Operation
+	rm.Termination = term
+	rm.Args = results
+	s.reply(conn, m, rm)
+	wire.PutMessage(rm)
 }
 
 func (s *Server) handleOneWay(m *wire.Message) {
@@ -433,15 +506,16 @@ func checkTermination(decl types.Operation, term string, results []values.Value)
 
 func (s *Server) sendErr(conn netsim.Conn, req *wire.Message, code, detail string) {
 	s.errCount.Add(1)
-	s.reply(conn, req, &wire.Message{
-		Kind:        wire.ErrReply,
-		BindingID:   req.BindingID,
-		Correlation: req.Correlation,
-		Target:      req.Target,
-		Operation:   req.Operation,
-		Termination: code,
-		Args:        []values.Value{values.Str(detail)},
-	})
+	rm := wire.GetMessage()
+	rm.Kind = wire.ErrReply
+	rm.BindingID = req.BindingID
+	rm.Correlation = req.Correlation
+	rm.Target = req.Target
+	rm.Operation = req.Operation
+	rm.Termination = code
+	rm.Args = []values.Value{values.Str(detail)}
+	s.reply(conn, req, rm)
+	wire.PutMessage(rm)
 }
 
 // reply runs the outbound pipeline, mirrors the request codec and sends,
@@ -455,15 +529,22 @@ func (s *Server) reply(conn netsim.Conn, req, m *wire.Message) {
 	if err != nil {
 		codec = wire.Canonical
 	}
-	frame, err := m.Encode(codec)
+	frame, err := m.EncodeAppend(wire.GetFrame(m.SizeHint()), codec)
 	if err != nil {
 		s.errCount.Add(1)
+		wire.PutFrame(frame)
 		return
 	}
+	retained := false
 	if s.cfg.ReplayGuard && req.Kind == wire.Call {
-		s.guardStore(req, frame)
+		retained = s.guardStore(req, frame)
 	}
 	_ = conn.Send(frame) // a dead conn fails the client's call by timeout
+	if !retained {
+		// Send does not keep a reference past return, so the buffer can go
+		// back to the pool unless the replay cache holds it.
+		wire.PutFrame(frame)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -489,8 +570,16 @@ func (s *Server) guardCheck(m *wire.Message) (guardVerdict, []byte) {
 	defer s.mu.Unlock()
 	g, ok := s.guards[m.BindingID]
 	if !ok {
+		// Bound the number of tracked bindings: evict oldest-first so a
+		// flood of fresh binding ids cannot grow the guard without bound.
+		for len(s.guards) >= s.cfg.MaxGuardBindings && len(s.guardOrder) > 0 {
+			evict := s.guardOrder[0]
+			s.guardOrder = s.guardOrder[1:]
+			delete(s.guards, evict)
+		}
 		g = &bindingGuard{replies: make(map[uint64][]byte)}
 		s.guards[m.BindingID] = g
+		s.guardOrder = append(s.guardOrder, m.BindingID)
 	}
 	if frame, seen := g.replies[m.Correlation]; seen {
 		if frame == nil {
@@ -514,14 +603,19 @@ func (s *Server) guardCheck(m *wire.Message) (guardVerdict, []byte) {
 	return guardFresh, nil
 }
 
-func (s *Server) guardStore(req *wire.Message, frame []byte) {
+// guardStore records the reply frame for replay answering. It reports
+// whether the frame was retained: a retained frame is owned by the cache
+// and must not be recycled by the caller.
+func (s *Server) guardStore(req *wire.Message, frame []byte) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	g, ok := s.guards[req.BindingID]
 	if !ok {
-		return
+		return false
 	}
 	if _, tracked := g.replies[req.Correlation]; tracked {
 		g.replies[req.Correlation] = frame
+		return true
 	}
+	return false
 }

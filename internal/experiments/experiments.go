@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bank"
@@ -387,18 +388,22 @@ func E5Structure() []Scenario {
 // ---------------------------------------------------------------------------
 // E6 — the transparency ablation matrix
 
-type e6Counter struct{ n int64 }
+type e6Counter struct{ n atomic.Int64 }
 
 func (c *e6Counter) Invoke(_ context.Context, op string, args []values.Value) (string, []values.Value, error) {
 	if op == "Inc" {
 		d, _ := args[0].AsInt()
-		c.n += d
+		return "OK", []values.Value{values.Int(c.n.Add(d))}, nil
 	}
-	return "OK", []values.Value{values.Int(c.n)}, nil
+	return "OK", []values.Value{values.Int(c.n.Load())}, nil
 }
 
-func (c *e6Counter) CheckpointState() (values.Value, error) { return values.Int(c.n), nil }
-func (c *e6Counter) RestoreState(v values.Value) error      { c.n, _ = v.AsInt(); return nil }
+func (c *e6Counter) CheckpointState() (values.Value, error) { return values.Int(c.n.Load()), nil }
+func (c *e6Counter) RestoreState(v values.Value) error {
+	n, _ := v.AsInt()
+	c.n.Store(n)
+	return nil
+}
 
 func e6CounterType() *types.Interface {
 	return types.OpInterface("Counter",

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/naming"
 )
 
@@ -276,12 +277,17 @@ func (c *simConn) Send(frame []byte) error {
 		return nil // black hole
 	}
 	p := n.linkFor(c.local.Address(), c.remote.Address())
-	cp := make([]byte, len(frame))
-	copy(cp, frame)
 	if p.perfect() {
-		c.peer.deliver(cp)
+		// Fast path: copy into a pooled buffer. The receiver owns the
+		// frame returned by Recv and may recycle it (package channel puts
+		// frames back after decoding), closing the loop: the buffer a
+		// client encoded into last call is the one the sim copies into
+		// this call.
+		c.peer.deliver(append(bufpool.Get(len(frame)), frame...))
 		return nil
 	}
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
 	// Imperfect link: apply loss/duplication now (seeded RNG), delay in the
 	// per-direction delivery goroutine to preserve FIFO order.
 	n.mu.Lock()

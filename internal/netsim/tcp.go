@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/naming"
 )
 
@@ -16,37 +17,57 @@ import (
 // corruption or a hostile peer.
 const maxFrame = 64 << 20
 
+// TCPConfig configures the TCP transport.
+type TCPConfig struct {
+	// Coalesce enables Nagle-style batching of small outbound frames:
+	// Send appends to a pending buffer that a background writer drains
+	// into single large socket writes, flushing whenever the socket is
+	// idle (so an isolated frame still departs immediately — there is no
+	// fixed delay timer). Callers needing a hard barrier use the Flusher
+	// interface. Coalescing trades per-frame syscalls for a copy and is
+	// worthwhile when many goroutines share one connection. It exists
+	// only on the TCP transport; the simulated transport stays
+	// synchronous so experiment runs remain deterministic.
+	Coalesce bool
+}
+
 // TCP is the real-network transport: frames travel length-prefixed over
 // TCP connections. Endpoints have the form "tcp://host:port".
-type TCP struct{}
+type TCP struct {
+	cfg TCPConfig
+}
 
 var _ Transport = TCP{}
 
-// NewTCP returns the TCP transport.
+// NewTCP returns the TCP transport with default (uncoalesced) writes.
 func NewTCP() TCP { return TCP{} }
 
+// NewTCPWithConfig returns a TCP transport with explicit configuration.
+func NewTCPWithConfig(cfg TCPConfig) TCP { return TCP{cfg: cfg} }
+
 // Dial connects to a TCP endpoint.
-func (TCP) Dial(ctx context.Context, ep naming.Endpoint) (Conn, error) {
+func (t TCP) Dial(ctx context.Context, ep naming.Endpoint) (Conn, error) {
 	var d net.Dialer
 	nc, err := d.DialContext(ctx, "tcp", ep.Address())
 	if err != nil {
 		return nil, fmt.Errorf("netsim: dial %s: %w", ep, err)
 	}
-	return newTCPConn(nc, ep), nil
+	return newTCPConn(nc, ep, t.cfg), nil
 }
 
 // Listen opens a TCP listener. The address "tcp://127.0.0.1:0" asks the
 // kernel for a free port; Listener.Endpoint reports the bound address.
-func (TCP) Listen(ep naming.Endpoint) (Listener, error) {
+func (t TCP) Listen(ep naming.Endpoint) (Listener, error) {
 	nl, err := net.Listen("tcp", ep.Address())
 	if err != nil {
 		return nil, fmt.Errorf("netsim: listen %s: %w", ep, err)
 	}
-	return &tcpListener{nl: nl}, nil
+	return &tcpListener{nl: nl, cfg: t.cfg}, nil
 }
 
 type tcpListener struct {
-	nl net.Listener
+	nl  net.Listener
+	cfg TCPConfig
 }
 
 func (l *tcpListener) Accept() (Conn, error) {
@@ -54,7 +75,7 @@ func (l *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netsim: accept: %w", err)
 	}
-	return newTCPConn(nc, naming.Endpoint("tcp://"+nc.RemoteAddr().String())), nil
+	return newTCPConn(nc, naming.Endpoint("tcp://"+nc.RemoteAddr().String()), l.cfg), nil
 }
 
 func (l *tcpListener) Close() error { return l.nl.Close() }
@@ -64,23 +85,48 @@ func (l *tcpListener) Endpoint() naming.Endpoint {
 }
 
 type tcpConn struct {
-	nc     net.Conn
-	remote naming.Endpoint
+	nc       net.Conn
+	remote   naming.Endpoint
+	coalesce bool
 
 	readMu  sync.Mutex
 	writeMu sync.Mutex
-	lenBuf  [4]byte // guarded by writeMu
+	lenBuf  [4]byte // guarded by writeMu (direct-write path)
+
+	// Coalescing state, guarded by writeMu. Send appends length-prefixed
+	// frames to pend; the writer goroutine swaps pend for spare and writes
+	// the whole batch in one syscall, so frames queued while a write is in
+	// flight depart together — flush-on-idle batching with no delay timer.
+	cond    *sync.Cond // signals writers + Flush waiters; tied to writeMu
+	pend    []byte
+	spare   []byte
+	writing bool
+	werr    error
+	closed  bool
+	kick    chan struct{}
 }
 
-var _ Conn = (*tcpConn)(nil)
+var (
+	_ Conn    = (*tcpConn)(nil)
+	_ Flusher = (*tcpConn)(nil)
+)
 
-func newTCPConn(nc net.Conn, remote naming.Endpoint) *tcpConn {
-	return &tcpConn{nc: nc, remote: remote}
+func newTCPConn(nc net.Conn, remote naming.Endpoint, cfg TCPConfig) *tcpConn {
+	c := &tcpConn{nc: nc, remote: remote, coalesce: cfg.Coalesce}
+	if c.coalesce {
+		c.cond = sync.NewCond(&c.writeMu)
+		c.kick = make(chan struct{}, 1)
+		go c.writerLoop()
+	}
+	return c
 }
 
 func (c *tcpConn) Send(frame []byte) error {
 	if len(frame) > maxFrame {
 		return fmt.Errorf("netsim: frame of %d bytes exceeds limit", len(frame))
+	}
+	if c.coalesce {
+		return c.sendCoalesced(frame)
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
@@ -92,6 +138,71 @@ func (c *tcpConn) Send(frame []byte) error {
 		return fmt.Errorf("netsim: write frame: %w", err)
 	}
 	return nil
+}
+
+func (c *tcpConn) sendCoalesced(frame []byte) error {
+	c.writeMu.Lock()
+	if c.werr != nil {
+		err := c.werr
+		c.writeMu.Unlock()
+		return err
+	}
+	if c.closed {
+		c.writeMu.Unlock()
+		return ErrClosed
+	}
+	c.pend = binary.BigEndian.AppendUint32(c.pend, uint32(len(frame)))
+	c.pend = append(c.pend, frame...)
+	// Kick under the lock: Close also closes the channel under it, so a
+	// send on a closed channel is impossible.
+	select {
+	case c.kick <- struct{}{}:
+	default: // writer already has a wakeup pending
+	}
+	c.writeMu.Unlock()
+	return nil
+}
+
+func (c *tcpConn) writerLoop() {
+	for range c.kick {
+		for {
+			c.writeMu.Lock()
+			if len(c.pend) == 0 || c.werr != nil {
+				c.writing = false
+				c.cond.Broadcast() // idle: wake Flush waiters
+				c.writeMu.Unlock()
+				break
+			}
+			batch := c.pend
+			c.pend = c.spare[:0]
+			c.spare = nil
+			c.writing = true
+			c.writeMu.Unlock()
+
+			_, err := c.nc.Write(batch)
+
+			c.writeMu.Lock()
+			c.spare = batch[:0]
+			if err != nil && c.werr == nil {
+				c.werr = fmt.Errorf("netsim: write batch: %w", err)
+			}
+			c.writeMu.Unlock()
+		}
+	}
+}
+
+// Flush implements Flusher: it blocks until every accepted frame has been
+// written to the socket, returning the writer's sticky error if any.
+func (c *tcpConn) Flush() error {
+	if !c.coalesce {
+		return nil
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	for (len(c.pend) > 0 || c.writing) && c.werr == nil && !c.closed {
+		c.cond.Wait()
+	}
+	return c.werr
 }
 
 func (c *tcpConn) Recv() ([]byte, error) {
@@ -108,7 +219,7 @@ func (c *tcpConn) Recv() ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("netsim: frame of %d bytes exceeds limit", n)
 	}
-	frame := make([]byte, n)
+	frame := bufpool.Get(int(n))[:n]
 	if _, err := io.ReadFull(c.nc, frame); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF || errors.Is(err, net.ErrClosed) {
 			return nil, ErrClosed
@@ -118,7 +229,19 @@ func (c *tcpConn) Recv() ([]byte, error) {
 	return frame, nil
 }
 
-func (c *tcpConn) Close() error { return c.nc.Close() }
+func (c *tcpConn) Close() error {
+	if c.coalesce {
+		_ = c.Flush() // drain accepted frames before tearing the socket down
+		c.writeMu.Lock()
+		if !c.closed {
+			c.closed = true
+			close(c.kick)
+			c.cond.Broadcast()
+		}
+		c.writeMu.Unlock()
+	}
+	return c.nc.Close()
+}
 
 func (c *tcpConn) RemoteEndpoint() naming.Endpoint { return c.remote }
 

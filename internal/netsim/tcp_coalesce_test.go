@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// startCoalescedPair returns a dialed coalescing connection and the
+// server-side accepted connection.
+func startCoalescedPair(t *testing.T) (client, server Conn) {
+	t.Helper()
+	tr := NewTCPWithConfig(TCPConfig{Coalesce: true})
+	l, err := tr.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	client, err = tr.Dial(context.Background(), l.Endpoint())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { client.Close() })
+	server = <-accepted
+	t.Cleanup(func() { server.Close() })
+	return client, server
+}
+
+func TestTCPCoalesceDeliversAllFrames(t *testing.T) {
+	client, server := startCoalescedPair(t)
+	const senders = 4
+	const frames = 100
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < frames; i++ {
+				if err := client.Send([]byte(fmt.Sprintf("s%d-f%d", s, i))); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if f, ok := client.(Flusher); !ok {
+		t.Fatal("coalescing conn does not implement Flusher")
+	} else if err := f.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got := map[string]bool{}
+	for i := 0; i < senders*frames; i++ {
+		frame, err := server.Recv()
+		if err != nil {
+			t.Fatalf("Recv after %d frames: %v", i, err)
+		}
+		got[string(frame)] = true
+	}
+	for s := 0; s < senders; s++ {
+		for i := 0; i < frames; i++ {
+			if !got[fmt.Sprintf("s%d-f%d", s, i)] {
+				t.Fatalf("frame s%d-f%d never arrived", s, i)
+			}
+		}
+	}
+}
+
+func TestTCPCoalesceFlushEmptyAndRepeated(t *testing.T) {
+	client, _ := startCoalescedPair(t)
+	f := client.(Flusher)
+	for i := 0; i < 3; i++ {
+		if err := f.Flush(); err != nil {
+			t.Fatalf("Flush %d on idle conn: %v", i, err)
+		}
+	}
+}
+
+// TestTCPCoalesceCloseDrains checks that frames accepted before Close are
+// written out: Close flushes, so the peer still receives them.
+func TestTCPCoalesceCloseDrains(t *testing.T) {
+	client, server := startCoalescedPair(t)
+	const frames = 50
+	for i := 0; i < frames; i++ {
+		if err := client.Send([]byte(fmt.Sprintf("f%d", i))); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	if err := client.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i := 0; i < frames; i++ {
+		frame, err := server.Recv()
+		if err != nil {
+			t.Fatalf("Recv after %d of %d frames: %v", i, frames, err)
+		}
+		if want := fmt.Sprintf("f%d", i); string(frame) != want {
+			t.Fatalf("frame %d = %q, want %q", i, frame, want)
+		}
+	}
+	if _, err := server.Recv(); err != ErrClosed {
+		t.Fatalf("Recv after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPCoalesceSendAfterCloseFails(t *testing.T) {
+	client, _ := startCoalescedPair(t)
+	if err := client.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := client.Send([]byte("late")); err == nil {
+		t.Fatal("Send after Close succeeded")
+	}
+	// Flush after close must not hang.
+	if err := client.(Flusher).Flush(); err != nil && err != ErrClosed {
+		t.Logf("Flush after close: %v", err) // any prompt return is fine
+	}
+}
+
+func TestUncoalescedConnFlushIsNoop(t *testing.T) {
+	tr := NewTCP()
+	l, err := tr.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		if c, err := l.Accept(); err == nil {
+			defer c.Close()
+			_, _ = c.Recv()
+		}
+	}()
+	conn, err := tr.Dial(context.Background(), l.Endpoint())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	if err := conn.(Flusher).Flush(); err != nil {
+		t.Fatalf("Flush on direct-write conn: %v", err)
+	}
+}

@@ -37,8 +37,12 @@ type Conn interface {
 	// Send enqueues one frame for delivery to the peer. A nil error means
 	// the frame was accepted by the local end, not that it will arrive:
 	// lossy links may drop it silently, exactly like a datagram network.
+	// The implementation must not retain frame after Send returns, so the
+	// caller is free to reuse or recycle the buffer.
 	Send(frame []byte) error
-	// Recv blocks until a frame arrives or the connection closes.
+	// Recv blocks until a frame arrives or the connection closes. The
+	// returned slice is owned by the caller, which may recycle it (e.g.
+	// via wire.PutFrame) once no decoded view of it can escape.
 	Recv() ([]byte, error)
 	// Close tears down both directions.
 	Close() error
@@ -46,6 +50,14 @@ type Conn interface {
 	RemoteEndpoint() naming.Endpoint
 	// LocalEndpoint names this end.
 	LocalEndpoint() naming.Endpoint
+}
+
+// Flusher is implemented by connections that coalesce small outbound
+// frames (see TCPConfig.Coalesce). Flush blocks until every frame accepted
+// by Send so far has been handed to the underlying transport, and returns
+// any write error the background writer has encountered.
+type Flusher interface {
+	Flush() error
 }
 
 // Listener accepts inbound connections at an endpoint.

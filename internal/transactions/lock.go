@@ -60,6 +60,10 @@ type lockManager struct {
 	locks map[string]*lockEntry
 	// waits[a] is the set of transactions a is currently waiting on.
 	waits map[uint64]map[uint64]struct{}
+	// free recycles lock entries: strict 2PL creates and destroys an entry
+	// per key per transaction lifetime, so reuse (keeping the holders map's
+	// buckets) makes acquire/release allocation-free in steady state.
+	free []*lockEntry
 }
 
 func newLockManager() *lockManager {
@@ -77,7 +81,12 @@ func (lm *lockManager) acquire(ctx context.Context, tx uint64, key string, mode 
 	lm.mu.Lock()
 	e, ok := lm.locks[key]
 	if !ok {
-		e = &lockEntry{holders: make(map[uint64]lockMode)}
+		if n := len(lm.free); n > 0 {
+			e = lm.free[n-1]
+			lm.free = lm.free[:n-1]
+		} else {
+			e = &lockEntry{holders: make(map[uint64]lockMode)}
+		}
 		lm.locks[key] = e
 	}
 	if lm.grantable(e, tx, mode) {
@@ -216,6 +225,11 @@ func (lm *lockManager) releaseAll(tx uint64) {
 		lm.grantQueued(e)
 		if len(e.holders) == 0 && len(e.queue) == 0 {
 			delete(lm.locks, key)
+			if len(lm.free) < 64 {
+				clear(e.holders)
+				e.queue = e.queue[:0]
+				lm.free = append(lm.free, e)
+			}
 		}
 	}
 }

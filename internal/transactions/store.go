@@ -40,6 +40,9 @@ type Store struct {
 	committed map[string]values.Value
 	writeSets map[uint64]map[string]WriteOp
 	prepared  map[uint64]bool
+	// wsFree recycles write-set maps between transactions (cleared, so the
+	// bucket arrays are reused instead of reallocated every transaction).
+	wsFree []map[string]WriteOp
 }
 
 var _ Participant = (*Store)(nil)
@@ -97,11 +100,32 @@ func (s *Store) put(ctx context.Context, txID uint64, key string, v values.Value
 	defer s.mu.Unlock()
 	ws, ok := s.writeSets[txID]
 	if !ok {
-		ws = make(map[string]WriteOp)
+		ws = s.newWriteSet()
 		s.writeSets[txID] = ws
 	}
 	ws[key] = WriteOp{Key: key, Value: v}
 	return nil
+}
+
+// newWriteSet returns an empty write-set map, reusing a recycled one when
+// available. Callers hold s.mu.
+func (s *Store) newWriteSet() map[string]WriteOp {
+	if n := len(s.wsFree); n > 0 {
+		ws := s.wsFree[n-1]
+		s.wsFree = s.wsFree[:n-1]
+		return ws
+	}
+	return make(map[string]WriteOp)
+}
+
+// recycleWriteSet clears a finished transaction's write set and keeps it
+// for reuse. Callers hold s.mu.
+func (s *Store) recycleWriteSet(ws map[string]WriteOp) {
+	if ws == nil || len(s.wsFree) >= 16 {
+		return
+	}
+	clear(ws)
+	s.wsFree = append(s.wsFree, ws)
 }
 
 // del stages a deletion under an exclusive lock.
@@ -113,7 +137,7 @@ func (s *Store) del(ctx context.Context, txID uint64, key string) error {
 	defer s.mu.Unlock()
 	ws, ok := s.writeSets[txID]
 	if !ok {
-		ws = make(map[string]WriteOp)
+		ws = s.newWriteSet()
 		s.writeSets[txID] = ws
 	}
 	ws[key] = WriteOp{Key: key, Delete: true}
@@ -163,7 +187,8 @@ func (s *Store) Commit(txID uint64) error {
 		s.mu.Unlock()
 		return err
 	}
-	for key, op := range s.writeSets[txID] {
+	ws := s.writeSets[txID]
+	for key, op := range ws {
 		if op.Delete {
 			delete(s.committed, key)
 		} else {
@@ -172,6 +197,7 @@ func (s *Store) Commit(txID uint64) error {
 	}
 	delete(s.writeSets, txID)
 	delete(s.prepared, txID)
+	s.recycleWriteSet(ws)
 	s.mu.Unlock()
 	s.lm.releaseAll(txID)
 	return nil
@@ -181,12 +207,13 @@ func (s *Store) Commit(txID uint64) error {
 // transaction the store has never seen is a no-op.
 func (s *Store) Abort(txID uint64) error {
 	s.mu.Lock()
-	_, hadWrites := s.writeSets[txID]
+	ws, hadWrites := s.writeSets[txID]
 	if hadWrites || s.prepared[txID] {
 		_ = s.appendLog(Record{Kind: RecAbort, TxID: txID}) // abort is presumed anyway
 	}
 	delete(s.writeSets, txID)
 	delete(s.prepared, txID)
+	s.recycleWriteSet(ws)
 	s.mu.Unlock()
 	s.lm.releaseAll(txID)
 	return nil

@@ -51,11 +51,11 @@ func (c *Coordinator) Begin(ctx context.Context) *Tx {
 	defer c.mu.Unlock()
 	c.nextTx++
 	t := &Tx{
-		id:           c.nextTx,
-		ctx:          ctx,
-		coord:        c,
-		participants: make(map[string]Participant),
+		id:    c.nextTx,
+		ctx:   ctx,
+		coord: c,
 	}
+	t.participants = t.partBuf[:0]
 	c.active[t.id] = t
 	return t
 }
@@ -105,22 +105,39 @@ const (
 // multiple goroutines (like database transactions generally); run
 // concurrent work in separate transactions.
 type Tx struct {
-	id           uint64
-	ctx          context.Context
-	coord        *Coordinator
-	participants map[string]Participant
+	id    uint64
+	ctx   context.Context
+	coord *Coordinator
+	// participants is deduplicated by name. Most transactions touch one or
+	// two resources, so it lives in a small inline buffer and a linear scan
+	// replaces the map a general registry would use.
+	participants []Participant
+	partBuf      [4]Participant
 	state        txState
 }
 
 // ID returns the transaction identifier.
 func (t *Tx) ID() uint64 { return t.id }
 
+// enlist registers a participant, replacing any previous one of the same
+// name (matching the map semantics this list replaces).
+func (t *Tx) enlist(p Participant) {
+	name := p.Name()
+	for i, q := range t.participants {
+		if q.Name() == name {
+			t.participants[i] = p
+			return
+		}
+	}
+	t.participants = append(t.participants, p)
+}
+
 // Enlist adds a participant; stores enlist automatically on first touch.
 func (t *Tx) Enlist(p Participant) error {
 	if t.state != txActive {
 		return ErrTxDone
 	}
-	t.participants[p.Name()] = p
+	t.enlist(p)
 	return nil
 }
 
@@ -129,7 +146,7 @@ func (t *Tx) Read(s *Store, key string) (values.Value, error) {
 	if t.state != txActive {
 		return values.Value{}, ErrTxDone
 	}
-	t.participants[s.Name()] = s
+	t.enlist(s)
 	return s.get(t.ctx, t.id, key)
 }
 
@@ -138,7 +155,7 @@ func (t *Tx) Write(s *Store, key string, v values.Value) error {
 	if t.state != txActive {
 		return ErrTxDone
 	}
-	t.participants[s.Name()] = s
+	t.enlist(s)
 	return s.put(t.ctx, t.id, key, v)
 }
 
@@ -147,7 +164,7 @@ func (t *Tx) Delete(s *Store, key string) error {
 	if t.state != txActive {
 		return ErrTxDone
 	}
-	t.participants[s.Name()] = s
+	t.enlist(s)
 	return s.del(t.ctx, t.id, key)
 }
 
@@ -160,10 +177,10 @@ func (t *Tx) Commit() error {
 		return ErrTxDone
 	}
 	// Phase 1: voting.
-	for name, p := range t.participants {
+	for _, p := range t.participants {
 		if err := p.Prepare(t.id); err != nil {
 			t.rollback()
-			return fmt.Errorf("%w: %s: %v", ErrVetoed, name, err)
+			return fmt.Errorf("%w: %s: %v", ErrVetoed, p.Name(), err)
 		}
 	}
 	// Decision point: once logged, the transaction IS committed, whatever
@@ -173,9 +190,9 @@ func (t *Tx) Commit() error {
 	t.state = txCommitted
 	// Phase 2: completion.
 	var firstErr error
-	for name, p := range t.participants {
+	for _, p := range t.participants {
 		if err := p.Commit(t.id); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("transactions: participant %s failed after decision: %w", name, err)
+			firstErr = fmt.Errorf("transactions: participant %s failed after decision: %w", p.Name(), err)
 		}
 	}
 	return firstErr

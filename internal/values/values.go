@@ -131,6 +131,18 @@ func Record(fields ...Field) Value {
 // F is shorthand for constructing a record Field.
 func F(name string, v Value) Field { return Field{Name: name, Value: v} }
 
+// RecordOwned constructs a record value that takes ownership of fields:
+// the slice is not copied, and the caller must neither read nor modify it
+// afterwards. Decoders use this to build a record in a single allocation;
+// everyone else should prefer Record, whose defensive copy preserves the
+// value's immutability no matter what the caller does with the slice.
+func RecordOwned(fields []Field) Value { return Value{kind: KindRecord, fields: fields} }
+
+// SeqOwned constructs a sequence value that takes ownership of elems: the
+// slice is not copied, and the caller must neither read nor modify it
+// afterwards. See RecordOwned.
+func SeqOwned(elems []Value) Value { return Value{kind: KindSeq, elems: elems} }
+
 // Seq constructs a sequence value from the given elements. The slice is copied.
 func Seq(elems ...Value) Value {
 	cp := make([]Value, len(elems))
@@ -199,6 +211,16 @@ func (v Value) AsBytes() ([]byte, bool) {
 	cp := make([]byte, len(v.bytes))
 	copy(cp, v.bytes)
 	return cp, true
+}
+
+// BytesView returns the octet payload without the defensive copy of
+// AsBytes; the caller must not modify the returned slice. Encoders use it
+// to marshal bytes values allocation-free. ok is false if the kind differs.
+func (v Value) BytesView() ([]byte, bool) {
+	if v.kind != KindBytes {
+		return nil, false
+	}
+	return v.bytes, true
 }
 
 // AsEnum returns the enum symbol; ok is false if the kind differs.

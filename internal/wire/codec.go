@@ -108,19 +108,19 @@ func (c nativeCodec) AppendValue(dst []byte, v values.Value) ([]byte, error) {
 		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f)), nil
 	case values.KindString:
 		s, _ := v.AsString()
-		return c.appendBytes(dst, []byte(s)), nil
+		return c.appendString(dst, s), nil
 	case values.KindEnum:
 		s, _ := v.AsEnum()
-		return c.appendBytes(dst, []byte(s)), nil
+		return c.appendString(dst, s), nil
 	case values.KindBytes:
-		b, _ := v.AsBytes()
+		b, _ := v.BytesView()
 		return c.appendBytes(dst, b), nil
 	case values.KindRecord:
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(v.NumFields()))
 		var err error
 		for i := 0; i < v.NumFields(); i++ {
 			f := v.FieldAt(i)
-			dst = c.appendBytes(dst, []byte(f.Name))
+			dst = c.appendString(dst, f.Name)
 			if dst, err = c.AppendValue(dst, f.Value); err != nil {
 				return nil, err
 			}
@@ -137,7 +137,7 @@ func (c nativeCodec) AppendValue(dst []byte, v values.Value) ([]byte, error) {
 		return dst, nil
 	case values.KindAny:
 		dt, inner, _ := v.AsAny()
-		dst = appendDataType(dst, dt, binary.LittleEndian, c.appendBytes)
+		dst = appendDataType(dst, dt, binary.LittleEndian, c.appendString)
 		return c.AppendValue(dst, inner)
 	}
 	return nil, fmt.Errorf("%w: kind %v", ErrBadTag, v.Kind())
@@ -146,6 +146,13 @@ func (c nativeCodec) AppendValue(dst []byte, v values.Value) ([]byte, error) {
 func (nativeCodec) appendBytes(dst, b []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
 	return append(dst, b...)
+}
+
+// appendString is appendBytes for strings, avoiding the []byte conversion
+// (and its allocation) on the encode hot path.
+func (nativeCodec) appendString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
 }
 
 func (c nativeCodec) ReadValue(data []byte, off int) (values.Value, int, error) {
@@ -183,19 +190,19 @@ func (c canonicalCodec) AppendValue(dst []byte, v values.Value) ([]byte, error) 
 		return binary.BigEndian.AppendUint64(dst, math.Float64bits(f)), nil
 	case values.KindString:
 		s, _ := v.AsString()
-		return c.appendBytes(dst, []byte(s)), nil
+		return c.appendString(dst, s), nil
 	case values.KindEnum:
 		s, _ := v.AsEnum()
-		return c.appendBytes(dst, []byte(s)), nil
+		return c.appendString(dst, s), nil
 	case values.KindBytes:
-		b, _ := v.AsBytes()
+		b, _ := v.BytesView()
 		return c.appendBytes(dst, b), nil
 	case values.KindRecord:
 		dst = binary.BigEndian.AppendUint32(dst, uint32(v.NumFields()))
 		var err error
 		for i := 0; i < v.NumFields(); i++ {
 			f := v.FieldAt(i)
-			dst = c.appendBytes(dst, []byte(f.Name))
+			dst = c.appendString(dst, f.Name)
 			if dst, err = c.AppendValue(dst, f.Value); err != nil {
 				return nil, err
 			}
@@ -212,11 +219,14 @@ func (c canonicalCodec) AppendValue(dst []byte, v values.Value) ([]byte, error) 
 		return dst, nil
 	case values.KindAny:
 		dt, inner, _ := v.AsAny()
-		dst = appendDataType(dst, dt, binary.BigEndian, c.appendBytes)
+		dst = appendDataType(dst, dt, binary.BigEndian, c.appendString)
 		return c.AppendValue(dst, inner)
 	}
 	return nil, fmt.Errorf("%w: kind %v", ErrBadTag, v.Kind())
 }
+
+// zeroPad supplies XDR padding bytes without a per-call allocation.
+var zeroPad [4]byte
 
 // appendBytes appends a big-endian length followed by the data padded with
 // zeros to a 4-byte boundary, XDR opaque style.
@@ -224,7 +234,18 @@ func (canonicalCodec) appendBytes(dst, b []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
 	dst = append(dst, b...)
 	if pad := (4 - len(b)%4) % 4; pad > 0 {
-		dst = append(dst, make([]byte, pad)...)
+		dst = append(dst, zeroPad[:pad]...)
+	}
+	return dst
+}
+
+// appendString is appendBytes for strings, avoiding the []byte conversion
+// (and its allocation) on the encode hot path.
+func (canonicalCodec) appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+	dst = append(dst, s...)
+	if pad := (4 - len(s)%4) % 4; pad > 0 {
+		dst = append(dst, zeroPad[:pad]...)
 	}
 	return dst
 }
@@ -280,13 +301,13 @@ func readValue(data []byte, off int, order binary.ByteOrder, padded bool) (value
 		if err != nil {
 			return values.Value{}, off, err
 		}
-		return values.Str(string(b)), off2, nil
+		return values.Str(internBytes(b)), off2, nil
 	case values.KindEnum:
 		b, off2, err := readBytes(data, off, order, padded)
 		if err != nil {
 			return values.Value{}, off, err
 		}
-		return values.Enum(string(b)), off2, nil
+		return values.Enum(internBytes(b)), off2, nil
 	case values.KindBytes:
 		b, off2, err := readBytes(data, off, order, padded)
 		if err != nil {
@@ -294,47 +315,9 @@ func readValue(data []byte, off int, order binary.ByteOrder, padded bool) (value
 		}
 		return values.BytesVal(b), off2, nil
 	case values.KindRecord:
-		n, off2, err := readU32(data, off, order)
-		if err != nil {
-			return values.Value{}, off, err
-		}
-		if n > MaxLen {
-			return values.Value{}, off, fmt.Errorf("%w: %d record fields", ErrTooLarge, n)
-		}
-		off = off2
-		fields := make([]values.Field, 0, n)
-		for i := uint32(0); i < n; i++ {
-			nameB, offN, err := readBytes(data, off, order, padded)
-			if err != nil {
-				return values.Value{}, off, err
-			}
-			fv, offV, err := readValue(data, offN, order, padded)
-			if err != nil {
-				return values.Value{}, offN, err
-			}
-			fields = append(fields, values.F(string(nameB), fv))
-			off = offV
-		}
-		return values.Record(fields...), off, nil
+		return readRecordValue(data, off, order, padded)
 	case values.KindSeq:
-		n, off2, err := readU32(data, off, order)
-		if err != nil {
-			return values.Value{}, off, err
-		}
-		if n > MaxLen {
-			return values.Value{}, off, fmt.Errorf("%w: %d elements", ErrTooLarge, n)
-		}
-		off = off2
-		elems := make([]values.Value, 0, n)
-		for i := uint32(0); i < n; i++ {
-			ev, offE, err := readValue(data, off, order, padded)
-			if err != nil {
-				return values.Value{}, off, err
-			}
-			elems = append(elems, ev)
-			off = offE
-		}
-		return values.Seq(elems...), off, nil
+		return readSeqValue(data, off, order, padded)
 	case values.KindAny:
 		dt, off2, err := readDataType(data, off, order, padded)
 		if err != nil {
@@ -347,6 +330,67 @@ func readValue(data []byte, off int, order binary.ByteOrder, padded bool) (value
 		return values.Any(dt, inner), off3, nil
 	}
 	return values.Value{}, off, fmt.Errorf("%w: value tag %d", ErrBadTag, kind)
+}
+
+// readRecordValue parses record fields into a pooled scratch slice, then
+// copies them into an exactly-sized slice owned by the resulting value.
+// Parsing into scratch (rather than pre-allocating from the length prefix)
+// means a forged field count cannot reserve huge capacity, and the single
+// copy-out replaces the two allocations of grow-while-parsing plus
+// values.Record's defensive copy.
+func readRecordValue(data []byte, off int, order binary.ByteOrder, padded bool) (values.Value, int, error) {
+	n, off2, err := readU32(data, off, order)
+	if err != nil {
+		return values.Value{}, off, err
+	}
+	if n > MaxLen {
+		return values.Value{}, off, fmt.Errorf("%w: %d record fields", ErrTooLarge, n)
+	}
+	off = off2
+	sp := getFieldScratch()
+	scratch := (*sp)[:0]
+	defer func() { putFieldScratch(sp, scratch) }()
+	for i := uint32(0); i < n; i++ {
+		nameB, offN, err := readBytes(data, off, order, padded)
+		if err != nil {
+			return values.Value{}, off, err
+		}
+		fv, offV, err := readValue(data, offN, order, padded)
+		if err != nil {
+			return values.Value{}, offN, err
+		}
+		scratch = append(scratch, values.F(internBytes(nameB), fv))
+		off = offV
+	}
+	out := make([]values.Field, len(scratch))
+	copy(out, scratch)
+	return values.RecordOwned(out), off, nil
+}
+
+// readSeqValue is readRecordValue for sequences; see there.
+func readSeqValue(data []byte, off int, order binary.ByteOrder, padded bool) (values.Value, int, error) {
+	n, off2, err := readU32(data, off, order)
+	if err != nil {
+		return values.Value{}, off, err
+	}
+	if n > MaxLen {
+		return values.Value{}, off, fmt.Errorf("%w: %d elements", ErrTooLarge, n)
+	}
+	off = off2
+	sp := getValueScratch()
+	scratch := (*sp)[:0]
+	defer func() { putValueScratch(sp, scratch) }()
+	for i := uint32(0); i < n; i++ {
+		ev, offE, err := readValue(data, off, order, padded)
+		if err != nil {
+			return values.Value{}, off, err
+		}
+		scratch = append(scratch, ev)
+		off = offE
+	}
+	out := make([]values.Value, len(scratch))
+	copy(out, scratch)
+	return values.SeqOwned(out), off, nil
 }
 
 func readU32(data []byte, off int, order binary.ByteOrder) (uint32, int, error) {
@@ -389,26 +433,26 @@ func readBytes(data []byte, off int, order binary.ByteOrder, padded bool) ([]byt
 // ---------------------------------------------------------------------------
 // data type encoding (used for Any payloads)
 
-func appendDataType(dst []byte, t *values.DataType, order binary.AppendByteOrder, appendBytes func(dst, b []byte) []byte) []byte {
+func appendDataType(dst []byte, t *values.DataType, order binary.AppendByteOrder, appendString func(dst []byte, s string) []byte) []byte {
 	if t == nil {
 		return append(dst, 0xff) // nil marker
 	}
 	dst = append(dst, byte(t.Kind))
-	dst = appendBytes(dst, []byte(t.Name))
+	dst = appendString(dst, t.Name)
 	switch t.Kind {
 	case values.KindEnum:
 		dst = order.AppendUint32(dst, uint32(len(t.Symbols)))
 		for _, s := range t.Symbols {
-			dst = appendBytes(dst, []byte(s))
+			dst = appendString(dst, s)
 		}
 	case values.KindRecord:
 		dst = order.AppendUint32(dst, uint32(len(t.Fields)))
 		for _, f := range t.Fields {
-			dst = appendBytes(dst, []byte(f.Name))
-			dst = appendDataType(dst, f.Type, order, appendBytes)
+			dst = appendString(dst, f.Name)
+			dst = appendDataType(dst, f.Type, order, appendString)
 		}
 	case values.KindSeq:
-		dst = appendDataType(dst, t.Elem, order, appendBytes)
+		dst = appendDataType(dst, t.Elem, order, appendString)
 	}
 	return dst
 }
@@ -431,7 +475,7 @@ func readDataType(data []byte, off int, order binary.ByteOrder, padded bool) (*v
 		return nil, off, err
 	}
 	off = off2
-	dt := &values.DataType{Kind: kind, Name: string(nameB)}
+	dt := &values.DataType{Kind: kind, Name: internBytes(nameB)}
 	switch kind {
 	case values.KindEnum:
 		n, off3, err := readU32(data, off, order)
@@ -447,7 +491,7 @@ func readDataType(data []byte, off int, order binary.ByteOrder, padded bool) (*v
 			if err != nil {
 				return nil, off, err
 			}
-			dt.Symbols = append(dt.Symbols, string(sb))
+			dt.Symbols = append(dt.Symbols, internBytes(sb))
 			off = offS
 		}
 	case values.KindRecord:
@@ -468,7 +512,7 @@ func readDataType(data []byte, off int, order binary.ByteOrder, padded bool) (*v
 			if err != nil {
 				return nil, offF, err
 			}
-			dt.Fields = append(dt.Fields, values.FT(string(fb), ft))
+			dt.Fields = append(dt.Fields, values.FT(internBytes(fb), ft))
 			off = offT
 		}
 	case values.KindSeq:

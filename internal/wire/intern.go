@@ -1,0 +1,42 @@
+package wire
+
+import "sync/atomic"
+
+// The decode hot path turns the same handful of byte strings — operation
+// names, termination names, record field names, enum symbols — into Go
+// strings over and over, and each conversion allocates. A small lock-free
+// intern table short-circuits the conversion: a slot holds the last string
+// cached for its hash, and a hit returns the shared instance with zero
+// allocations. Collisions simply overwrite, so the table is bounded and
+// needs no eviction; a miss costs one conversion, exactly what the code
+// paid before.
+const (
+	internSlots  = 1024 // power of two
+	internMaxLen = 64   // longer strings are unlikely to repeat; skip them
+)
+
+var internTab [internSlots]atomic.Pointer[string]
+
+// internBytes returns a string equal to b, reusing a cached instance when
+// one exists. The result never aliases b.
+func internBytes(b []byte) string {
+	n := len(b)
+	if n == 0 {
+		return ""
+	}
+	if n > internMaxLen {
+		return string(b)
+	}
+	// FNV-1a.
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	slot := &internTab[h&(internSlots-1)]
+	if p := slot.Load(); p != nil && *p == string(b) {
+		return *p
+	}
+	s := string(b)
+	slot.Store(&s)
+	return s
+}

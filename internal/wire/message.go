@@ -85,22 +85,39 @@ type Message struct {
 
 // Encode serialises the message using the given codec for the payload.
 func (m *Message) Encode(codec Codec) ([]byte, error) {
-	// Header size estimate; the payload appends as needed.
-	dst := make([]byte, 0, 96+16*len(m.Args))
+	return m.EncodeAppend(make([]byte, 0, m.SizeHint()), codec)
+}
+
+// SizeHint returns a conservative estimate of the encoded frame size — an
+// upper bound for either codec — so encode buffers are right-sized on
+// first use instead of growing through several reallocations.
+func (m *Message) SizeHint() int {
+	n := 96 + len(m.Target.Object.Cluster.Capsule.Node) +
+		len(m.Operation) + len(m.Termination) + len(m.Auth)
+	for _, a := range m.Args {
+		n += valueSizeHint(a)
+	}
+	return n
+}
+
+// EncodeAppend serialises the message using the given codec for the
+// payload, appending the frame to dst (which may be nil, or a pooled
+// buffer from GetFrame) and returning the extended slice.
+func (m *Message) EncodeAppend(dst []byte, codec Codec) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint16(dst, frameMagic)
 	dst = append(dst, frameVersion, byte(codec.ID()), byte(m.Kind), 0 /* flags */)
 	dst = binary.BigEndian.AppendUint64(dst, m.BindingID)
 	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
 	dst = binary.BigEndian.AppendUint64(dst, m.Correlation)
 	dst = binary.BigEndian.AppendUint64(dst, m.Epoch)
-	dst = appendHdrBytes(dst, []byte(m.Target.Object.Cluster.Capsule.Node))
+	dst = appendHdrString(dst, string(m.Target.Object.Cluster.Capsule.Node))
 	dst = binary.BigEndian.AppendUint32(dst, m.Target.Object.Cluster.Capsule.Seq)
 	dst = binary.BigEndian.AppendUint32(dst, m.Target.Object.Cluster.Seq)
 	dst = binary.BigEndian.AppendUint32(dst, m.Target.Object.Seq)
 	dst = binary.BigEndian.AppendUint32(dst, m.Target.Seq)
 	dst = binary.BigEndian.AppendUint64(dst, m.Target.Nonce)
-	dst = appendHdrBytes(dst, []byte(m.Operation))
-	dst = appendHdrBytes(dst, []byte(m.Termination))
+	dst = appendHdrString(dst, m.Operation)
+	dst = appendHdrString(dst, m.Termination)
 	dst = appendHdrBytes(dst, m.Auth)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Args)))
 	var err error
@@ -113,7 +130,10 @@ func (m *Message) Encode(codec Codec) ([]byte, error) {
 }
 
 // Decode parses a frame produced by Encode, selecting the payload codec
-// from the header.
+// from the header. Every string and byte payload is copied out of data, so
+// the caller may recycle the frame (PutFrame) as soon as Decode returns.
+// The Message itself comes from a pool; a caller that remains its last
+// holder may hand it back with PutMessage.
 func Decode(data []byte) (*Message, error) {
 	if len(data) < 6 {
 		return nil, ErrTruncated
@@ -128,7 +148,9 @@ func Decode(data []byte) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Message{Kind: MsgKind(data[4]), Codec: codec.ID()}
+	m := GetMessage()
+	m.Kind = MsgKind(data[4])
+	m.Codec = codec.ID()
 	off := 6 // skip flags byte
 
 	if m.BindingID, off, err = readU64(data, off, binary.BigEndian); err != nil {
@@ -147,7 +169,7 @@ func Decode(data []byte) (*Message, error) {
 	if nodeB, off, err = readHdrBytes(data, off); err != nil {
 		return nil, err
 	}
-	m.Target.Object.Cluster.Capsule.Node = naming.NodeID(nodeB)
+	m.Target.Object.Cluster.Capsule.Node = naming.NodeID(internBytes(nodeB))
 	var u32 uint32
 	if u32, off, err = readU32(data, off, binary.BigEndian); err != nil {
 		return nil, err
@@ -172,11 +194,11 @@ func Decode(data []byte) (*Message, error) {
 	if opB, off, err = readHdrBytes(data, off); err != nil {
 		return nil, err
 	}
-	m.Operation = string(opB)
+	m.Operation = internBytes(opB)
 	if termB, off, err = readHdrBytes(data, off); err != nil {
 		return nil, err
 	}
-	m.Termination = string(termB)
+	m.Termination = internBytes(termB)
 	if authB, off, err = readHdrBytes(data, off); err != nil {
 		return nil, err
 	}
@@ -190,7 +212,11 @@ func Decode(data []byte) (*Message, error) {
 	argc := binary.BigEndian.Uint16(data[off:])
 	off += 2
 	if argc > 0 {
-		m.Args = make([]values.Value, 0, argc)
+		reserve := int(argc)
+		if reserve > 64 {
+			reserve = 64 // a forged count must not reserve huge capacity
+		}
+		m.Args = make([]values.Value, 0, reserve)
 		for i := 0; i < int(argc); i++ {
 			var v values.Value
 			if v, off, err = codec.ReadValue(data, off); err != nil {
@@ -205,9 +231,77 @@ func Decode(data []byte) (*Message, error) {
 	return m, nil
 }
 
+// valueSizeHint returns an upper bound on the encoded size of v under
+// either codec (the canonical codec's 4-byte padding and wide booleans are
+// what make the bound conservative for the native one).
+func valueSizeHint(v values.Value) int {
+	const strOverhead = 1 + 4 + 3 // tag + length + worst-case padding
+	switch v.Kind() {
+	case values.KindNull:
+		return 1
+	case values.KindBool:
+		return 5
+	case values.KindInt, values.KindUint, values.KindFloat:
+		return 9
+	case values.KindString:
+		s, _ := v.AsString()
+		return strOverhead + len(s)
+	case values.KindEnum:
+		s, _ := v.AsEnum()
+		return strOverhead + len(s)
+	case values.KindBytes:
+		b, _ := v.BytesView()
+		return strOverhead + len(b)
+	case values.KindRecord:
+		n := 5
+		for i := 0; i < v.NumFields(); i++ {
+			f := v.FieldAt(i)
+			n += 4 + 3 + len(f.Name) + valueSizeHint(f.Value)
+		}
+		return n
+	case values.KindSeq:
+		n := 5
+		for i := 0; i < v.Len(); i++ {
+			n += valueSizeHint(v.ElemAt(i))
+		}
+		return n
+	case values.KindAny:
+		dt, inner, _ := v.AsAny()
+		return 1 + dataTypeSizeHint(dt) + valueSizeHint(inner)
+	}
+	return 16
+}
+
+func dataTypeSizeHint(t *values.DataType) int {
+	if t == nil {
+		return 1
+	}
+	n := 1 + 4 + 3 + len(t.Name)
+	switch t.Kind {
+	case values.KindEnum:
+		n += 4
+		for _, s := range t.Symbols {
+			n += 4 + 3 + len(s)
+		}
+	case values.KindRecord:
+		n += 4
+		for _, f := range t.Fields {
+			n += 4 + 3 + len(f.Name) + dataTypeSizeHint(f.Type)
+		}
+	case values.KindSeq:
+		n += dataTypeSizeHint(t.Elem)
+	}
+	return n
+}
+
 func appendHdrBytes(dst, b []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
 	return append(dst, b...)
+}
+
+func appendHdrString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
 }
 
 func readHdrBytes(data []byte, off int) ([]byte, int, error) {

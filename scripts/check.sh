@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# check.sh — the tier-2 gate.
+#
+# Tier 1 (the build gate) is `go build ./... && go test ./...`. This script
+# adds the checks that guard the invocation hot path: vet, the race detector
+# over the packages that share pooled buffers across goroutines (wire,
+# channel, netsim — plus transactions, whose lock manager is the other
+# concurrency-heavy component), and a short benchmark smoke run so a change
+# that breaks the benchmark harness fails here rather than in a measurement
+# session.
+#
+# Run from the repository root:  ./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== race detector (hot-path packages) =="
+go test -race ./internal/wire/ ./internal/channel/ ./internal/netsim/ ./internal/transactions/
+
+echo "== benchmark smoke (E2 bank invocation) =="
+go test -run=NONE -bench=E2 -benchtime=100x -benchmem .
+
+echo "check.sh: all gates passed"
