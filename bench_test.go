@@ -99,10 +99,35 @@ func BenchmarkE6_Transparency(b *testing.B) {
 	}
 }
 
+// BenchmarkE6_ReplicationScaling measures one group update against
+// replica count {1,3,5,9} over the simulated network with nonzero
+// per-link latency — the configuration where a serial sequencer pays
+// Σ(replica round trips) and a concurrent one pays max(replica round
+// trips).
+func BenchmarkE6_ReplicationScaling(b *testing.B) {
+	scenarios := experiments.E6ReplicationScaling()
+	for _, s := range scenarios {
+		benchScenario(b, s)
+	}
+	for _, s := range scenarios {
+		s.Close()
+	}
+}
+
 // BenchmarkE7_Transaction measures the ACID transaction function:
 // two-phase commit latency against participant count, plus the abort path.
 func BenchmarkE7_Transaction(b *testing.B) {
 	for _, s := range experiments.E7Transactions() {
+		benchScenario(b, s)
+		s.Close()
+	}
+}
+
+// BenchmarkE7_DurableCommit measures two-phase commit against participant
+// count {1,2,4,8} when each participant pays a forced-log delay in both
+// phases — serial 2PC costs 2·n·delay, concurrent phases cost 2·delay.
+func BenchmarkE7_DurableCommit(b *testing.B) {
+	for _, s := range experiments.E7DurableCommit() {
 		benchScenario(b, s)
 		s.Close()
 	}
@@ -113,6 +138,23 @@ func BenchmarkE7_Transaction(b *testing.B) {
 func BenchmarkE8_Trader(b *testing.B) {
 	for _, s := range experiments.E8Trader() {
 		benchScenario(b, s)
+		s.Close()
+	}
+}
+
+// BenchmarkE8_TraderScaling measures import over 10k offers spread across
+// 50 service types, and a federated import across 4 links with per-link
+// latency.
+func BenchmarkE8_TraderScaling(b *testing.B) {
+	for _, s := range experiments.E8TraderScaling() {
+		benchScenario(b, s)
+		s.Close()
+	}
+	scenarios := experiments.E8FederationParallel()
+	for _, s := range scenarios {
+		benchScenario(b, s)
+	}
+	for _, s := range scenarios {
 		s.Close()
 	}
 }

@@ -67,11 +67,21 @@ func main() {
 	}
 	fmt.Println()
 
+	section("E6d Replication scaling: group update vs replica count (latent links)")
+	runTable(*iters/10, experiments.E6ReplicationScaling())
+
 	section("E7  Section 8.2.1: ACID transaction function")
 	runTable(*iters, experiments.E7Transactions())
 
+	section("E7b Durable 2PC: commit vs participant count (forced-log delay)")
+	runTable(*iters/10, experiments.E7DurableCommit())
+
 	section("E8  Section 8.3.2: trading function")
 	runTable(*iters/4, experiments.E8Trader())
+
+	section("E8b Trader scaling: indexed import and parallel federation")
+	runTable(*iters/10, experiments.E8TraderScaling())
+	runTable(*iters/10, experiments.E8FederationParallel())
 }
 
 func section(title string) {

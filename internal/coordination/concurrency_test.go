@@ -1,0 +1,214 @@
+package coordination
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/values"
+)
+
+// seqReplica records the order in which it receives "Put" updates, so a
+// test can check the sequencer's total-order guarantee replica by replica.
+type seqReplica struct {
+	mu     sync.Mutex
+	seen   []int64
+	closed bool
+
+	failAfter int   // fail every Put once this many were recorded (0 = never)
+	warpEvery int64 // return a wrong result for values divisible by this (0 = never)
+}
+
+func (r *seqReplica) Invoke(_ context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch op {
+	case "Put":
+		v, _ := args[0].AsInt()
+		if r.failAfter > 0 && len(r.seen) >= r.failAfter {
+			return "", nil, errors.New("replica down")
+		}
+		r.seen = append(r.seen, v)
+		if r.warpEvery > 0 && v%r.warpEvery == 0 {
+			return "OK", []values.Value{values.Int(v + 1_000_000)}, nil
+		}
+		return "OK", []values.Value{values.Int(v)}, nil
+	case "Last":
+		var last int64 = -1
+		if n := len(r.seen); n > 0 {
+			last = r.seen[n-1]
+		}
+		return "OK", []values.Value{values.Int(last)}, nil
+	}
+	return "", nil, fmt.Errorf("unknown op %s", op)
+}
+
+func (r *seqReplica) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	return nil
+}
+
+func (r *seqReplica) snapshot() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int64(nil), r.seen...)
+}
+
+// TestReplicaGroupConcurrentTotalOrder hammers one group with concurrent
+// writers and readers while one replica diverges on some updates and
+// another dies partway through. Afterwards every surviving replica must
+// have received exactly the same update sequence — the total order the
+// sequencer promises — and the dead replica a prefix of it.
+func TestReplicaGroupConcurrentTotalOrder(t *testing.T) {
+	const (
+		writers       = 4
+		perWriter     = 50
+		dieAfterSeen  = 25
+		divergeEvery  = 17
+		readersCount  = 3
+		readsPerFiber = 40
+	)
+	healthy := &seqReplica{}
+	diverger := &seqReplica{warpEvery: divergeEvery}
+	dying := &seqReplica{failAfter: dieAfterSeen}
+
+	g := NewReplicaGroup()
+	for name, r := range map[string]*seqReplica{"healthy": healthy, "diverger": diverger, "dying": dying} {
+		if err := g.Add(name, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				v := int64(w*perWriter + j)
+				_, _, err := g.Invoke(ctx, "Put", []values.Value{values.Int(v)})
+				// Divergence is reported to the unlucky caller but the
+				// update is still applied everywhere; only that error is
+				// tolerable here.
+				if err != nil && !errors.Is(err, ErrDiverged) {
+					t.Errorf("Invoke(%d): %v", v, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readersCount; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < readsPerFiber; j++ {
+				if _, _, err := g.InvokeRead(ctx, "Last", nil); err != nil {
+					t.Errorf("InvokeRead: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := healthy.snapshot()
+	if len(want) != writers*perWriter {
+		t.Fatalf("healthy replica saw %d updates, want %d", len(want), writers*perWriter)
+	}
+	got := diverger.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("diverger saw %d updates, healthy saw %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("total order violated at %d: diverger saw %d, healthy saw %d", i, got[i], want[i])
+		}
+	}
+	// The dead replica received a prefix of the same order: it recorded
+	// updates in sequence until it started failing, and nothing after the
+	// group dropped it.
+	prefix := dying.snapshot()
+	if len(prefix) != dieAfterSeen {
+		t.Fatalf("dying replica recorded %d updates, want %d", len(prefix), dieAfterSeen)
+	}
+	for i := range prefix {
+		if prefix[i] != want[i] {
+			t.Fatalf("prefix order violated at %d: dying saw %d, healthy saw %d", i, prefix[i], want[i])
+		}
+	}
+	if !dying.closed {
+		t.Error("dropped replica's channel was not closed")
+	}
+	if g.Size() != 2 {
+		t.Errorf("group size after failover = %d, want 2", g.Size())
+	}
+
+	st := g.Stats()
+	if st.Updates != writers*perWriter {
+		t.Errorf("Updates = %d, want %d", st.Updates, writers*perWriter)
+	}
+	if st.Reads != readersCount*readsPerFiber {
+		t.Errorf("Reads = %d, want %d", st.Reads, readersCount*readsPerFiber)
+	}
+	if st.Failovers == 0 {
+		t.Error("no failovers counted despite a dead replica")
+	}
+	if st.Divergences == 0 {
+		t.Error("no divergences counted despite a warped replica")
+	}
+}
+
+// TestReplicaGroupReadsDoNotWaitForUpdates checks that a read can complete
+// while an update is parked inside a slow replica — the reader must not
+// queue behind the sequencer.
+func TestReplicaGroupReadsDoNotWaitForUpdates(t *testing.T) {
+	release := make(chan struct{})
+	slow := &gatedInvoker{gate: release, entered: make(chan struct{}, 1)}
+	g := NewReplicaGroup()
+	if err := g.Add("slow", slow); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, _, err := g.Invoke(ctx, "Update", nil)
+		done <- err
+	}()
+	<-started
+	<-slow.entered // the update is now blocked inside the replica
+
+	// A read against the same group must still complete: it goes straight
+	// to the replica without waiting for the in-flight update's ticket.
+	if _, _, err := g.InvokeRead(ctx, "Read", nil); err != nil {
+		t.Fatalf("InvokeRead while update in flight: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+}
+
+// gatedInvoker blocks "Update" until its gate closes; other ops answer
+// immediately. entered signals each Update's arrival.
+type gatedInvoker struct {
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func (gi *gatedInvoker) Invoke(_ context.Context, op string, _ []values.Value) (string, []values.Value, error) {
+	if op == "Update" {
+		gi.entered <- struct{}{}
+		<-gi.gate
+	}
+	return "OK", nil, nil
+}
+
+func (gi *gatedInvoker) Close() error { return nil }

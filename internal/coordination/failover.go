@@ -68,13 +68,21 @@ func (g *FailoverGroup) Promotions() uint64 {
 }
 
 // Invoke sends the operation to the primary, failing over through the
-// backups until one answers. The group lock serialises invocations, so
-// promotions are race-free.
+// backups until one answers. The group lock is held only to read the
+// primary and to promote — never across the network call — so concurrent
+// invocations proceed in parallel against the primary. When the primary
+// fails under several callers at once, exactly one of them performs the
+// demotion and promotion (the others observe the new primary and retry),
+// so promotions stay race-free.
 func (g *FailoverGroup) Invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for len(g.members) > 0 {
+	for {
+		g.mu.Lock()
+		if len(g.members) == 0 {
+			g.mu.Unlock()
+			return "", nil, ErrEmptyGroup
+		}
 		primary := g.members[0]
+		g.mu.Unlock()
 		term, res, err := primary.inv.Invoke(ctx, op, args)
 		if err == nil {
 			return term, res, nil
@@ -82,17 +90,28 @@ func (g *FailoverGroup) Invoke(ctx context.Context, op string, args []values.Val
 		if ctx.Err() != nil {
 			return "", nil, ctx.Err()
 		}
-		// Primary is gone: drop it and promote the next member.
-		_ = primary.inv.Close()
-		g.members = g.members[1:]
-		g.promotions++
-		if len(g.members) > 0 && g.OnPromote != nil {
-			if perr := g.OnPromote(g.members[0].name); perr != nil {
-				return "", nil, fmt.Errorf("coordination: promotion of %q failed: %w", g.members[0].name, perr)
+		// Primary is gone: drop it and promote the next member — unless a
+		// concurrent caller already did (then just retry the new primary).
+		g.mu.Lock()
+		if len(g.members) > 0 && g.members[0].inv == primary.inv {
+			_ = primary.inv.Close()
+			copy(g.members, g.members[1:])
+			last := len(g.members) - 1
+			g.members[last] = member{} // clear the vacated slot
+			g.members = g.members[:last]
+			g.promotions++
+			if len(g.members) > 0 && g.OnPromote != nil {
+				// The hook runs under the lock: the promoted member must
+				// not serve an invocation before its state is recovered.
+				if perr := g.OnPromote(g.members[0].name); perr != nil {
+					name := g.members[0].name
+					g.mu.Unlock()
+					return "", nil, fmt.Errorf("coordination: promotion of %q failed: %w", name, perr)
+				}
 			}
 		}
+		g.mu.Unlock()
 	}
-	return "", nil, ErrEmptyGroup
 }
 
 // Close releases every member channel.

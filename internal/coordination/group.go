@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/values"
 )
@@ -23,6 +24,11 @@ type Invoker interface {
 	Close() error
 }
 
+// maxFanout bounds the goroutines any single group operation spawns; a
+// fan-out wider than this is served by maxFanout workers pulling members
+// from a shared cursor.
+const maxFanout = 16
+
 // GroupStats counts replica-group activity.
 type GroupStats struct {
 	Updates     uint64
@@ -38,17 +44,36 @@ type GroupStats struct {
 // The mechanism is active replication behind a sequencer: the group proxy
 // serialises updates (it is the sequencer) and applies each to every live
 // replica in the same order, so deterministic replicas stay identical.
+// The sequencer holds the group lock only long enough to assign the
+// update its place in the total order and snapshot the membership; the
+// update itself then fans out to all replicas concurrently, so one update
+// costs max(replica round trip), not the sum. A per-group ticket keeps
+// fan-outs strictly in sequence order — replica i receives update k+1
+// only after every replica has finished update k — which is what keeps
+// deterministic replicas identical under concurrent callers.
+//
 // Replies are compared; divergence is counted and reported. Reads go to a
-// single replica, rotating for load and failing over on error.
+// single replica, rotating for load and failing over on error, without
+// ever waiting behind the sequencer — so a slow replica delays its own
+// readers, not every reader. A read that overlaps an in-flight update may
+// observe the pre-update state; reads after Invoke returns see the update
+// on every replica.
 type ReplicaGroup struct {
 	mu      sync.Mutex
 	members []member
-	next    int // read rotation cursor
+	next    int    // read rotation cursor
+	ticket  uint64 // next update sequence number to hand out
 
-	updates     uint64
-	reads       uint64
-	failovers   uint64
-	divergences uint64
+	// The sequencer's admission gate: fan-outs run one at a time, in
+	// ticket order.
+	seqMu   sync.Mutex
+	seqCond *sync.Cond
+	serving uint64 // ticket currently admitted to fan out
+
+	updates     atomic.Uint64
+	reads       atomic.Uint64
+	failovers   atomic.Uint64
+	divergences atomic.Uint64
 }
 
 type member struct {
@@ -57,7 +82,11 @@ type member struct {
 }
 
 // NewReplicaGroup returns an empty group.
-func NewReplicaGroup() *ReplicaGroup { return &ReplicaGroup{} }
+func NewReplicaGroup() *ReplicaGroup {
+	g := &ReplicaGroup{}
+	g.seqCond = sync.NewCond(&g.seqMu)
+	return g
+}
 
 // Add attaches a replica under a unique name.
 func (g *ReplicaGroup) Add(name string, inv Invoker) error {
@@ -77,7 +106,10 @@ func (g *ReplicaGroup) Remove(name string) error {
 	g.mu.Lock()
 	for i, m := range g.members {
 		if m.name == name {
-			g.members = append(g.members[:i], g.members[i+1:]...)
+			copy(g.members[i:], g.members[i+1:])
+			last := len(g.members) - 1
+			g.members[last] = member{} // clear the vacated slot
+			g.members = g.members[:last]
 			g.mu.Unlock()
 			return m.inv.Close()
 		}
@@ -93,78 +125,179 @@ func (g *ReplicaGroup) Size() int {
 	return len(g.members)
 }
 
-// Invoke applies an update to every replica in one total order (the group
-// lock is the sequencer). Failed replicas are dropped from the group —
-// that is the failure-masking half of replication transparency. The reply
-// is the first successful one; disagreement among successful replies is
-// counted as divergence and reported as an error.
+// reply is one replica's answer to a fanned-out update.
+type reply struct {
+	term string
+	res  []values.Value
+	err  error
+}
+
+// fanout invokes op on every member of snap concurrently (bounded at
+// maxFanout goroutines) and returns the collected replies, index-aligned
+// with snap.
+func fanout(ctx context.Context, snap []member, op string, args []values.Value) []reply {
+	replies := make([]reply, len(snap))
+	if len(snap) == 1 {
+		replies[0].term, replies[0].res, replies[0].err = snap[0].inv.Invoke(ctx, op, args)
+		return replies
+	}
+	workers := len(snap)
+	if workers > maxFanout {
+		workers = maxFanout
+	}
+	var cursor atomic.Int64
+	work := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(snap) {
+				return
+			}
+			r := &replies[i]
+			r.term, r.res, r.err = snap[i].inv.Invoke(ctx, op, args)
+		}
+	}
+	// The calling goroutine is one of the workers, so a fan-out of width w
+	// spawns only w-1 goroutines.
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	return replies
+}
+
+// Invoke applies an update to every replica in one total order (the
+// ticket is the sequencer). Failed replicas are dropped from the group on
+// completion — that is the failure-masking half of replication
+// transparency. The reply is the first successful one; disagreement among
+// successful replies is counted as divergence and reported as an error.
 func (g *ReplicaGroup) Invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	g.updates.Add(1)
+
+	// Serial section: assign the sequence number, snapshot the membership.
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.updates++
 	if len(g.members) == 0 {
+		g.mu.Unlock()
 		return "", nil, ErrEmptyGroup
 	}
-	type result struct {
-		term string
-		res  []values.Value
+	ticket := g.ticket
+	g.ticket++
+	snap := make([]member, len(g.members))
+	copy(snap, g.members)
+	g.mu.Unlock()
+
+	// Wait for this update's place in the total order, fan out, release.
+	g.seqMu.Lock()
+	for g.serving != ticket {
+		g.seqCond.Wait()
 	}
-	var first *result
-	survivors := g.members[:0]
+	g.seqMu.Unlock()
+
+	replies := fanout(ctx, snap, op, args)
+
+	g.seqMu.Lock()
+	g.serving++
+	g.seqMu.Unlock()
+	g.seqCond.Broadcast()
+
+	// Post-processing is local: detect divergence on the collected set,
+	// then drop the replicas that failed.
+	var first *reply
+	var failed []member
 	diverged := false
-	for _, m := range g.members {
-		term, res, err := m.inv.Invoke(ctx, op, args)
-		if err != nil {
-			g.failovers++
-			_ = m.inv.Close()
-			continue // drop the failed replica
-		}
-		survivors = append(survivors, m)
-		if first == nil {
-			first = &result{term: term, res: res}
+	for i := range replies {
+		r := &replies[i]
+		if r.err != nil {
+			failed = append(failed, snap[i])
 			continue
 		}
-		if term != first.term || len(res) != len(first.res) {
+		if first == nil {
+			first = r
+			continue
+		}
+		if r.term != first.term || len(r.res) != len(first.res) {
 			diverged = true
 			continue
 		}
-		for i := range res {
-			if !res[i].Equal(first.res[i]) {
+		for j := range r.res {
+			if !r.res[j].Equal(first.res[j]) {
 				diverged = true
 				break
 			}
 		}
 	}
-	g.members = survivors
+	if len(failed) > 0 {
+		g.failovers.Add(uint64(len(failed)))
+		g.drop(failed)
+		for _, m := range failed {
+			_ = m.inv.Close()
+		}
+	}
 	if first == nil {
 		return "", nil, ErrEmptyGroup
 	}
 	if diverged {
-		g.divergences++
+		g.divergences.Add(1)
 		return "", nil, fmt.Errorf("%w: operation %s", ErrDiverged, op)
 	}
 	return first.term, first.res, nil
 }
 
-// InvokeRead sends a read-only operation to one replica, rotating across
-// members and failing over (and dropping) dead ones.
-func (g *ReplicaGroup) InvokeRead(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+// drop removes the given members, matching by identity as well as name so
+// a replica re-added under a reused name is not removed by a stale
+// failure. Vacated tail slots are cleared so dropped invokers can be
+// collected.
+func (g *ReplicaGroup) drop(failed []member) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.reads++
-	for len(g.members) > 0 {
+	kept := g.members[:0]
+	for _, m := range g.members {
+		dead := false
+		for _, f := range failed {
+			if f.name == m.name && f.inv == m.inv {
+				dead = true
+				break
+			}
+		}
+		if !dead {
+			kept = append(kept, m)
+		}
+	}
+	for i := len(kept); i < len(g.members); i++ {
+		g.members[i] = member{}
+	}
+	g.members = kept
+	g.mu.Unlock()
+}
+
+// InvokeRead sends a read-only operation to one replica, rotating across
+// members and failing over (and dropping) dead ones. The group lock is
+// held only to pick the replica, never across the network call, so
+// readers proceed in parallel with each other and with in-flight updates.
+func (g *ReplicaGroup) InvokeRead(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	g.reads.Add(1)
+	for {
+		g.mu.Lock()
+		if len(g.members) == 0 {
+			g.mu.Unlock()
+			return "", nil, ErrEmptyGroup
+		}
 		idx := g.next % len(g.members)
 		m := g.members[idx]
+		g.next = (idx + 1) % len(g.members)
+		g.mu.Unlock()
 		term, res, err := m.inv.Invoke(ctx, op, args)
 		if err == nil {
-			g.next = (idx + 1) % len(g.members)
 			return term, res, nil
 		}
-		g.failovers++
+		g.failovers.Add(1)
+		g.drop([]member{m})
 		_ = m.inv.Close()
-		g.members = append(g.members[:idx], g.members[idx+1:]...)
 	}
-	return "", nil, ErrEmptyGroup
 }
 
 // Close releases every member channel.
@@ -184,12 +317,10 @@ func (g *ReplicaGroup) Close() error {
 
 // Stats returns a snapshot of group counters.
 func (g *ReplicaGroup) Stats() GroupStats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	return GroupStats{
-		Updates:     g.updates,
-		Reads:       g.reads,
-		Failovers:   g.failovers,
-		Divergences: g.divergences,
+		Updates:     g.updates.Load(),
+		Reads:       g.reads.Load(),
+		Failovers:   g.failovers.Load(),
+		Divergences: g.divergences.Load(),
 	}
 }

@@ -9,6 +9,14 @@
 // (the BankManager-for-BankTeller rule of Figure 3). Traders federate
 // through links, giving hop-bounded import propagation across trading
 // domains.
+//
+// The offer store is indexed by advertised service type: an import scans
+// only the buckets whose type substitutes for the requested one, and the
+// set of such buckets (the subtype closure of the request) is memoised
+// against the type repository's generation, so the common import touches
+// a handful of map lookups plus the matching bucket — not the full offer
+// population. Federation links are queried concurrently and merged,
+// deduplicated, at the origin.
 package trader
 
 import (
@@ -17,6 +25,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/constraint"
 	"repro/internal/naming"
@@ -32,6 +41,10 @@ var (
 	ErrBadRequest   = errors.New("trader: invalid import request")
 	ErrBadProps     = errors.New("trader: offer properties must be a record")
 )
+
+// maxLinkFanout bounds the goroutines a single import spawns to query
+// federation links.
+const maxLinkFanout = 16
 
 // Offer is one service advertisement held by a trader.
 type Offer struct {
@@ -90,6 +103,14 @@ type Stats struct {
 	Considered uint64 // offers examined during matching
 }
 
+// entry is one stored offer plus its export sequence number, which
+// recovers the global export order when matches from several buckets are
+// merged.
+type entry struct {
+	offer *Offer
+	seq   uint64
+}
+
 // Trader is a repository of service offers with type-checked matching and
 // hop-bounded federation.
 type Trader struct {
@@ -97,17 +118,26 @@ type Trader struct {
 	types *typerepo.Repository
 
 	mu      sync.RWMutex
-	offers  map[string]*Offer
-	order   []string // export order, for PrefFirst and deterministic scans
+	offers  map[string]*entry   // offer id -> entry
+	buckets map[string][]*entry // advertised service type -> entries in export order
 	links   map[string]Importer
 	nextID  uint64
-	rng     *rand.Rand
-	exports uint64
-	withdrs uint64
-	imports uint64
-	matched uint64
-	feder   uint64
-	consid  uint64
+	// closure memoises, per requested service type, which bucket types
+	// substitute for it. It is valid while closureGen matches the type
+	// repository's generation; Export clears it when a brand-new bucket
+	// type appears.
+	closure    map[string][]string
+	closureGen uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	exports atomic.Uint64
+	withdrs atomic.Uint64
+	imports atomic.Uint64
+	matched atomic.Uint64
+	feder   atomic.Uint64
+	consid  atomic.Uint64
 }
 
 // New creates a trader backed by a type repository. The name prefixes
@@ -118,11 +148,12 @@ func New(name string, repo *typerepo.Repository) *Trader {
 		seed = seed*31 + int64(c)
 	}
 	return &Trader{
-		name:   name,
-		types:  repo,
-		offers: make(map[string]*Offer),
-		links:  make(map[string]Importer),
-		rng:    rand.New(rand.NewSource(seed)),
+		name:    name,
+		types:   repo,
+		offers:  make(map[string]*entry),
+		buckets: make(map[string][]*entry),
+		links:   make(map[string]Importer),
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -153,30 +184,44 @@ func (t *Trader) Export(serviceType string, ref naming.InterfaceRef, props value
 		}
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.nextID++
 	id := fmt.Sprintf("%s/%d", t.name, t.nextID)
-	t.offers[id] = &Offer{ID: id, ServiceType: serviceType, Ref: ref, Properties: props}
-	t.order = append(t.order, id)
-	t.exports++
+	e := &entry{
+		offer: &Offer{ID: id, ServiceType: serviceType, Ref: ref, Properties: props},
+		seq:   t.nextID,
+	}
+	t.offers[id] = e
+	if _, known := t.buckets[serviceType]; !known {
+		// A brand-new bucket type may belong to closures computed before
+		// it existed; recompute them lazily.
+		t.closure = nil
+	}
+	t.buckets[serviceType] = append(t.buckets[serviceType], e)
+	t.mu.Unlock()
+	t.exports.Add(1)
 	return id, nil
 }
 
 // Withdraw removes an offer.
 func (t *Trader) Withdraw(offerID string) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.offers[offerID]; !ok {
+	e, ok := t.offers[offerID]
+	if !ok {
+		t.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoSuchOffer, offerID)
 	}
 	delete(t.offers, offerID)
-	for i, id := range t.order {
-		if id == offerID {
-			t.order = append(t.order[:i], t.order[i+1:]...)
+	bucket := t.buckets[e.offer.ServiceType]
+	for i, be := range bucket {
+		if be == e {
+			copy(bucket[i:], bucket[i+1:])
+			bucket[len(bucket)-1] = nil // clear the vacated slot
+			t.buckets[e.offer.ServiceType] = bucket[:len(bucket)-1]
 			break
 		}
 	}
-	t.withdrs++
+	t.mu.Unlock()
+	t.withdrs.Add(1)
 	return nil
 }
 
@@ -190,11 +235,11 @@ func (t *Trader) Modify(offerID string, props values.Value) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	o, ok := t.offers[offerID]
+	e, ok := t.offers[offerID]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchOffer, offerID)
 	}
-	o.Properties = props
+	e.offer.Properties = props
 	return nil
 }
 
@@ -202,11 +247,11 @@ func (t *Trader) Modify(offerID string, props values.Value) error {
 func (t *Trader) Offer(offerID string) (Offer, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	o, ok := t.offers[offerID]
+	e, ok := t.offers[offerID]
 	if !ok {
 		return Offer{}, fmt.Errorf("%w: %q", ErrNoSuchOffer, offerID)
 	}
-	return *o, nil
+	return *e.offer, nil
 }
 
 // Len returns the number of offers held.
@@ -245,7 +290,9 @@ func (t *Trader) Links() []string {
 
 // Import finds offers matching the request: correct (sub)type, constraint
 // satisfied, ordered by the preference, truncated to MaxMatches, searching
-// linked traders up to MaxHops away.
+// linked traders up to MaxHops away. Federation links are queried
+// concurrently, so a federated import costs the slowest link, not the sum
+// of all links.
 func (t *Trader) Import(req ImportRequest) ([]Offer, error) {
 	if req.ServiceType == "" {
 		return nil, fmt.Errorf("%w: empty service type", ErrBadRequest)
@@ -268,45 +315,45 @@ func (t *Trader) Import(req ImportRequest) ([]Offer, error) {
 		return nil, fmt.Errorf("%w: %q", ErrTypeUnknown, req.ServiceType)
 	}
 
-	t.mu.Lock()
-	t.imports++
-	t.mu.Unlock()
+	t.imports.Add(1)
 
 	matches, err := t.localMatches(req.ServiceType, expr)
 	if err != nil {
 		return nil, err
 	}
 
-	// Federation: propagate with a decremented hop budget and merge,
-	// deduplicating by offer id (diamond topologies would otherwise
-	// duplicate).
+	// Federation: propagate with a decremented hop budget — concurrently
+	// across links — and merge at the origin, deduplicating by offer id
+	// (diamond topologies would otherwise duplicate).
 	if req.MaxHops > 0 {
 		t.mu.RLock()
-		linked := make([]Importer, 0, len(t.links))
-		for _, imp := range t.links {
-			linked = append(linked, imp)
+		names := make([]string, 0, len(t.links))
+		for n := range t.links {
+			names = append(names, n)
+		}
+		sort.Strings(names) // deterministic merge order
+		linked := make([]Importer, len(names))
+		for i, n := range names {
+			linked[i] = t.links[n]
 		}
 		t.mu.RUnlock()
-		seen := make(map[string]bool, len(matches))
-		for _, o := range matches {
-			seen[o.ID] = true
-		}
-		sub := req
-		sub.MaxHops = req.MaxHops - 1
-		sub.MaxMatches = 0 // collect everything; order and truncate at the origin
-		sub.Preference = Preference{}
-		for _, imp := range linked {
-			t.mu.Lock()
-			t.feder++
-			t.mu.Unlock()
-			remote, err := imp.Import(sub)
-			if err != nil {
-				continue // a dead federation partner must not fail the import
+		if len(linked) > 0 {
+			sub := req
+			sub.MaxHops = req.MaxHops - 1
+			sub.MaxMatches = 0 // collect everything; order and truncate at the origin
+			sub.Preference = Preference{}
+			t.feder.Add(uint64(len(linked)))
+			remote := t.queryLinks(linked, sub)
+			seen := make(map[string]bool, len(matches))
+			for _, o := range matches {
+				seen[o.ID] = true
 			}
-			for _, o := range remote {
-				if !seen[o.ID] {
-					seen[o.ID] = true
-					matches = append(matches, o)
+			for _, batch := range remote {
+				for _, o := range batch {
+					if !seen[o.ID] {
+						seen[o.ID] = true
+						matches = append(matches, o)
+					}
 				}
 			}
 		}
@@ -318,47 +365,142 @@ func (t *Trader) Import(req ImportRequest) ([]Offer, error) {
 	if req.MaxMatches > 0 && len(matches) > req.MaxMatches {
 		matches = matches[:req.MaxMatches]
 	}
-	t.mu.Lock()
-	t.matched += uint64(len(matches))
-	t.mu.Unlock()
+	t.matched.Add(uint64(len(matches)))
 	return matches, nil
 }
 
-func (t *Trader) localMatches(serviceType string, expr *constraint.Expr) ([]Offer, error) {
+// queryLinks imports from every linked trader concurrently (bounded at
+// maxLinkFanout goroutines) and returns the per-link results,
+// index-aligned with linked. A dead federation partner must not fail the
+// import, so errors simply leave a nil batch.
+func (t *Trader) queryLinks(linked []Importer, sub ImportRequest) [][]Offer {
+	results := make([][]Offer, len(linked))
+	if len(linked) == 1 {
+		results[0], _ = linked[0].Import(sub)
+		return results
+	}
+	workers := len(linked)
+	if workers > maxLinkFanout {
+		workers = maxLinkFanout
+	}
+	var cursor atomic.Int64
+	work := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(linked) {
+				return
+			}
+			results[i], _ = linked[i].Import(sub)
+		}
+	}
+	// The calling goroutine is one of the workers, so a fan-out of width w
+	// spawns only w-1 goroutines.
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	return results
+}
+
+// candidateTypes returns the bucket types whose offers can satisfy an
+// import of serviceType — the subtype closure of the request over the
+// types currently advertised. The result is memoised until the type
+// repository's generation moves (new type facts) or a new bucket type
+// appears (Export clears the cache).
+func (t *Trader) candidateTypes(serviceType string) []string {
+	gen := t.types.Gen()
 	t.mu.RLock()
-	ids := make([]string, len(t.order))
-	copy(ids, t.order)
-	offers := make([]*Offer, 0, len(ids))
-	for _, id := range ids {
-		offers = append(offers, t.offers[id])
+	if t.closureGen == gen && t.closure != nil {
+		if cands, ok := t.closure[serviceType]; ok {
+			t.mu.RUnlock()
+			return cands
+		}
+	}
+	keys := make([]string, 0, len(t.buckets))
+	for bt := range t.buckets {
+		keys = append(keys, bt)
 	}
 	t.mu.RUnlock()
 
-	var out []Offer
-	defer func(n int) {
-		t.mu.Lock()
-		t.consid += uint64(n)
-		t.mu.Unlock()
-	}(len(offers))
-	for _, o := range offers {
-		if o.ServiceType != serviceType {
-			ok, err := t.types.IsSubtype(o.ServiceType, serviceType)
-			if err != nil || !ok {
-				continue
-			}
-		}
-		ok, err := expr.Matches(o.Properties)
-		if err != nil {
-			// A constraint referencing properties this offer lacks simply
-			// does not match it; true evaluation errors (type abuse) do the
-			// same rather than failing the whole import.
+	sort.Strings(keys)
+	cands := make([]string, 0, 1)
+	for _, bt := range keys {
+		if bt == serviceType {
+			cands = append(cands, bt)
 			continue
 		}
-		if ok {
-			out = append(out, *o)
+		if ok, err := t.types.IsSubtype(bt, serviceType); err == nil && ok {
+			cands = append(cands, bt)
 		}
 	}
+
+	t.mu.Lock()
+	if t.closureGen != gen || t.closure == nil {
+		t.closure = make(map[string][]string)
+		t.closureGen = gen
+	}
+	t.closure[serviceType] = cands
+	t.mu.Unlock()
+	return cands
+}
+
+// localMatches scans only the candidate buckets for serviceType. The scan
+// runs under the read lock (so Modify cannot race the constraint
+// evaluation; concurrent imports still proceed in parallel) and copies out
+// only the offers that match.
+func (t *Trader) localMatches(serviceType string, expr *constraint.Expr) ([]Offer, error) {
+	cands := t.candidateTypes(serviceType)
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	var out []Offer
+	var seqs []uint64
+	considered := 0
+	t.mu.RLock()
+	for _, bt := range cands {
+		for _, e := range t.buckets[bt] {
+			considered++
+			ok, err := expr.Matches(e.offer.Properties)
+			if err != nil {
+				// A constraint referencing properties this offer lacks simply
+				// does not match it; true evaluation errors (type abuse) do
+				// the same rather than failing the whole import.
+				continue
+			}
+			if ok {
+				out = append(out, *e.offer)
+				seqs = append(seqs, e.seq)
+			}
+		}
+	}
+	t.mu.RUnlock()
+
+	t.consid.Add(uint64(considered))
+	if len(cands) > 1 {
+		// Matches from several buckets: restore the global export order
+		// (a single bucket is already in export order).
+		sort.Sort(bySeq{out, seqs})
+	}
 	return out, nil
+}
+
+// bySeq sorts matched offers by their export sequence numbers.
+type bySeq struct {
+	offers []Offer
+	seqs   []uint64
+}
+
+func (s bySeq) Len() int           { return len(s.offers) }
+func (s bySeq) Less(i, j int) bool { return s.seqs[i] < s.seqs[j] }
+func (s bySeq) Swap(i, j int) {
+	s.offers[i], s.offers[j] = s.offers[j], s.offers[i]
+	s.seqs[i], s.seqs[j] = s.seqs[j], s.seqs[i]
 }
 
 func (t *Trader) orderMatches(matches []Offer, pref Preference, prefExpr *constraint.Expr) error {
@@ -367,11 +509,11 @@ func (t *Trader) orderMatches(matches []Offer, pref Preference, prefExpr *constr
 		// already in export order (local first, then federation arrivals)
 		return nil
 	case PrefRandom:
-		t.mu.Lock()
+		t.rngMu.Lock()
 		t.rng.Shuffle(len(matches), func(i, j int) {
 			matches[i], matches[j] = matches[j], matches[i]
 		})
-		t.mu.Unlock()
+		t.rngMu.Unlock()
 		return nil
 	case PrefMax, PrefMin:
 		type scored struct {
@@ -408,14 +550,12 @@ func (t *Trader) orderMatches(matches []Offer, pref Preference, prefExpr *constr
 
 // Stats returns a snapshot of trading counters.
 func (t *Trader) Stats() Stats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	return Stats{
-		Exports:    t.exports,
-		Withdraws:  t.withdrs,
-		Imports:    t.imports,
-		Matched:    t.matched,
-		Federated:  t.feder,
-		Considered: t.consid,
+		Exports:    t.exports.Load(),
+		Withdraws:  t.withdrs.Load(),
+		Imports:    t.imports.Load(),
+		Matched:    t.matched.Load(),
+		Federated:  t.feder.Load(),
+		Considered: t.consid.Load(),
 	}
 }

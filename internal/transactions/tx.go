@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/values"
 )
@@ -168,19 +169,88 @@ func (t *Tx) Delete(s *Store, key string) error {
 	return s.del(t.ctx, t.id, key)
 }
 
-// Commit runs two-phase commit: every participant prepares (forcing its
-// redo log); if all vote yes the decision is logged and participants
-// commit, otherwise everything aborts and ErrVetoed (wrapping the veto)
-// is returned.
+// maxCommitFanout bounds the goroutines a single commit or abort spawns;
+// wider participant lists are served by this many workers pulling from a
+// shared cursor.
+const maxCommitFanout = 16
+
+// fanoutParticipants calls fn on every participant concurrently (bounded
+// at maxCommitFanout goroutines; a single participant is called inline)
+// and returns the index-aligned errors. When stopOnErr is set, a failure
+// makes the not-yet-started calls return errSkipped instead of running —
+// the first veto cancels the rest of the voting round.
+func fanoutParticipants(ps []Participant, stopOnErr bool, fn func(Participant) error) []error {
+	errs := make([]error, len(ps))
+	if len(ps) == 0 {
+		return errs
+	}
+	if len(ps) == 1 {
+		errs[0] = fn(ps[0])
+		return errs
+	}
+	workers := len(ps)
+	if workers > maxCommitFanout {
+		workers = maxCommitFanout
+	}
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	work := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(ps) {
+				return
+			}
+			if stopOnErr && failed.Load() {
+				errs[i] = errSkipped
+				continue
+			}
+			if err := fn(ps[i]); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
+		}
+	}
+	// The calling goroutine is one of the workers, so a fan-out of width w
+	// spawns only w-1 goroutines.
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	return errs
+}
+
+// errSkipped marks a vote that was never solicited because an earlier
+// participant had already vetoed. A skipped participant holds no prepare
+// record, so the presumed-abort rollback covers it.
+var errSkipped = errors.New("transactions: prepare skipped after veto")
+
+// Commit runs two-phase commit: every participant prepares concurrently
+// (forcing its redo log); if all vote yes the decision is logged — exactly
+// once, before any participant learns it — and the commits fan out
+// concurrently; otherwise everything aborts and ErrVetoed (wrapping the
+// first veto) is returned. Concurrency changes only the wall-clock shape
+// (max of the participant costs instead of their sum); the log discipline
+// is untouched: prepare records are forced before voting yes, the
+// decision record is the commit point, and participants that prepared
+// recover forward from it.
 func (t *Tx) Commit() error {
 	if t.state != txActive {
 		return ErrTxDone
 	}
 	// Phase 1: voting.
-	for _, p := range t.participants {
-		if err := p.Prepare(t.id); err != nil {
+	errs := fanoutParticipants(t.participants, true, func(p Participant) error {
+		return p.Prepare(t.id)
+	})
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, errSkipped) {
 			t.rollback()
-			return fmt.Errorf("%w: %s: %v", ErrVetoed, p.Name(), err)
+			return fmt.Errorf("%w: %s: %v", ErrVetoed, t.participants[i].Name(), err)
 		}
 	}
 	// Decision point: once logged, the transaction IS committed, whatever
@@ -189,13 +259,15 @@ func (t *Tx) Commit() error {
 	t.coord.finish(t, true)
 	t.state = txCommitted
 	// Phase 2: completion.
-	var firstErr error
-	for _, p := range t.participants {
-		if err := p.Commit(t.id); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("transactions: participant %s failed after decision: %w", p.Name(), err)
+	errs = fanoutParticipants(t.participants, false, func(p Participant) error {
+		return p.Commit(t.id)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("transactions: participant %s failed after decision: %w", t.participants[i].Name(), err)
 		}
 	}
-	return firstErr
+	return nil
 }
 
 // Abort rolls the transaction back everywhere.
@@ -208,9 +280,13 @@ func (t *Tx) Abort() error {
 }
 
 func (t *Tx) rollback() {
-	for _, p := range t.participants {
-		_ = p.Abort(t.id)
-	}
+	// Aborts fan out concurrently too: rollback latency also tracks the
+	// slowest participant, not the sum. Abort is idempotent and aborting a
+	// participant that never prepared is a no-op (presumed abort), so no
+	// ordering is required.
+	fanoutParticipants(t.participants, false, func(p Participant) error {
+		return p.Abort(t.id)
+	})
 	t.coord.finish(t, false)
 	t.state = txAborted
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 	"repro/internal/values"
@@ -41,6 +42,7 @@ type Repository struct {
 	declared   map[string]map[string]bool // sub -> set of declared supers
 	subCache   map[subKey]bool            // memoised structural results
 	relations  map[string]map[string]map[string]bool
+	gen        atomic.Uint64 // bumped whenever subtype facts may change
 }
 
 type subKey struct{ sub, super string }
@@ -77,10 +79,19 @@ func (r *Repository) RegisterInterface(it *types.Interface) error {
 	}
 	r.interfaces[it.Name] = it
 	// Structural facts may change as the universe of types grows; reset
-	// the memo rather than reasoning about which entries survive.
+	// the memo rather than reasoning about which entries survive, and
+	// advance the generation so external caches (the trader's subtype
+	// closure) know theirs went stale too.
 	r.subCache = make(map[subKey]bool)
+	r.gen.Add(1)
 	return nil
 }
+
+// Gen returns the repository's type-fact generation: it advances whenever
+// a registration may have changed the substitutability relation. Callers
+// memoising derived facts (such as the trader's per-service-type subtype
+// closure) compare generations to know when to rebuild.
+func (r *Repository) Gen() uint64 { return r.gen.Load() }
 
 // LookupInterface returns the interface type registered under name.
 func (r *Repository) LookupInterface(name string) (*types.Interface, error) {

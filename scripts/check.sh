@@ -4,9 +4,10 @@
 # Tier 1 (the build gate) is `go build ./... && go test ./...`. This script
 # adds the checks that guard the invocation hot path: vet, the race detector
 # over the packages that share pooled buffers across goroutines (wire,
-# channel, netsim — plus transactions, whose lock manager is the other
-# concurrency-heavy component), and a short benchmark smoke run so a change
-# that breaks the benchmark harness fails here rather than in a measurement
+# channel, netsim) and the packages that fan work out across goroutines
+# (transactions' parallel 2PC, coordination's sequencer fan-out, trader's
+# concurrent federation), and short benchmark smoke runs so a change that
+# breaks the benchmark harness fails here rather than in a measurement
 # session.
 #
 # Run from the repository root:  ./scripts/check.sh
@@ -20,10 +21,14 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== race detector (hot-path packages) =="
-go test -race ./internal/wire/ ./internal/channel/ ./internal/netsim/ ./internal/transactions/
+echo "== race detector (hot-path and fan-out packages) =="
+go test -race ./internal/wire/ ./internal/channel/ ./internal/netsim/ \
+	./internal/transactions/ ./internal/coordination/ ./internal/trader/
 
 echo "== benchmark smoke (E2 bank invocation) =="
 go test -run=NONE -bench=E2 -benchtime=100x -benchmem .
+
+echo "== benchmark smoke (replica scaling fan-out) =="
+go test -run=NONE -bench=E6_ReplicationScaling -benchtime=5x .
 
 echo "check.sh: all gates passed"
