@@ -158,3 +158,15 @@ func BenchmarkE8_TraderScaling(b *testing.B) {
 		s.Close()
 	}
 }
+
+// BenchmarkE9_Observability measures the management subsystem's tax on
+// the invocation path: the same echo round trip with instrumentation
+// absent and fully enabled (metrics + tracing + QoS), and the same frame
+// with and without the trace extension. The instrumentation-off number
+// is the one EXPERIMENTS.md holds to the ≤5% overhead budget against E4.
+func BenchmarkE9_Observability(b *testing.B) {
+	for _, s := range experiments.E9Overhead() {
+		benchScenario(b, s)
+		s.Close()
+	}
+}

@@ -1,5 +1,5 @@
 // Command odpbench regenerates every experiment in EXPERIMENTS.md as
-// formatted tables: the per-figure micro-benchmarks (E1–E8) plus the two
+// formatted tables: the per-figure micro-benchmarks (E1–E9) plus the two
 // behavioural measurements that are not ns/op-shaped — relocation
 // recovery latency and failure masking under loss.
 //
@@ -82,6 +82,9 @@ func main() {
 	section("E8b Trader scaling: indexed import and parallel federation")
 	runTable(*iters/10, experiments.E8TraderScaling())
 	runTable(*iters/10, experiments.E8FederationParallel())
+
+	section("E9  Section 8.1: management & observability overhead")
+	runTable(*iters, experiments.E9Overhead())
 }
 
 func section(title string) {

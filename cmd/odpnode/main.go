@@ -10,6 +10,9 @@
 //
 //	<interface-id> <type> <endpoint>
 //
+// Unless -mgmt=false, the last line is a Management interface: point
+// cmd/odpstat at it to dump the node's metrics, QoS state and traces.
+//
 // Invoke from another process:
 //
 //	odpnode -call '<interface-id>' -endpoint tcp://127.0.0.1:9000 -op Inc -args 5
@@ -31,6 +34,7 @@ import (
 	"repro/internal/bank"
 	"repro/internal/channel"
 	"repro/internal/engineering"
+	"repro/internal/mgmt"
 	"repro/internal/naming"
 	"repro/internal/netsim"
 	"repro/internal/transactions"
@@ -48,12 +52,13 @@ func main() {
 		endpoint = flag.String("endpoint", "", "endpoint of the target interface (call mode)")
 		op       = flag.String("op", "", "operation name (call mode)")
 		argsCSV  = flag.String("args", "", "comma-separated operation arguments (call mode)")
+		manage   = flag.Bool("mgmt", true, "serve the Management interface beside the application (serve mode)")
 	)
 	flag.Parse()
 
 	switch {
 	case *serve:
-		runServe(*nodeName, *listen, *behavior)
+		runServe(*nodeName, *listen, *behavior, *manage)
 	case *call != "":
 		runCall(*call, *endpoint, *op, *argsCSV)
 	default:
@@ -99,12 +104,18 @@ func greeterType() *types.Interface {
 	)
 }
 
-func runServe(nodeName, listen, behavior string) {
+func runServe(nodeName, listen, behavior string, manage bool) {
+	var domain *mgmt.Management
+	server := channel.ServerConfig{ReplayGuard: true}
+	if manage {
+		domain = mgmt.New()
+		server.Instruments = domain.ChannelServer(nodeName)
+	}
 	node, err := engineering.NewNode(engineering.NodeConfig{
 		ID:        naming.NodeID(nodeName),
 		Endpoint:  naming.Endpoint(listen),
 		Transport: netsim.NewTCP(),
-		Server:    channel.ServerConfig{ReplayGuard: true},
+		Server:    server,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -118,6 +129,7 @@ func runServe(nodeName, listen, behavior string) {
 		return greeter{}, nil
 	})
 	coord := transactions.NewCoordinator()
+	coord.Instrument(domain.Tx(nodeName))
 	store := transactions.NewStore("branch", nil)
 	bank.RegisterBehavior(node.Behaviors(), coord, store)
 
@@ -149,6 +161,23 @@ func runServe(nodeName, listen, behavior string) {
 	}
 	for _, it := range ifaces {
 		ref, err := obj.AddInterface(it)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s %s %s\n", ref.ID, ref.TypeName, node.Endpoint())
+	}
+	if domain != nil {
+		// The management interface is an ordinary operational interface on
+		// an ordinary object: odpstat reaches the node's observability
+		// through the same channel machinery it observes.
+		node.Behaviors().Register("mgmt", func(values.Value) (engineering.Behavior, error) {
+			return channel.HandlerFunc(domain.ServeInvoke), nil
+		})
+		mobj, err := cluster.CreateObject("mgmt", values.Null())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref, err := mobj.AddInterface(mgmt.InterfaceType())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,106 @@
+// Command odpstat renders the management view of an ODP node: metrics,
+// QoS envelope state and channel-stage traces, fetched over the node's
+// own Management interface (the subsystem is reached through the same
+// channel machinery it observes).
+//
+// Against a served node (take the Management line from odpnode's output):
+//
+//	odpstat -id '<interface-id>' -endpoint tcp://127.0.0.1:9000
+//	odpstat -id '<interface-id>' -endpoint tcp://127.0.0.1:9000 -op Traces
+//	odpstat -id '<interface-id>' -endpoint tcp://127.0.0.1:9000 -op Trace -trace <hex-id>
+//
+// Standalone demo — build a two-replica transactional bank in-process,
+// run one traced deposit and print its span tree:
+//
+//	odpstat -demo
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/channel"
+	"repro/internal/experiments"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/values"
+)
+
+func main() {
+	var (
+		id       = flag.String("id", "", "interface id of the node's Management interface")
+		endpoint = flag.String("endpoint", "", "endpoint of the node")
+		op       = flag.String("op", "Dump", "management operation: Dump | Metrics | Traces | Trace")
+		trace    = flag.String("trace", "", "trace id (hex) for -op Trace")
+		demo     = flag.Bool("demo", false, "run the in-process traced-transfer demo and exit")
+	)
+	flag.Parse()
+
+	if *demo {
+		runDemo()
+		return
+	}
+	if *id == "" || *endpoint == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	runFetch(*id, *endpoint, *op, *trace)
+}
+
+func runFetch(ifaceID, endpoint, op, trace string) {
+	id, err := naming.ParseInterfaceID(ifaceID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := channel.Bind(naming.InterfaceRef{
+		ID:       id,
+		Endpoint: naming.Endpoint(endpoint),
+	}, channel.BindConfig{Transport: netsim.NewTCP()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Close()
+
+	var args []values.Value
+	if op == "Trace" {
+		if trace == "" {
+			log.Fatal("-op Trace needs -trace <hex-id>")
+		}
+		n, err := strconv.ParseUint(trace, 16, 64)
+		if err != nil {
+			log.Fatalf("bad trace id %q: %v", trace, err)
+		}
+		args = []values.Value{values.Uint(n)}
+	}
+	term, results, err := b.Invoke(context.Background(), op, args)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if term != "OK" {
+		detail := ""
+		if len(results) > 0 {
+			if s, ok := results[0].AsString(); ok {
+				detail = ": " + s
+			}
+		}
+		log.Fatalf("%s%s", term, detail)
+	}
+	for _, r := range results {
+		if s, ok := r.AsString(); ok {
+			fmt.Print(s)
+		}
+	}
+}
+
+func runDemo() {
+	spans, text, err := experiments.E9TracedTransfer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one replicated, transactional bank deposit — %d spans:\n\n", len(spans))
+	fmt.Print(text)
+}

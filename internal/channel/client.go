@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mgmt"
 	"repro/internal/naming"
 	"repro/internal/netsim"
 	"repro/internal/types"
@@ -59,6 +60,10 @@ type BindConfig struct {
 	CallTimeout time.Duration
 	// MaxRelocations bounds location refreshes per invocation (default 3).
 	MaxRelocations int
+	// Instruments enables management instrumentation of this channel end:
+	// stub/binder/transport spans, invocation metrics and the optional QoS
+	// monitor. Nil disables it at the cost of a nil check per invocation.
+	Instruments *mgmt.ChannelClientInstruments
 }
 
 // BindingStats counts channel events at the client end.
@@ -161,6 +166,28 @@ func (b *Binding) Invoke(ctx context.Context, op string, args []values.Value) (s
 		return "", nil, err
 	}
 	b.invocations.Add(1)
+	ins := b.cfg.Instruments
+	if ins == nil {
+		return b.invoke(ctx, op, args)
+	}
+	ins.Invocations.Inc()
+	ctx, sp := ins.Tracer.Start(ctx, "stub:"+op)
+	start := time.Now()
+	term, results, err := b.invoke(ctx, op, args)
+	if err != nil {
+		sp.Fail(err)
+		ins.Failures.Inc()
+	}
+	sp.End()
+	d := time.Since(start)
+	ins.InvokeLatency.ObserveDuration(d)
+	ins.QoS.Observe(d, err != nil)
+	return term, results, err
+}
+
+// invoke is the uninstrumented interrogation body: the retry/relocation
+// loop around attempt.
+func (b *Binding) invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
 	correl := b.nextCorrel.Add(1)
 
 	relocations := 0
@@ -188,9 +215,15 @@ func (b *Binding) Invoke(ctx context.Context, op string, args []values.Value) (s
 			if attempt < b.cfg.MaxRetries {
 				attempt++
 				b.retries.Add(1)
+				if ins := b.cfg.Instruments; ins != nil {
+					ins.Retries.Inc()
+				}
 				if b.refreshLocation() {
 					relocations++
 					b.relocations.Add(1)
+					if ins := b.cfg.Instruments; ins != nil {
+						ins.Relocations.Inc()
+					}
 				}
 				continue
 			}
@@ -214,6 +247,9 @@ func (b *Binding) Invoke(ctx context.Context, op string, args []values.Value) (s
 				if b.refreshLocation() {
 					relocations++
 					b.relocations.Add(1)
+					if ins := b.cfg.Instruments; ins != nil {
+						ins.Relocations.Inc()
+					}
 					continue
 				}
 			}
@@ -379,15 +415,33 @@ func (b *Binding) attempt(ctx context.Context, m *wire.Message) (*wire.Message, 
 		ctx, cancel = context.WithTimeout(ctx, b.cfg.CallTimeout)
 		defer cancel()
 	}
-	if err := runStages(b.cfg.Stages, Outbound, m); err != nil {
+	var tr *mgmt.Tracer
+	if b.cfg.Instruments != nil {
+		tr = b.cfg.Instruments.Tracer
+	}
+	_, bsp := tr.Start(ctx, "binder")
+	err := runStages(b.cfg.Stages, Outbound, m)
+	bsp.Fail(err)
+	bsp.End()
+	if err != nil {
 		return nil, err
 	}
 	conn, err := b.ensureConn(ctx)
 	if err != nil {
 		return nil, err
 	}
+	// The transport span covers encode, send and the wait for the reply;
+	// its context rides the frame's trace extension, so the server's
+	// dispatch span parents under it.
+	_, tsp := tr.Start(ctx, "transport")
+	if sc := tsp.Context(); !sc.IsZero() {
+		m.TraceID = uint64(sc.Trace)
+		m.SpanID = uint64(sc.Span)
+	}
 	frame, err := m.EncodeAppend(wire.GetFrame(m.SizeHint()), b.cfg.Codec)
 	if err != nil {
+		tsp.Fail(err)
+		tsp.End()
 		return nil, err
 	}
 	ch := make(chan *wire.Message, 1)
@@ -410,18 +464,26 @@ func (b *Binding) attempt(ctx context.Context, m *wire.Message) (*wire.Message, 
 	wire.PutFrame(frame)
 	if err != nil {
 		b.dropConn(conn)
-		return nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
+		err = fmt.Errorf("%w: %v", ErrDisconnected, err)
+		tsp.Fail(err)
+		tsp.End()
+		return nil, err
 	}
 	select {
 	case reply, ok := <-ch:
 		if !ok {
+			tsp.Fail(ErrDisconnected)
+			tsp.End()
 			return nil, ErrDisconnected
 		}
+		tsp.End()
 		if err := runStages(b.cfg.Stages, Inbound, reply); err != nil {
 			return nil, err
 		}
 		return reply, nil
 	case <-ctx.Done():
+		tsp.Fail(ctx.Err())
+		tsp.End()
 		return nil, ctx.Err()
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mgmt"
 	"repro/internal/naming"
 	"repro/internal/netsim"
 	"repro/internal/types"
@@ -65,6 +66,10 @@ type ServerConfig struct {
 	// on the connection's read loop, so every message is still handled
 	// and backpressure reaches the transport naturally.
 	Workers int
+	// Instruments enables management instrumentation of this channel end:
+	// dispatch spans (parented under the caller's trace extension, when
+	// present) and dispatch metrics. Nil disables it.
+	Instruments *mgmt.ChannelServerInstruments
 }
 
 // ServerStats counts channel events at the server end.
@@ -287,6 +292,9 @@ func (s *Server) serveConn(conn netsim.Conn) {
 		wire.PutFrame(frame)
 		if err != nil {
 			s.badFrames.Add(1)
+			if ins := s.cfg.Instruments; ins != nil {
+				ins.BadFrames.Inc()
+			}
 			continue
 		}
 		if err := runStages(s.cfg.Stages, Inbound, m); err != nil {
@@ -385,7 +393,20 @@ func (s *Server) handleCall(conn netsim.Conn, m *wire.Message) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.HandlerTimeout)
 		defer cancel()
 	}
+	ins := s.cfg.Instruments
+	var sp *mgmt.ActiveSpan
+	if ins != nil {
+		ins.Dispatches.Inc()
+		// Parent under the caller's transport span when the frame carried a
+		// trace extension; an untraced caller still gets a local root span.
+		ctx, sp = ins.Tracer.StartRemote(ctx, "dispatch:"+m.Operation,
+			mgmt.SpanContext{Trace: mgmt.TraceID(m.TraceID), Span: mgmt.SpanID(m.SpanID)})
+	}
 	term, results, err := e.handler.Invoke(ctx, m.Operation, m.Args)
+	if ins != nil {
+		sp.Fail(err)
+		ins.DispatchLatency.ObserveDuration(sp.End())
+	}
 	if err != nil {
 		// Handlers may return a *StageError to control the code (e.g. an
 		// activator wrapper reporting a deactivated cluster).
@@ -506,6 +527,9 @@ func checkTermination(decl types.Operation, term string, results []values.Value)
 
 func (s *Server) sendErr(conn netsim.Conn, req *wire.Message, code, detail string) {
 	s.errCount.Add(1)
+	if ins := s.cfg.Instruments; ins != nil {
+		ins.Errors.Inc()
+	}
 	rm := wire.GetMessage()
 	rm.Kind = wire.ErrReply
 	rm.BindingID = req.BindingID

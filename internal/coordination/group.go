@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/mgmt"
 	"repro/internal/values"
 )
 
@@ -74,6 +75,15 @@ type ReplicaGroup struct {
 	reads       atomic.Uint64
 	failovers   atomic.Uint64
 	divergences atomic.Uint64
+
+	insp atomic.Pointer[mgmt.GroupInstruments]
+}
+
+// Instrument attaches management instruments to the group (update spans,
+// per-replica child spans, fan-out metrics). Safe to call at any time;
+// nil detaches.
+func (g *ReplicaGroup) Instrument(ins *mgmt.GroupInstruments) {
+	g.insp.Store(ins)
 }
 
 type member struct {
@@ -135,10 +145,25 @@ type reply struct {
 // fanout invokes op on every member of snap concurrently (bounded at
 // maxFanout goroutines) and returns the collected replies, index-aligned
 // with snap.
-func fanout(ctx context.Context, snap []member, op string, args []values.Value) []reply {
+func fanout(ctx context.Context, tr *mgmt.Tracer, snap []member, op string, args []values.Value) []reply {
 	replies := make([]reply, len(snap))
+	// invokeOne runs one replica's leg under its own child span, so a trace
+	// shows each replica's round trip separately inside the update.
+	invokeOne := func(i int) {
+		// The span name is built only when tracing: the concatenation would
+		// otherwise allocate on every uninstrumented leg.
+		cctx := ctx
+		var sp *mgmt.ActiveSpan
+		if tr != nil {
+			cctx, sp = tr.Start(ctx, "replica:"+snap[i].name)
+		}
+		r := &replies[i]
+		r.term, r.res, r.err = snap[i].inv.Invoke(cctx, op, args)
+		sp.Fail(r.err)
+		sp.End()
+	}
 	if len(snap) == 1 {
-		replies[0].term, replies[0].res, replies[0].err = snap[0].inv.Invoke(ctx, op, args)
+		invokeOne(0)
 		return replies
 	}
 	workers := len(snap)
@@ -152,8 +177,7 @@ func fanout(ctx context.Context, snap []member, op string, args []values.Value) 
 			if i >= len(snap) {
 				return
 			}
-			r := &replies[i]
-			r.term, r.res, r.err = snap[i].inv.Invoke(ctx, op, args)
+			invokeOne(i)
 		}
 	}
 	// The calling goroutine is one of the workers, so a fan-out of width w
@@ -178,6 +202,12 @@ func fanout(ctx context.Context, snap []member, op string, args []values.Value) 
 // successful replies is counted as divergence and reported as an error.
 func (g *ReplicaGroup) Invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
 	g.updates.Add(1)
+	ins := g.insp.Load()
+	var tr *mgmt.Tracer
+	if ins != nil {
+		ins.Updates.Inc()
+		tr = ins.Tracer
+	}
 
 	// Serial section: assign the sequence number, snapshot the membership.
 	g.mu.Lock()
@@ -191,6 +221,14 @@ func (g *ReplicaGroup) Invoke(ctx context.Context, op string, args []values.Valu
 	copy(snap, g.members)
 	g.mu.Unlock()
 
+	// The update span covers the wait for the total order plus the whole
+	// fan-out; each replica leg is a child span.
+	uctx := ctx
+	var usp *mgmt.ActiveSpan
+	if tr != nil {
+		uctx, usp = tr.Start(ctx, "replica.update:"+op)
+	}
+
 	// Wait for this update's place in the total order, fan out, release.
 	g.seqMu.Lock()
 	for g.serving != ticket {
@@ -198,7 +236,7 @@ func (g *ReplicaGroup) Invoke(ctx context.Context, op string, args []values.Valu
 	}
 	g.seqMu.Unlock()
 
-	replies := fanout(ctx, snap, op, args)
+	replies := fanout(uctx, tr, snap, op, args)
 
 	g.seqMu.Lock()
 	g.serving++
@@ -233,19 +271,37 @@ func (g *ReplicaGroup) Invoke(ctx context.Context, op string, args []values.Valu
 	}
 	if len(failed) > 0 {
 		g.failovers.Add(uint64(len(failed)))
+		if ins != nil {
+			ins.Failovers.Add(uint64(len(failed)))
+		}
 		g.drop(failed)
 		for _, m := range failed {
 			_ = m.inv.Close()
 		}
 	}
 	if first == nil {
+		usp.Fail(ErrEmptyGroup)
+		endUpdate(ins, usp)
 		return "", nil, ErrEmptyGroup
 	}
 	if diverged {
 		g.divergences.Add(1)
-		return "", nil, fmt.Errorf("%w: operation %s", ErrDiverged, op)
+		err := fmt.Errorf("%w: operation %s", ErrDiverged, op)
+		usp.Fail(err)
+		endUpdate(ins, usp)
+		return "", nil, err
 	}
+	endUpdate(ins, usp)
 	return first.term, first.res, nil
+}
+
+// endUpdate finishes an update span and feeds its duration to the group's
+// latency histogram (both halves tolerate the disabled, nil case).
+func endUpdate(ins *mgmt.GroupInstruments, usp *mgmt.ActiveSpan) {
+	d := usp.End()
+	if ins != nil {
+		ins.UpdateLatency.ObserveDuration(d)
+	}
 }
 
 // drop removes the given members, matching by identity as well as name so
@@ -295,6 +351,9 @@ func (g *ReplicaGroup) InvokeRead(ctx context.Context, op string, args []values.
 			return term, res, nil
 		}
 		g.failovers.Add(1)
+		if ins := g.insp.Load(); ins != nil {
+			ins.Failovers.Inc()
+		}
 		g.drop([]member{m})
 		_ = m.inv.Close()
 	}

@@ -1,0 +1,255 @@
+package mgmt
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// This file defines the per-component instrument bundles. Each
+// instrumented package (channel, coordination, transactions, trader,
+// netsim) takes exactly one optional pointer to its bundle; a nil bundle
+// disables that component's instrumentation at the cost of one nil check,
+// which is what lets the hooks ship permanently inside the hot paths that
+// earlier perf work tuned.
+
+// ChannelClientInstruments instrument the client end of a channel: the
+// stub, binder and protocol stages of one binding (or a family of
+// bindings sharing a name).
+type ChannelClientInstruments struct {
+	Tracer *Tracer
+
+	Invocations   *Counter   // interrogations + announcements started
+	Failures      *Counter   // invocations returning infrastructure errors
+	Retries       *Counter   // failure-transparency retries
+	Relocations   *Counter   // relocation-transparency refreshes
+	InvokeLatency *Histogram // end-to-end interrogation latency, ns
+
+	QoS *Monitor // optional envelope over invocation latency/errors
+}
+
+// ChannelServerInstruments instrument the server end: dispatch of inbound
+// calls to servants.
+type ChannelServerInstruments struct {
+	Tracer *Tracer
+
+	Dispatches      *Counter   // calls dispatched to servants
+	Errors          *Counter   // error replies sent
+	BadFrames       *Counter   // undecodable inbound frames
+	DispatchLatency *Histogram // servant execution latency, ns
+}
+
+// GroupInstruments instrument a replica group (coordination).
+type GroupInstruments struct {
+	Tracer *Tracer
+
+	Updates       *Counter
+	Failovers     *Counter
+	UpdateLatency *Histogram // full fan-out latency, ns
+}
+
+// TxInstruments instrument a transaction coordinator.
+type TxInstruments struct {
+	Tracer *Tracer
+
+	Commits       *Counter
+	Aborts        *Counter
+	Vetoes        *Counter
+	CommitLatency *Histogram // two-phase commit latency, ns
+}
+
+// TraderInstruments instrument a trader's import (lookup) path.
+type TraderInstruments struct {
+	Imports       *Counter
+	Matched       *Counter
+	ImportLatency *Histogram // import latency, ns
+}
+
+// NetInstruments instrument a transport/network: frame-level counters.
+type NetInstruments struct {
+	Sent        *Counter
+	Delivered   *Counter
+	Dropped     *Counter
+	Partitioned *Counter // drops caused specifically by a partition
+}
+
+// ---------------------------------------------------------------------------
+// Management: the per-node (or per-system) aggregate
+
+// Management bundles one observability domain: a tracer, a metrics
+// registry and the QoS monitors, with the constructors that wire them to
+// components and the text dumps that the management interface serves.
+type Management struct {
+	Registry *Registry
+	Tracer   *Tracer
+
+	mu       sync.Mutex
+	monitors []*Monitor
+}
+
+// New creates an enabled management domain with a default-capacity
+// tracer. (A nil *Management is the disabled domain: all its instrument
+// constructors return nil bundles.)
+func New() *Management {
+	return &Management{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(0),
+	}
+}
+
+// Monitor creates and registers a QoS monitor under this domain.
+func (m *Management) Monitor(env Envelope, pub Publisher) *Monitor {
+	if m == nil {
+		return nil
+	}
+	mon := NewMonitor(env, pub)
+	m.mu.Lock()
+	m.monitors = append(m.monitors, mon)
+	m.mu.Unlock()
+	return mon
+}
+
+// Monitors returns the registered QoS monitors.
+func (m *Management) Monitors() []*Monitor {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Monitor, len(m.monitors))
+	copy(out, m.monitors)
+	return out
+}
+
+// ChannelClient resolves a client-channel bundle named name (e.g. the
+// bound interface's type). Metrics land under channel.client.<name>.*.
+func (m *Management) ChannelClient(name string) *ChannelClientInstruments {
+	if m == nil {
+		return nil
+	}
+	p := "channel.client." + name + "."
+	return &ChannelClientInstruments{
+		Tracer:        m.Tracer,
+		Invocations:   m.Registry.Counter(p + "invocations"),
+		Failures:      m.Registry.Counter(p + "failures"),
+		Retries:       m.Registry.Counter(p + "retries"),
+		Relocations:   m.Registry.Counter(p + "relocations"),
+		InvokeLatency: m.Registry.Histogram(p + "invoke_latency_ns"),
+	}
+}
+
+// ChannelServer resolves a server-channel bundle named name (e.g. the
+// node id).
+func (m *Management) ChannelServer(name string) *ChannelServerInstruments {
+	if m == nil {
+		return nil
+	}
+	p := "channel.server." + name + "."
+	return &ChannelServerInstruments{
+		Tracer:          m.Tracer,
+		Dispatches:      m.Registry.Counter(p + "dispatches"),
+		Errors:          m.Registry.Counter(p + "errors"),
+		BadFrames:       m.Registry.Counter(p + "bad_frames"),
+		DispatchLatency: m.Registry.Histogram(p + "dispatch_latency_ns"),
+	}
+}
+
+// Group resolves a replica-group bundle.
+func (m *Management) Group(name string) *GroupInstruments {
+	if m == nil {
+		return nil
+	}
+	p := "replica." + name + "."
+	return &GroupInstruments{
+		Tracer:        m.Tracer,
+		Updates:       m.Registry.Counter(p + "updates"),
+		Failovers:     m.Registry.Counter(p + "failovers"),
+		UpdateLatency: m.Registry.Histogram(p + "update_latency_ns"),
+	}
+}
+
+// Tx resolves a transaction-coordinator bundle.
+func (m *Management) Tx(name string) *TxInstruments {
+	if m == nil {
+		return nil
+	}
+	p := "tx." + name + "."
+	return &TxInstruments{
+		Tracer:        m.Tracer,
+		Commits:       m.Registry.Counter(p + "commits"),
+		Aborts:        m.Registry.Counter(p + "aborts"),
+		Vetoes:        m.Registry.Counter(p + "vetoes"),
+		CommitLatency: m.Registry.Histogram(p + "commit_latency_ns"),
+	}
+}
+
+// Trader resolves a trader bundle.
+func (m *Management) TraderInstr(name string) *TraderInstruments {
+	if m == nil {
+		return nil
+	}
+	p := "trader." + name + "."
+	return &TraderInstruments{
+		Imports:       m.Registry.Counter(p + "imports"),
+		Matched:       m.Registry.Counter(p + "matched"),
+		ImportLatency: m.Registry.Histogram(p + "import_latency_ns"),
+	}
+}
+
+// Net resolves a network bundle.
+func (m *Management) Net(name string) *NetInstruments {
+	if m == nil {
+		return nil
+	}
+	p := "net." + name + "."
+	return &NetInstruments{
+		Sent:        m.Registry.Counter(p + "sent"),
+		Delivered:   m.Registry.Counter(p + "delivered"),
+		Dropped:     m.Registry.Counter(p + "dropped"),
+		Partitioned: m.Registry.Counter(p + "partitioned"),
+	}
+}
+
+// Dump renders the whole domain — metrics, QoS monitors, tracer stats and
+// recent traces — as text.
+func (m *Management) Dump() string {
+	if m == nil {
+		return "(management disabled)\n"
+	}
+	var b strings.Builder
+	b.WriteString("== metrics ==\n")
+	b.WriteString(m.Registry.Dump())
+	if mons := m.Monitors(); len(mons) > 0 {
+		b.WriteString("== qos ==\n")
+		for _, mon := range mons {
+			b.WriteString(mon.Dump())
+		}
+	}
+	ts := m.Tracer.Stats()
+	fmt.Fprintf(&b, "== traces ==\nspans started=%d finished=%d dropped=%d\n",
+		ts.Started, ts.Finished, ts.Dropped)
+	ids := m.Tracer.TraceIDs()
+	const maxListed = 10
+	if len(ids) > maxListed {
+		fmt.Fprintf(&b, "(%d traces retained, newest %d listed)\n", len(ids), maxListed)
+		ids = ids[len(ids)-maxListed:]
+	}
+	for _, id := range ids {
+		spans := m.Tracer.Trace(id)
+		fmt.Fprintf(&b, "trace %016x: %d spans, root %q\n", uint64(id), len(spans), rootName(spans))
+	}
+	return b.String()
+}
+
+func rootName(spans []Span) string {
+	byID := make(map[SpanID]bool, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = true
+	}
+	for _, s := range spans {
+		if s.Parent == 0 || !byID[s.Parent] {
+			return s.Name
+		}
+	}
+	return "?"
+}

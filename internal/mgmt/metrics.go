@@ -1,0 +1,308 @@
+package mgmt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter
+// no-ops, so instrumented code never branches on configuration.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (zero for nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depth, live bindings).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value (zero for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of a Histogram: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. [2^(i-1), 2^i). Fixed
+// log-spaced buckets make histograms lock-free to record into and
+// trivially mergeable across shards — the properties the observability
+// layer needs to sit inside hot paths.
+const histBuckets = 65 // bits.Len64 ranges over 0..64
+
+// Histogram is a lock-cheap latency/size histogram: recording is two
+// atomic adds and one atomic increment, with no locks and no allocation.
+// Values are dimensionless uint64s; latency users record nanoseconds.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds (negative clamps to 0).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Because
+// recording is not atomic across the three fields, a snapshot taken under
+// concurrent writes may be torn by a in-flight observation; counts and
+// buckets are each individually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram, the unit of
+// merging and quantile estimation.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [histBuckets]uint64
+}
+
+// Merge returns the combination of two snapshots: the histogram that
+// would have resulted from observing both inputs' samples. Because the
+// buckets are fixed and aligned, merge is exact — merging per-shard
+// histograms equals the histogram of the whole population.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := s
+	out.Count += o.Count
+	out.Sum += o.Sum
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) as the upper bound of the
+// bucket containing the target rank — a conservative estimate with
+// bounded relative error 2x, which is what log-spaced buckets buy.
+// An empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank: the smallest value with at least ceil(q*N) samples at
+	// or below it, so p99 of 10 samples is the slowest one, not the 9th.
+	r := int64(math.Ceil(q*float64(s.Count))) - 1
+	if r < 0 {
+		r = 0
+	}
+	rank := uint64(r)
+	var seen uint64
+	for i, n := range s.Buckets {
+		seen += n
+		if n > 0 && seen > rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// Mean returns the exact mean of the observed values (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// bucketUpper returns the largest value falling in bucket i.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// Registry names and owns instruments. Components resolve their
+// instruments once at configuration time (the returned pointers are
+// stable), so the per-operation path never touches the registry's lock.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns nil, which is itself a valid disabled counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Dump renders every instrument as sorted text, the form served by the
+// management interface and printed by odpstat.
+func (r *Registry) Dump() string {
+	if r == nil {
+		return "(metrics disabled)\n"
+	}
+	r.mu.Lock()
+	counterNames := sortedKeys(r.counters)
+	gaugeNames := sortedKeys(r.gauges)
+	histNames := sortedKeys(r.hists)
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, name := range counterNames {
+		fmt.Fprintf(&b, "counter   %-44s %d\n", name, counters[name].Load())
+	}
+	for _, name := range gaugeNames {
+		fmt.Fprintf(&b, "gauge     %-44s %d\n", name, gauges[name].Load())
+	}
+	for _, name := range histNames {
+		s := hists[name].Snapshot()
+		fmt.Fprintf(&b, "histogram %-44s n=%d mean=%s p50=%s p99=%s max≤%s\n",
+			name, s.Count,
+			time.Duration(s.Mean()).Round(time.Microsecond),
+			time.Duration(s.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(s.Quantile(0.99)).Round(time.Microsecond),
+			time.Duration(s.Quantile(1)).Round(time.Microsecond))
+	}
+	if b.Len() == 0 {
+		return "(no instruments)\n"
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,163 @@
+package mgmt
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeNilAndBasic(t *testing.T) {
+	var nc *Counter
+	nc.Inc()
+	nc.Add(7)
+	if nc.Load() != 0 {
+		t.Fatalf("nil counter Load = %d", nc.Load())
+	}
+	c := &Counter{}
+	c.Inc()
+	c.Add(2)
+	if c.Load() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Load())
+	}
+
+	var ng *Gauge
+	ng.Set(5)
+	ng.Add(1)
+	if ng.Load() != 0 {
+		t.Fatalf("nil gauge Load = %d", ng.Load())
+	}
+	g := &Gauge{}
+	g.Set(5)
+	g.Add(-2)
+	if g.Load() != 3 {
+		t.Fatalf("gauge = %d, want 3", g.Load())
+	}
+}
+
+// TestHistogramMergeEqualsWhole is the merge property: observing a
+// population into one histogram gives exactly the same snapshot as
+// sharding the same population across several histograms and merging.
+// Buckets are fixed and aligned, so this holds exactly, not
+// approximately.
+func TestHistogramMergeEqualsWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 20; round++ {
+		nShards := 1 + rng.Intn(8)
+		shards := make([]*Histogram, nShards)
+		for i := range shards {
+			shards[i] = &Histogram{}
+		}
+		whole := &Histogram{}
+		n := rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			// Spread over the full bucket range, including 0 and huge values.
+			v := uint64(rng.Int63()) >> uint(rng.Intn(63))
+			whole.Observe(v)
+			shards[rng.Intn(nShards)].Observe(v)
+		}
+		merged := HistogramSnapshot{}
+		for _, s := range shards {
+			merged = merged.Merge(s.Snapshot())
+		}
+		if merged != whole.Snapshot() {
+			t.Fatalf("round %d: merged shards != whole population", round)
+		}
+	}
+}
+
+// TestHistogramQuantileBound checks the quantile estimate's contract: it
+// is an upper bound on the true quantile, within the 2x relative error
+// the log-spaced buckets allow.
+func TestHistogramQuantileBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 10; round++ {
+		h := &Histogram{}
+		vals := make([]uint64, 500)
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(1_000_000)) + 1
+			h.Observe(vals[i])
+		}
+		s := h.Snapshot()
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			est := s.Quantile(q)
+			// True quantile by sorting a copy.
+			sorted := append([]uint64(nil), vals...)
+			for i := 1; i < len(sorted); i++ {
+				for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+					sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+				}
+			}
+			truth := sorted[int(q*float64(len(sorted)-1))]
+			if est < truth {
+				t.Fatalf("q%.2f estimate %d below true value %d", q, est, truth)
+			}
+			if est > 2*truth {
+				t.Fatalf("q%.2f estimate %d beyond 2x true value %d", q, est, truth)
+			}
+		}
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var nh *Histogram
+	nh.Observe(5)
+	nh.ObserveDuration(time.Second)
+	s := nh.Snapshot()
+	if s.Count != 0 || s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatalf("nil histogram snapshot not empty: %+v", s)
+	}
+	h := &Histogram{}
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d", got)
+	}
+	h.ObserveDuration(-time.Second) // clamps to 0
+	if got := h.Snapshot().Count; got != 1 {
+		t.Fatalf("count after clamped observation = %d", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(rng.Intn(1 << 20)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestRegistryResolvesAndDumps(t *testing.T) {
+	r := NewRegistry()
+	if c1, c2 := r.Counter("a"), r.Counter("a"); c1 != c2 {
+		t.Fatal("same name resolved to different counters")
+	}
+	r.Counter("z.count").Add(3)
+	r.Gauge("depth").Set(-4)
+	r.Histogram("lat").Observe(1000)
+	dump := r.Dump()
+	for _, want := range []string{"z.count", "depth", "lat", "counter", "gauge", "histogram"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+
+	var nr *Registry
+	if nr.Counter("x") != nil || nr.Gauge("x") != nil || nr.Histogram("x") != nil {
+		t.Fatal("nil registry must resolve nil instruments")
+	}
+	if nr.Dump() == "" {
+		t.Fatal("nil registry dump empty")
+	}
+}

@@ -1,0 +1,264 @@
+package mgmt
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/values"
+)
+
+// Envelope declares the QoS requirements of the engineering viewpoint for
+// one monitored flow: the tutorial requires environment contracts to
+// capture "quality of service" terms, and this is their runtime form.
+// Zero fields are unconstrained.
+type Envelope struct {
+	Name         string        // what is being monitored ("teller.invoke")
+	Window       time.Duration // sliding evaluation window (default 10s)
+	MinSamples   int           // evaluations need at least this many samples (default 1)
+	MaxP99       time.Duration // p99 latency ceiling
+	MaxErrorRate float64       // failed fraction ceiling, 0..1
+	MaxStaleness time.Duration // max age of the freshest sample
+}
+
+// Violation is one envelope breach at one evaluation.
+type Violation struct {
+	Envelope string
+	Kind     string // "p99", "error-rate", "staleness"
+	Value    float64
+	Limit    float64
+	At       time.Time
+}
+
+// String renders the violation for logs and dumps.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s %.4g exceeds %.4g", v.Envelope, v.Kind, v.Value, v.Limit)
+}
+
+// Publisher is where violation events go: the coordination event
+// notification function. *coordination.Bus satisfies it (mgmt cannot
+// import coordination, which imports mgmt).
+type Publisher interface {
+	Publish(topic string, payload values.Value) int
+}
+
+// ViolationTopic is the event-bus topic QoS violations publish under.
+const ViolationTopic = "mgmt.qos.violation"
+
+// qosSample is one observation in the sliding window.
+type qosSample struct {
+	at     time.Time
+	lat    time.Duration
+	failed bool
+}
+
+// Monitor evaluates one Envelope over a sliding window of observations.
+// A nil *Monitor no-ops. Observations are mutex-guarded (QoS monitoring
+// sits beside, not inside, the per-message hot path: one Observe per
+// invocation, not per frame).
+type Monitor struct {
+	env   Envelope
+	clock func() time.Time
+	pub   Publisher
+
+	mu         sync.Mutex
+	samples    []qosSample // window, in arrival order
+	violations uint64
+	lastViol   []Violation
+}
+
+// NewMonitor creates a monitor for the envelope. pub may be nil (monitor
+// still evaluates, violations are only recorded, not published).
+func NewMonitor(env Envelope, pub Publisher) *Monitor {
+	if env.Window <= 0 {
+		env.Window = 10 * time.Second
+	}
+	if env.MinSamples <= 0 {
+		env.MinSamples = 1
+	}
+	return &Monitor{env: env, clock: time.Now, pub: pub}
+}
+
+// SetClock replaces the monitor's time source (simulated time in tests).
+// Not safe to call concurrently with Observe.
+func (m *Monitor) SetClock(clock func() time.Time) {
+	if m == nil || clock == nil {
+		return
+	}
+	m.clock = clock
+}
+
+// Envelope returns the declared envelope.
+func (m *Monitor) Envelope() Envelope {
+	if m == nil {
+		return Envelope{}
+	}
+	return m.env
+}
+
+// Observe records one interaction outcome and evaluates the envelope,
+// publishing any violations. It returns the violations found (nil when
+// inside the envelope).
+func (m *Monitor) Observe(lat time.Duration, failed bool) []Violation {
+	if m == nil {
+		return nil
+	}
+	now := m.clock()
+	m.mu.Lock()
+	m.samples = append(m.samples, qosSample{at: now, lat: lat, failed: failed})
+	viols := m.evaluateLocked(now)
+	m.mu.Unlock()
+	m.publish(viols)
+	return viols
+}
+
+// Evaluate re-checks the envelope without a new sample — how staleness
+// violations surface on an idle flow.
+func (m *Monitor) Evaluate() []Violation {
+	if m == nil {
+		return nil
+	}
+	now := m.clock()
+	m.mu.Lock()
+	viols := m.evaluateLocked(now)
+	m.mu.Unlock()
+	m.publish(viols)
+	return viols
+}
+
+// evaluateLocked prunes the window and checks every declared ceiling.
+func (m *Monitor) evaluateLocked(now time.Time) []Violation {
+	// Prune samples older than the window. A regressed clock (now earlier
+	// than samples already recorded) prunes nothing: !After covers both
+	// in-window and future-dated samples, so a clock jumping backwards —
+	// which simulated time and NTP both produce — never discards data or
+	// panics; the samples age out when the clock passes them again.
+	cutoff := now.Add(-m.env.Window)
+	keep := m.samples[:0]
+	for _, s := range m.samples {
+		if !cutoff.After(s.at) || s.at.After(now) {
+			keep = append(keep, s)
+		}
+	}
+	m.samples = keep
+
+	// An empty window makes no latency or error-rate claims, and is
+	// silent on staleness too: a never-observed flow has no freshest
+	// sample to age. Declare MaxStaleness below Window so an idle flow
+	// violates while its last samples are still in the window.
+	var viols []Violation
+	if m.env.MaxStaleness > 0 && len(m.samples) > 0 {
+		freshest := m.samples[0].at
+		for _, s := range m.samples[1:] {
+			if s.at.After(freshest) {
+				freshest = s.at
+			}
+		}
+		if age := now.Sub(freshest); age > m.env.MaxStaleness {
+			viols = append(viols, Violation{
+				Envelope: m.env.Name, Kind: "staleness",
+				Value: age.Seconds(), Limit: m.env.MaxStaleness.Seconds(), At: now,
+			})
+		}
+	}
+	if len(m.samples) < m.env.MinSamples {
+		// Too few samples for rate/quantile claims; staleness (above) is
+		// still meaningful.
+		m.noteLocked(viols)
+		return viols
+	}
+	if m.env.MaxP99 > 0 {
+		var h Histogram
+		for _, s := range m.samples {
+			h.ObserveDuration(s.lat)
+		}
+		if p99 := time.Duration(h.Snapshot().Quantile(0.99)); p99 > m.env.MaxP99 {
+			viols = append(viols, Violation{
+				Envelope: m.env.Name, Kind: "p99",
+				Value: p99.Seconds(), Limit: m.env.MaxP99.Seconds(), At: now,
+			})
+		}
+	}
+	if m.env.MaxErrorRate > 0 {
+		failed := 0
+		for _, s := range m.samples {
+			if s.failed {
+				failed++
+			}
+		}
+		if rate := float64(failed) / float64(len(m.samples)); rate > m.env.MaxErrorRate {
+			viols = append(viols, Violation{
+				Envelope: m.env.Name, Kind: "error-rate",
+				Value: rate, Limit: m.env.MaxErrorRate, At: now,
+			})
+		}
+	}
+	m.noteLocked(viols)
+	return viols
+}
+
+func (m *Monitor) noteLocked(viols []Violation) {
+	if len(viols) > 0 {
+		m.violations += uint64(len(viols))
+		m.lastViol = viols
+	}
+}
+
+// publish pushes violations onto the event bus as record values.
+func (m *Monitor) publish(viols []Violation) {
+	if m.pub == nil {
+		return
+	}
+	for _, v := range viols {
+		m.pub.Publish(ViolationTopic, values.Record(
+			values.F("envelope", values.Str(v.Envelope)),
+			values.F("kind", values.Str(v.Kind)),
+			values.F("value", values.Float(v.Value)),
+			values.F("limit", values.Float(v.Limit)),
+		))
+	}
+}
+
+// Violations returns the cumulative violation count and the violations of
+// the most recent breaching evaluation.
+func (m *Monitor) Violations() (uint64, []Violation) {
+	if m == nil {
+		return 0, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	last := make([]Violation, len(m.lastViol))
+	copy(last, m.lastViol)
+	return m.violations, last
+}
+
+// WindowSize returns the number of samples currently in the window
+// (without re-pruning; diagnostic only).
+func (m *Monitor) WindowSize() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.samples)
+}
+
+// Dump renders the monitor state as one text line.
+func (m *Monitor) Dump() string {
+	if m == nil {
+		return ""
+	}
+	m.mu.Lock()
+	n := len(m.samples)
+	total := m.violations
+	last := m.lastViol
+	m.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "qos %-30s window=%d violations=%d", m.env.Name, n, total)
+	for _, v := range last {
+		fmt.Fprintf(&b, " [%s %.4g>%.4g]", v.Kind, v.Value, v.Limit)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

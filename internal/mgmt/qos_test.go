@@ -1,0 +1,167 @@
+package mgmt
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/values"
+)
+
+// fakeClock is a settable time source for window tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) time() time.Time { return c.now }
+
+type capturePub struct {
+	topics   []string
+	payloads []values.Value
+}
+
+func (p *capturePub) Publish(topic string, payload values.Value) int {
+	p.topics = append(p.topics, topic)
+	p.payloads = append(p.payloads, payload)
+	return 1
+}
+
+func TestMonitorNil(t *testing.T) {
+	var m *Monitor
+	if v := m.Observe(time.Second, true); v != nil {
+		t.Fatal("nil monitor observed")
+	}
+	if v := m.Evaluate(); v != nil {
+		t.Fatal("nil monitor evaluated")
+	}
+	if n, _ := m.Violations(); n != 0 {
+		t.Fatal("nil monitor has violations")
+	}
+}
+
+// TestMonitorEmptyWindow: with no samples at all, every check is silent —
+// including staleness, because a never-observed flow has no freshest
+// sample to age.
+func TestMonitorEmptyWindow(t *testing.T) {
+	m := NewMonitor(Envelope{
+		Name: "e", Window: time.Second,
+		MaxP99: time.Millisecond, MaxErrorRate: 0.01, MaxStaleness: 10 * time.Millisecond,
+	}, nil)
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	m.SetClock(clock.time)
+	if v := m.Evaluate(); v != nil {
+		t.Fatalf("empty window produced violations: %v", v)
+	}
+	// Samples age fully out of the window: back to silent, even though
+	// the flow is by now very stale.
+	m.Observe(time.Microsecond, false)
+	clock.now = clock.now.Add(time.Hour)
+	if v := m.Evaluate(); v != nil {
+		t.Fatalf("aged-out window produced violations: %v", v)
+	}
+	if m.WindowSize() != 0 {
+		t.Fatalf("window not pruned: %d", m.WindowSize())
+	}
+}
+
+func TestMonitorP99AndErrorRate(t *testing.T) {
+	pub := &capturePub{}
+	m := NewMonitor(Envelope{
+		Name: "teller", Window: time.Minute, MinSamples: 10,
+		MaxP99: time.Millisecond, MaxErrorRate: 0.2,
+	}, pub)
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	m.SetClock(clock.time)
+
+	// Nine fast, clean samples: below MinSamples, no claims yet.
+	for i := 0; i < 9; i++ {
+		if v := m.Observe(10*time.Microsecond, false); v != nil {
+			t.Fatalf("violation below MinSamples: %v", v)
+		}
+	}
+	// Tenth sample is slow and failed: p99 blows the envelope, and 1/10
+	// failures is within the error budget — latency violates alone.
+	viols := m.Observe(100*time.Millisecond, true)
+	if len(viols) != 1 || viols[0].Kind != "p99" {
+		t.Fatalf("want one p99 violation, got %v", viols)
+	}
+	// Two more failures: 3/12 > 0.2 — now the error rate violates too.
+	m.Observe(10*time.Microsecond, true)
+	viols = m.Observe(10*time.Microsecond, true)
+	foundRate := false
+	for _, v := range viols {
+		if v.Kind == "error-rate" {
+			foundRate = true
+		}
+	}
+	if !foundRate {
+		t.Fatalf("want error-rate violation, got %v", viols)
+	}
+	if len(pub.topics) == 0 || pub.topics[0] != ViolationTopic {
+		t.Fatalf("violations not published: %v", pub.topics)
+	}
+	total, last := m.Violations()
+	if total == 0 || len(last) == 0 {
+		t.Fatalf("violations not recorded: total=%d last=%v", total, last)
+	}
+}
+
+// TestMonitorStaleness: an idle flow violates staleness once its freshest
+// sample ages past MaxStaleness (declared below Window so the samples are
+// still in the window when it happens).
+func TestMonitorStaleness(t *testing.T) {
+	m := NewMonitor(Envelope{
+		Name: "feed", Window: time.Minute, MaxStaleness: time.Second,
+	}, nil)
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	m.SetClock(clock.time)
+	m.Observe(time.Microsecond, false)
+	if v := m.Evaluate(); v != nil {
+		t.Fatalf("fresh flow violated: %v", v)
+	}
+	clock.now = clock.now.Add(5 * time.Second)
+	viols := m.Evaluate()
+	if len(viols) != 1 || viols[0].Kind != "staleness" {
+		t.Fatalf("want staleness violation, got %v", viols)
+	}
+}
+
+// TestMonitorClockRegression: a clock jumping backwards (simulated time,
+// NTP step) must not discard window samples or panic; the evaluation
+// simply carries on with the data it has.
+func TestMonitorClockRegression(t *testing.T) {
+	m := NewMonitor(Envelope{
+		Name: "r", Window: time.Second, MaxErrorRate: 0.5, MinSamples: 1,
+	}, nil)
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	m.SetClock(clock.time)
+	m.Observe(time.Microsecond, true)
+	m.Observe(time.Microsecond, true)
+	if m.WindowSize() != 2 {
+		t.Fatalf("window = %d", m.WindowSize())
+	}
+	// The clock regresses by an hour: both samples are now future-dated.
+	clock.now = clock.now.Add(-time.Hour)
+	viols := m.Evaluate()
+	if m.WindowSize() != 2 {
+		t.Fatalf("regressed clock discarded samples: window = %d", m.WindowSize())
+	}
+	// The all-failed window still violates the error budget.
+	if len(viols) != 1 || viols[0].Kind != "error-rate" {
+		t.Fatalf("want error-rate violation after regression, got %v", viols)
+	}
+	// Once the clock passes the samples again, they age out normally.
+	clock.now = clock.now.Add(2 * time.Hour)
+	m.Evaluate()
+	if m.WindowSize() != 0 {
+		t.Fatalf("samples did not age out after clock recovered: %d", m.WindowSize())
+	}
+}
+
+func TestMonitorDefaultsAndDump(t *testing.T) {
+	m := NewMonitor(Envelope{Name: "d"}, nil)
+	if env := m.Envelope(); env.Window != 10*time.Second || env.MinSamples != 1 {
+		t.Fatalf("defaults not applied: %+v", env)
+	}
+	m.Observe(time.Millisecond, false)
+	if d := m.Dump(); d == "" {
+		t.Fatal("empty dump")
+	}
+}

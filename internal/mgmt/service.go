@@ -1,0 +1,94 @@
+package mgmt
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+// The management interface: the subsystem exposed as an ordinary ODP
+// operational interface, so a node's observability is reached through the
+// same channel machinery it observes. cmd/odpnode registers it beside the
+// application interfaces; cmd/odpstat binds to it and renders the text.
+
+// InterfaceTypeName is the declared type name of the management interface.
+const InterfaceTypeName = "Management"
+
+// InterfaceType returns the operational interface type of the management
+// service.
+func InterfaceType() *types.Interface {
+	return types.OpInterface(InterfaceTypeName,
+		types.Op("Dump", nil,
+			types.Term("OK", types.P("text", values.TString()))),
+		types.Op("Metrics", nil,
+			types.Term("OK", types.P("text", values.TString()))),
+		types.Op("Traces", nil,
+			types.Term("OK", types.P("text", values.TString()))),
+		types.Op("Trace", types.Params(types.P("id", values.TUint())),
+			types.Term("OK", types.P("text", values.TString())),
+			types.Term("Error", types.P("reason", values.TString()))),
+	)
+}
+
+// ServeInvoke is the servant body of the management interface. It has the
+// channel Handler signature without importing package channel (which
+// imports mgmt); wrap it with channel.HandlerFunc at registration.
+func (m *Management) ServeInvoke(_ context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	if m == nil {
+		return "OK", []values.Value{values.Str("(management disabled)\n")}, nil
+	}
+	switch op {
+	case "Dump":
+		return "OK", []values.Value{values.Str(m.Dump())}, nil
+	case "Metrics":
+		return "OK", []values.Value{values.Str(m.Registry.Dump())}, nil
+	case "Traces":
+		return "OK", []values.Value{values.Str(m.dumpTraceIndex())}, nil
+	case "Trace":
+		if len(args) != 1 {
+			return "Error", []values.Value{values.Str("Trace expects one id argument")}, nil
+		}
+		id, ok := args[0].AsUint()
+		if !ok {
+			if n, okInt := args[0].AsInt(); okInt {
+				id, ok = uint64(n), true
+			}
+		}
+		if !ok {
+			return "Error", []values.Value{values.Str("Trace id must be an unsigned integer")}, nil
+		}
+		spans := m.Tracer.Trace(TraceID(id))
+		if len(spans) == 0 {
+			return "Error", []values.Value{values.Str(fmt.Sprintf("no retained spans for trace %016x", id))}, nil
+		}
+		return "OK", []values.Value{values.Str(RenderTrace(spans))}, nil
+	default:
+		return "Error", []values.Value{values.Str("unknown management operation " + op)}, nil
+	}
+}
+
+// dumpTraceIndex lists retained traces, one line each, newest last.
+func (m *Management) dumpTraceIndex() string {
+	if m == nil {
+		return "(management disabled)\n"
+	}
+	ids := m.Tracer.TraceIDs()
+	if len(ids) == 0 {
+		return "(no traces retained)\n"
+	}
+	out := ""
+	for _, id := range ids {
+		spans := m.Tracer.Trace(id)
+		var total int64
+		for _, s := range spans {
+			if s.Parent == 0 {
+				total = int64(s.Duration)
+			}
+		}
+		out += fmt.Sprintf("%016x  spans=%-3d root=%-30q total=%dns\n",
+			uint64(id), len(spans), rootName(spans), total)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package mgmt
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.Start(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	if _, ok := FromContext(ctx); ok {
+		t.Fatal("nil tracer injected a span context")
+	}
+	sp.Fail(errors.New("boom"))
+	sp.FailTermination("Error")
+	if sp.End() != 0 {
+		t.Fatal("nil span has a duration")
+	}
+	if !sp.Context().IsZero() {
+		t.Fatal("nil span has a context")
+	}
+	if tr.Spans() != nil || tr.Trace(1) != nil || tr.TraceIDs() != nil {
+		t.Fatal("nil tracer retained spans")
+	}
+}
+
+func TestSpanNestingAndTraceAssembly(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, root := tr.Start(context.Background(), "root")
+	sc := root.Context()
+	if sc.IsZero() {
+		t.Fatal("root has zero context")
+	}
+	cctx, child := tr.Start(ctx, "child")
+	if child.Context().Trace != sc.Trace {
+		t.Fatal("child left the trace")
+	}
+	_, grand := tr.Start(cctx, "grandchild")
+	grand.Fail(errors.New("leaf failed"))
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Trace(sc.Trace)
+	if len(spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(spans))
+	}
+	text := RenderTrace(spans)
+	for _, want := range []string{"root", "child", "grandchild", "leaf failed"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered trace missing %q:\n%s", want, text)
+		}
+	}
+	// The grandchild must be indented deeper than the child.
+	if strings.Index(text, "    child") < 0 || strings.Index(text, "      grandchild") < 0 {
+		t.Fatalf("tree not indented by depth:\n%s", text)
+	}
+}
+
+func TestStartRemoteParentsAcrossTheWire(t *testing.T) {
+	client := NewTracer(16)
+	server := NewTracer(16)
+	_, csp := client.Start(context.Background(), "transport")
+	wire := csp.Context() // what the trace extension carries
+
+	_, ssp := server.StartRemote(context.Background(), "dispatch",
+		SpanContext{Trace: wire.Trace, Span: wire.Span})
+	if ssp.Context().Trace != wire.Trace {
+		t.Fatal("remote span did not join the caller's trace")
+	}
+	ssp.End()
+	got := server.Trace(wire.Trace)
+	if len(got) != 1 || got[0].Parent != wire.Span {
+		t.Fatalf("dispatch span not parented under transport: %+v", got)
+	}
+
+	// A zero parent (untraced peer) still yields a local root span.
+	_, orphan := server.StartRemote(context.Background(), "dispatch", SpanContext{})
+	if orphan.Context().IsZero() {
+		t.Fatal("untraced remote call produced no span")
+	}
+}
+
+func TestTracerRingBoundsAndStats(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		_, sp := tr.Start(context.Background(), "s")
+		sp.End()
+	}
+	if n := len(tr.Spans()); n != 4 {
+		t.Fatalf("ring retained %d spans, want 4", n)
+	}
+	st := tr.Stats()
+	if st.Started != 10 || st.Finished != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", st.Dropped)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, root := tr.Start(context.Background(), "root")
+				_, child := tr.Start(ctx, "child")
+				child.End()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := tr.Stats(); st.Finished != 8*200*2 {
+		t.Fatalf("finished = %d", st.Finished)
+	}
+}
+
+func TestManagementDomainAndService(t *testing.T) {
+	var disabled *Management
+	if disabled.ChannelClient("x") != nil || disabled.ChannelServer("x") != nil ||
+		disabled.Group("x") != nil || disabled.Tx("x") != nil ||
+		disabled.TraderInstr("x") != nil || disabled.Net("x") != nil {
+		t.Fatal("disabled domain handed out instruments")
+	}
+	if !strings.Contains(disabled.Dump(), "disabled") {
+		t.Fatal("disabled dump")
+	}
+	term, res, err := disabled.ServeInvoke(context.Background(), "Dump", nil)
+	if err != nil || term != "OK" || len(res) != 1 {
+		t.Fatalf("disabled ServeInvoke = %s %v %v", term, res, err)
+	}
+
+	m := New()
+	cc := m.ChannelClient("teller")
+	cc.Invocations.Inc()
+	cc.InvokeLatency.Observe(1500)
+	ctx, sp := m.Tracer.Start(context.Background(), "op")
+	_, child := m.Tracer.Start(ctx, "inner")
+	child.End()
+	sp.End()
+
+	term, res, err = m.ServeInvoke(context.Background(), "Dump", nil)
+	if err != nil || term != "OK" {
+		t.Fatalf("Dump: %s %v", term, err)
+	}
+	text, _ := res[0].AsString()
+	if !strings.Contains(text, "channel.client.teller.invocations") {
+		t.Fatalf("dump missing metric:\n%s", text)
+	}
+	if !strings.Contains(text, "== traces ==") {
+		t.Fatalf("dump missing trace section:\n%s", text)
+	}
+}

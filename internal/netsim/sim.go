@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/bufpool"
+	"repro/internal/mgmt"
 	"repro/internal/naming"
 )
 
@@ -25,11 +26,14 @@ func (p LinkProfile) perfect() bool {
 	return p.Latency == 0 && p.Jitter == 0 && p.DropRate == 0 && p.DupRate == 0 && p.Bandwidth == 0
 }
 
-// Stats counts frames at the network level.
+// Stats counts frames at the network level. Partitioned counts the
+// subset of drops caused specifically by a partition, so an operator can
+// tell loss from isolation.
 type Stats struct {
-	Sent      uint64
-	Delivered uint64
-	Dropped   uint64
+	Sent        uint64
+	Delivered   uint64
+	Dropped     uint64
+	Partitioned uint64
 }
 
 // Network is an in-memory simulated network. Endpoints have the form
@@ -46,9 +50,45 @@ type Network struct {
 	partitions map[[2]string]bool
 	defaultLP  LinkProfile
 
-	sent      atomic.Uint64
-	delivered atomic.Uint64
-	dropped   atomic.Uint64
+	sent           atomic.Uint64
+	delivered      atomic.Uint64
+	dropped        atomic.Uint64
+	partitionDrops atomic.Uint64
+
+	insp atomic.Pointer[mgmt.NetInstruments]
+}
+
+// Instrument mirrors the network's frame counters into a management
+// bundle. Safe to call at any time; nil detaches.
+func (n *Network) Instrument(ins *mgmt.NetInstruments) {
+	n.insp.Store(ins)
+}
+
+func (n *Network) countSent() {
+	n.sent.Add(1)
+	if ins := n.insp.Load(); ins != nil {
+		ins.Sent.Inc()
+	}
+}
+
+func (n *Network) countDelivered() {
+	n.delivered.Add(1)
+	if ins := n.insp.Load(); ins != nil {
+		ins.Delivered.Inc()
+	}
+}
+
+func (n *Network) countDropped(partition bool) {
+	n.dropped.Add(1)
+	if partition {
+		n.partitionDrops.Add(1)
+	}
+	if ins := n.insp.Load(); ins != nil {
+		ins.Dropped.Inc()
+		if partition {
+			ins.Partitioned.Inc()
+		}
+	}
 }
 
 var _ Transport = (*Network)(nil)
@@ -97,9 +137,10 @@ func (n *Network) Heal(a, b string) {
 // Stats returns a snapshot of network-wide frame counters.
 func (n *Network) Stats() Stats {
 	return Stats{
-		Sent:      n.sent.Load(),
-		Delivered: n.delivered.Load(),
-		Dropped:   n.dropped.Load(),
+		Sent:        n.sent.Load(),
+		Delivered:   n.delivered.Load(),
+		Dropped:     n.dropped.Load(),
+		Partitioned: n.partitionDrops.Load(),
 	}
 }
 
@@ -271,9 +312,9 @@ func (c *simConn) Send(frame []byte) error {
 		return ErrClosed
 	}
 	n := c.net
-	n.sent.Add(1)
+	n.countSent()
 	if n.partitioned(c.local.Address(), c.remote.Address()) {
-		n.dropped.Add(1)
+		n.countDropped(true)
 		return nil // black hole
 	}
 	p := n.linkFor(c.local.Address(), c.remote.Address())
@@ -299,7 +340,7 @@ func (c *simConn) Send(frame []byte) error {
 	}
 	n.mu.Unlock()
 	if drop {
-		n.dropped.Add(1)
+		n.countDropped(false)
 		return nil
 	}
 	delay := p.Latency + jitter
@@ -317,7 +358,7 @@ func (c *simConn) Send(frame []byte) error {
 		case c.sendQ <- env:
 		default:
 			// Window full: a real link would also drop under overload.
-			n.dropped.Add(1)
+			n.countDropped(false)
 		}
 	}
 	deliverOnce(cp)
@@ -361,12 +402,12 @@ func (c *simConn) deliver(frame []byte) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		c.net.dropped.Add(1)
+		c.net.countDropped(false)
 		return
 	}
 	c.queue = append(c.queue, frame)
 	c.mu.Unlock()
-	c.net.delivered.Add(1)
+	c.net.countDelivered()
 	select {
 	case c.notify <- struct{}{}:
 	default:

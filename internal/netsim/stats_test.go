@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/mgmt"
+)
+
+// TestStatsUnderContention sends frames from many goroutines while a
+// reader polls Stats: frame counters are atomics, so concurrent reads
+// are safe and the final tallies exact (run with -race).
+func TestStatsUnderContention(t *testing.T) {
+	n := New(11)
+	startEcho(t, n, "sim://server")
+	conn, err := n.DialFrom(context.Background(), "alpha", "sim://server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const workers, per = 4, 25
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				n.Stats()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := conn.Send([]byte("m")); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+				if _, err := conn.Recv(); err != nil {
+					t.Errorf("Recv: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+
+	st := n.Stats()
+	// Each round trip is two sends (request + echo), all delivered.
+	want := uint64(2 * workers * per)
+	if st.Sent != want || st.Delivered != want || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want sent=delivered=%d dropped=0", st, want)
+	}
+}
+
+// TestPartitionDropsCounted: frames black-holed by a partition are
+// tallied separately from stochastic drops, and mirror into the
+// management instruments when attached.
+func TestPartitionDropsCounted(t *testing.T) {
+	n := New(3)
+	m := mgmt.New()
+	n.Instrument(m.Net("sim"))
+	startEcho(t, n, "sim://server")
+	conn, err := n.DialFrom(context.Background(), "alpha", "sim://server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	n.Partition("alpha", "server")
+	for i := 0; i < 3; i++ {
+		if err := conn.Send([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := n.Stats()
+	if st.Partitioned != 3 || st.Dropped != 3 {
+		t.Fatalf("stats = %+v, want 3 partitioned drops", st)
+	}
+	ins := m.Net("sim")
+	if ins.Dropped.Load() != 3 || ins.Partitioned.Load() != 3 {
+		t.Fatalf("instruments dropped=%d partitioned=%d, want 3/3",
+			ins.Dropped.Load(), ins.Partitioned.Load())
+	}
+}

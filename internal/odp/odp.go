@@ -22,6 +22,7 @@ import (
 	"repro/internal/coordination"
 	"repro/internal/core"
 	"repro/internal/engineering"
+	"repro/internal/mgmt"
 	"repro/internal/naming"
 	"repro/internal/netsim"
 	"repro/internal/relocator"
@@ -49,6 +50,31 @@ type System struct {
 
 	mu    sync.Mutex
 	nodes map[string]*engineering.Node
+	mgmt  *mgmt.Management
+}
+
+// EnableManagement creates the system's management domain and wires it
+// into the shared infrastructure: network frame counters and the trader
+// immediately, server-dispatch instruments on every node created
+// afterwards, and client instruments on every binding configured through
+// Env/Bind/ImportAndBind. Idempotent; returns the domain. Enable before
+// creating nodes to observe their server ends.
+func (s *System) EnableManagement() *mgmt.Management {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mgmt == nil {
+		s.mgmt = mgmt.New()
+		s.Net.Instrument(s.mgmt.Net("sim"))
+		s.Trader.Instrument(s.mgmt.TraderInstr("trader"))
+	}
+	return s.mgmt
+}
+
+// Mgmt returns the system's management domain, nil when disabled.
+func (s *System) Mgmt() *mgmt.Management {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgmt
 }
 
 // NewSystem creates a system over a seeded simulated network.
@@ -76,7 +102,10 @@ func (s *System) CreateNode(name string) (*engineering.Node, error) {
 		Endpoint:  naming.Endpoint("sim://" + name),
 		Transport: s.Net.From(name),
 		Locations: s.Relocator,
-		Server:    channel.ServerConfig{ReplayGuard: true},
+		Server: channel.ServerConfig{
+			ReplayGuard: true,
+			Instruments: s.mgmt.ChannelServer(name),
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -205,8 +234,9 @@ func (s *System) Deploy(node *engineering.Node, tmpl core.ObjectTemplate, props 
 // simulated host.
 func (s *System) Env(clientHost string) transparency.Env {
 	return transparency.Env{
-		Transport: s.Net.From(clientHost),
-		Locator:   s.Relocator,
+		Transport:   s.Net.From(clientHost),
+		Locator:     s.Relocator,
+		Instruments: s.Mgmt().ChannelClient(clientHost),
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/naming"
 )
@@ -39,9 +40,9 @@ type Relocator struct {
 	nextSub int
 	subs    map[int]func(Event)
 
-	lookups   uint64
-	misses    uint64
-	relocates uint64
+	lookups   atomic.Uint64
+	misses    atomic.Uint64
+	relocates atomic.Uint64
 }
 
 // New returns an empty relocator.
@@ -74,14 +75,15 @@ func (r *Relocator) Register(ref naming.InterfaceRef) error {
 
 // Lookup returns the current location of the interface.
 func (r *Relocator) Lookup(id naming.InterfaceID) (naming.InterfaceRef, error) {
-	r.mu.Lock()
-	r.lookups++
+	// Atomic counters let lookups share the read lock: before, every
+	// Lookup took the write lock just to bump the counters, serialising
+	// the hottest read path of the white pages.
+	r.lookups.Add(1)
+	r.mu.RLock()
 	ref, ok := r.entries[id]
+	r.mu.RUnlock()
 	if !ok {
-		r.misses++
-	}
-	r.mu.Unlock()
-	if !ok {
+		r.misses.Add(1)
 		return naming.InterfaceRef{}, fmt.Errorf("%w: %s", ErrUnknown, id)
 	}
 	return ref, nil
@@ -100,7 +102,7 @@ func (r *Relocator) Move(id naming.InterfaceID, to naming.Endpoint) (naming.Inte
 	ref.Endpoint = to
 	ref.Epoch++
 	r.entries[id] = ref
-	r.relocates++
+	r.relocates.Add(1)
 	subs := r.snapshot()
 	r.mu.Unlock()
 	notify(subs, Event{Ref: ref})
@@ -152,9 +154,7 @@ func (r *Relocator) Entries() []naming.InterfaceRef {
 
 // Stats reports cumulative lookup, miss and relocation counts.
 func (r *Relocator) Stats() (lookups, misses, relocates uint64) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.lookups, r.misses, r.relocates
+	return r.lookups.Load(), r.misses.Load(), r.relocates.Load()
 }
 
 func (r *Relocator) snapshot() []func(Event) {

@@ -26,8 +26,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/constraint"
+	"repro/internal/mgmt"
 	"repro/internal/naming"
 	"repro/internal/typerepo"
 	"repro/internal/values"
@@ -138,6 +140,14 @@ type Trader struct {
 	matched atomic.Uint64
 	feder   atomic.Uint64
 	consid  atomic.Uint64
+
+	insp atomic.Pointer[mgmt.TraderInstruments]
+}
+
+// Instrument mirrors the trader's import activity into a management
+// bundle. Safe to call at any time; nil detaches.
+func (t *Trader) Instrument(ins *mgmt.TraderInstruments) {
+	t.insp.Store(ins)
 }
 
 // New creates a trader backed by a type repository. The name prefixes
@@ -316,6 +326,12 @@ func (t *Trader) Import(req ImportRequest) ([]Offer, error) {
 	}
 
 	t.imports.Add(1)
+	ins := t.insp.Load()
+	var start time.Time
+	if ins != nil {
+		ins.Imports.Inc()
+		start = time.Now()
+	}
 
 	matches, err := t.localMatches(req.ServiceType, expr)
 	if err != nil {
@@ -366,6 +382,10 @@ func (t *Trader) Import(req ImportRequest) ([]Offer, error) {
 		matches = matches[:req.MaxMatches]
 	}
 	t.matched.Add(uint64(len(matches)))
+	if ins != nil {
+		ins.Matched.Add(uint64(len(matches)))
+		ins.ImportLatency.ObserveDuration(time.Since(start))
+	}
 	return matches, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/mgmt"
 	"repro/internal/values"
 )
 
@@ -35,6 +36,15 @@ type Coordinator struct {
 
 	commits uint64
 	aborts  uint64
+
+	insp atomic.Pointer[mgmt.TxInstruments]
+}
+
+// Instrument attaches management instruments to the coordinator: commit
+// spans with per-participant children, and commit/abort/veto metrics.
+// Safe to call at any time; nil detaches.
+func (c *Coordinator) Instrument(ins *mgmt.TxInstruments) {
+	c.insp.Store(ins)
 }
 
 // NewCoordinator returns a coordinator with an empty decision log.
@@ -243,14 +253,38 @@ func (t *Tx) Commit() error {
 	if t.state != txActive {
 		return ErrTxDone
 	}
+	ins := t.coord.insp.Load()
+	var tr *mgmt.Tracer
+	if ins != nil {
+		tr = ins.Tracer
+	}
+	// The commit span parents under whatever trace rides the transaction's
+	// context (typically a server dispatch span); each participant's
+	// prepare and completion legs are child spans.
+	cctx, csp := tr.Start(t.ctx, "tx.commit")
 	// Phase 1: voting.
 	errs := fanoutParticipants(t.participants, true, func(p Participant) error {
-		return p.Prepare(t.id)
+		// Span names are built only when tracing: the concatenation would
+		// otherwise allocate on every uninstrumented commit.
+		var sp *mgmt.ActiveSpan
+		if tr != nil {
+			_, sp = tr.Start(cctx, "tx.prepare:"+p.Name())
+		}
+		err := p.Prepare(t.id)
+		sp.Fail(err)
+		sp.End()
+		return err
 	})
 	for i, err := range errs {
 		if err != nil && !errors.Is(err, errSkipped) {
+			if ins != nil {
+				ins.Vetoes.Inc()
+			}
 			t.rollback()
-			return fmt.Errorf("%w: %s: %v", ErrVetoed, t.participants[i].Name(), err)
+			verr := fmt.Errorf("%w: %s: %v", ErrVetoed, t.participants[i].Name(), err)
+			csp.Fail(verr)
+			csp.End()
+			return verr
 		}
 	}
 	// Decision point: once logged, the transaction IS committed, whatever
@@ -258,16 +292,33 @@ func (t *Tx) Commit() error {
 	// records and recover forward).
 	t.coord.finish(t, true)
 	t.state = txCommitted
+	if ins != nil {
+		ins.Commits.Inc()
+	}
 	// Phase 2: completion.
 	errs = fanoutParticipants(t.participants, false, func(p Participant) error {
-		return p.Commit(t.id)
+		var sp *mgmt.ActiveSpan
+		if tr != nil {
+			_, sp = tr.Start(cctx, "tx.complete:"+p.Name())
+		}
+		err := p.Commit(t.id)
+		sp.Fail(err)
+		sp.End()
+		return err
 	})
+	var after error
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("transactions: participant %s failed after decision: %w", t.participants[i].Name(), err)
+			after = fmt.Errorf("transactions: participant %s failed after decision: %w", t.participants[i].Name(), err)
+			break
 		}
 	}
-	return nil
+	csp.Fail(after)
+	d := csp.End()
+	if ins != nil {
+		ins.CommitLatency.ObserveDuration(d)
+	}
+	return after
 }
 
 // Abort rolls the transaction back everywhere.
@@ -280,6 +331,9 @@ func (t *Tx) Abort() error {
 }
 
 func (t *Tx) rollback() {
+	if ins := t.coord.insp.Load(); ins != nil {
+		ins.Aborts.Inc()
+	}
 	// Aborts fan out concurrently too: rollback latency also tracks the
 	// slowest participant, not the sum. Abort is idempotent and aborting a
 	// participant that never prepared is a no-op (presumed abort), so no

@@ -34,6 +34,7 @@ import (
 	"repro/internal/coordination"
 	"repro/internal/core"
 	"repro/internal/engineering"
+	"repro/internal/mgmt"
 	"repro/internal/naming"
 	"repro/internal/netsim"
 	"repro/internal/security"
@@ -65,6 +66,9 @@ type Env struct {
 	AuditSink func(channel.AuditEntry)
 	// Type enables client-side type checking when known.
 	Type *types.Interface
+	// Instruments enables management instrumentation of bindings created
+	// under this environment (tracing, metrics, QoS). Optional.
+	Instruments *mgmt.ChannelClientInstruments
 }
 
 // Mechanism names the engineering mechanism realising a transparency, for
@@ -101,8 +105,9 @@ func ClientConfig(contract core.Contract, env Env) (channel.BindConfig, error) {
 		return channel.BindConfig{}, ErrNeedTransport
 	}
 	cfg := channel.BindConfig{
-		Transport: env.Transport,
-		Type:      env.Type,
+		Transport:   env.Transport,
+		Type:        env.Type,
+		Instruments: env.Instruments,
 	}
 	req := contract.Require
 
@@ -183,11 +188,13 @@ type ServerEnv struct {
 	Audit  func(security.Decision)
 	// ReplayGuard defends against capture-and-replay; on unless disabled.
 	DisableReplayGuard bool
+	// Instruments enables management instrumentation of the server end.
+	Instruments *mgmt.ChannelServerInstruments
 }
 
 // ServerConfig assembles the node-wide server channel configuration.
 func ServerConfig(env ServerEnv) channel.ServerConfig {
-	cfg := channel.ServerConfig{ReplayGuard: !env.DisableReplayGuard}
+	cfg := channel.ServerConfig{ReplayGuard: !env.DisableReplayGuard, Instruments: env.Instruments}
 	if env.Realm != nil {
 		cfg.Stages = append(cfg.Stages, &security.VerifyStage{
 			Realm:  env.Realm,

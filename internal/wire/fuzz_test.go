@@ -30,6 +30,12 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		{Kind: ErrReply, Termination: "Error",
 			Args: []values.Value{values.Str("detail")}},
 		{Kind: Probe, BindingID: 3},
+		// Traced frames: the extension block path must be in the corpus.
+		{Kind: Call, BindingID: 9, Operation: "Get",
+			TraceID: 0xa11c0ffee, SpanID: 0x1,
+			Args: []values.Value{values.Int(1)}},
+		{Kind: Reply, Correlation: 9, Termination: "OK",
+			TraceID: ^uint64(0), SpanID: ^uint64(0)},
 	}
 	var seeds [][]byte
 	for _, c := range codecs() {

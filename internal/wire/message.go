@@ -20,6 +20,24 @@ const (
 	frameVersion byte   = 1
 )
 
+// Header flag bits. flagExtensions marks a frame carrying an extension
+// block between the Auth field and the argument count. Extensions are
+// typed and length-prefixed so a decoder skips the kinds it does not
+// know: a traced peer and an untraced peer interoperate, and future
+// extension kinds pass through today's decoder untouched.
+const (
+	flagExtensions byte = 1 << 0
+)
+
+// Extension kinds.
+const (
+	extTrace byte = 1 // 16 bytes: trace id, span id (big endian)
+)
+
+// maxExtensionLen bounds one extension payload so a forged length cannot
+// reserve unbounded memory; extensions are small metadata, not payload.
+const maxExtensionLen = 1024
+
 // MsgKind classifies a frame.
 type MsgKind uint8
 
@@ -77,6 +95,15 @@ type Message struct {
 	Auth        []byte             // security credentials, if any
 	Args        []values.Value     // payload
 
+	// TraceID/SpanID carry the management trace context. When TraceID is
+	// nonzero the frame gains a trace extension (flagExtensions); a zero
+	// TraceID encodes the exact pre-extension byte stream, so untraced
+	// frames are bit-identical to those of older encoders. Decoders that
+	// predate extensions reject extended frames outright (version policy);
+	// current decoders skip extension kinds they do not understand.
+	TraceID uint64
+	SpanID  uint64
+
 	// Codec records the payload codec of a decoded frame. It is set by
 	// Decode and ignored by Encode (which takes the codec explicitly);
 	// servers use it to mirror the client's representation in replies.
@@ -94,6 +121,9 @@ func (m *Message) Encode(codec Codec) ([]byte, error) {
 func (m *Message) SizeHint() int {
 	n := 96 + len(m.Target.Object.Cluster.Capsule.Node) +
 		len(m.Operation) + len(m.Termination) + len(m.Auth)
+	if m.TraceID != 0 {
+		n += 1 + 3 + 16 // extension block: count, trace kind+len, payload
+	}
 	for _, a := range m.Args {
 		n += valueSizeHint(a)
 	}
@@ -104,8 +134,12 @@ func (m *Message) SizeHint() int {
 // payload, appending the frame to dst (which may be nil, or a pooled
 // buffer from GetFrame) and returning the extended slice.
 func (m *Message) EncodeAppend(dst []byte, codec Codec) ([]byte, error) {
+	var flags byte
+	if m.TraceID != 0 {
+		flags |= flagExtensions
+	}
 	dst = binary.BigEndian.AppendUint16(dst, frameMagic)
-	dst = append(dst, frameVersion, byte(codec.ID()), byte(m.Kind), 0 /* flags */)
+	dst = append(dst, frameVersion, byte(codec.ID()), byte(m.Kind), flags)
 	dst = binary.BigEndian.AppendUint64(dst, m.BindingID)
 	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
 	dst = binary.BigEndian.AppendUint64(dst, m.Correlation)
@@ -119,6 +153,12 @@ func (m *Message) EncodeAppend(dst []byte, codec Codec) ([]byte, error) {
 	dst = appendHdrString(dst, m.Operation)
 	dst = appendHdrString(dst, m.Termination)
 	dst = appendHdrBytes(dst, m.Auth)
+	if flags&flagExtensions != 0 {
+		dst = append(dst, 1)               // extension count
+		dst = append(dst, extTrace, 0, 16) // kind, u16 length
+		dst = binary.BigEndian.AppendUint64(dst, m.TraceID)
+		dst = binary.BigEndian.AppendUint64(dst, m.SpanID)
+	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Args)))
 	var err error
 	for _, a := range m.Args {
@@ -151,7 +191,8 @@ func Decode(data []byte) (*Message, error) {
 	m := GetMessage()
 	m.Kind = MsgKind(data[4])
 	m.Codec = codec.ID()
-	off := 6 // skip flags byte
+	flags := data[5]
+	off := 6
 
 	if m.BindingID, off, err = readU64(data, off, binary.BigEndian); err != nil {
 		return nil, err
@@ -206,6 +247,11 @@ func Decode(data []byte) (*Message, error) {
 		m.Auth = make([]byte, len(authB))
 		copy(m.Auth, authB)
 	}
+	if flags&flagExtensions != 0 {
+		if off, err = m.readExtensions(data, off); err != nil {
+			return nil, err
+		}
+	}
 	if off+2 > len(data) {
 		return nil, ErrTruncated
 	}
@@ -229,6 +275,40 @@ func Decode(data []byte) (*Message, error) {
 		return nil, fmt.Errorf("wire: %d trailing bytes", len(data)-off)
 	}
 	return m, nil
+}
+
+// readExtensions parses the extension block: a count byte, then per
+// extension a kind byte, a big-endian u16 length and that many payload
+// bytes. Unknown kinds are skipped over by their declared length — the
+// interop rule that lets a peer introduce new extensions without this
+// decoder rejecting its frames. A declared length past the end of the
+// frame is truncation, as everywhere else in the header.
+func (m *Message) readExtensions(data []byte, off int) (int, error) {
+	if off >= len(data) {
+		return off, ErrTruncated
+	}
+	count := int(data[off])
+	off++
+	for i := 0; i < count; i++ {
+		if off+3 > len(data) {
+			return off, ErrTruncated
+		}
+		kind := data[off]
+		n := int(binary.BigEndian.Uint16(data[off+1:]))
+		off += 3
+		if n > maxExtensionLen {
+			return off, fmt.Errorf("%w: extension %d bytes", ErrTooLarge, n)
+		}
+		if off+n > len(data) {
+			return off, ErrTruncated
+		}
+		if kind == extTrace && n == 16 {
+			m.TraceID = binary.BigEndian.Uint64(data[off:])
+			m.SpanID = binary.BigEndian.Uint64(data[off+8:])
+		}
+		off += n
+	}
+	return off, nil
 }
 
 // valueSizeHint returns an upper bound on the encoded size of v under

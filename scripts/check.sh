@@ -23,12 +23,42 @@ go build ./...
 
 echo "== race detector (hot-path and fan-out packages) =="
 go test -race ./internal/wire/ ./internal/channel/ ./internal/netsim/ \
-	./internal/transactions/ ./internal/coordination/ ./internal/trader/
+	./internal/transactions/ ./internal/coordination/ ./internal/trader/ \
+	./internal/mgmt/ ./internal/relocator/
 
 echo "== benchmark smoke (E2 bank invocation) =="
 go test -run=NONE -bench=E2 -benchtime=100x -benchmem .
 
 echo "== benchmark smoke (replica scaling fan-out) =="
 go test -run=NONE -bench=E6_ReplicationScaling -benchtime=5x .
+
+echo "== benchmark smoke (E9 observability overhead) =="
+go test -run=NONE -bench=E9 -benchtime=100x -benchmem .
+
+# The disabled-instrumentation budget: an uninstrumented invocation must
+# stay within 5% of the E4 replay-binder baseline (the identical channel
+# configuration, built before mgmt existed). The comparison needs quiet,
+# repeated runs, so it is opt-in:  MGMT_OVERHEAD_CHECK=1 ./scripts/check.sh
+if [ "${MGMT_OVERHEAD_CHECK:-0}" = "1" ]; then
+	echo "== disabled-instrumentation overhead budget (<= 5%) =="
+	# Three interleaved processes, each running both benchmarks
+	# back-to-back; compare the best run of each so a load spike on a
+	# shared host biases neither side.
+	{
+		for _ in 1 2 3; do
+			go test -run=NONE \
+				-bench='E4_Channel/replay-binder$|E9_Observability/invoke/instrumentation-off$' \
+				-benchtime=1s .
+		done
+	} | awk '
+		/replay-binder/       { if (base == 0 || $3 < base) base = $3; nb++ }
+		/instrumentation-off/ { if (off  == 0 || $3 < off)  off  = $3; no++ }
+		END {
+			if (nb == 0 || no == 0) { print "overhead check: benchmarks missing"; exit 1 }
+			pct = (off - base) / base * 100
+			printf "replay-binder %.0f ns/op, instrumentation-off %.0f ns/op (best of %d), overhead %.1f%%\n", base, off, nb, pct
+			if (pct > 5) { print "overhead budget exceeded"; exit 1 }
+		}'
+fi
 
 echo "check.sh: all gates passed"
