@@ -170,3 +170,17 @@ func BenchmarkE9_Observability(b *testing.B) {
 		s.Close()
 	}
 }
+
+// BenchmarkE10_SessionInvoke measures the per-call price of session
+// multiplexing: one invocation through a binding that shares its
+// transport session with {0, 63, 255} sibling bindings, isolating the
+// (BindingID, Correlation) demux-table overhead on the hot path.
+func BenchmarkE10_SessionInvoke(b *testing.B) {
+	scenarios := experiments.E10SessionInvoke()
+	for _, s := range scenarios {
+		benchScenario(b, s)
+	}
+	for _, s := range scenarios {
+		s.Close()
+	}
+}

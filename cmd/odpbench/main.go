@@ -7,6 +7,7 @@
 //
 //	odpbench            # run everything
 //	odpbench -iters N   # samples per scenario (default 2000)
+//	odpbench -only e10  # just the session-multiplexing table (CI smoke)
 package main
 
 import (
@@ -20,10 +21,16 @@ import (
 
 func main() {
 	iters := flag.Int("iters", 2000, "samples per scenario")
+	only := flag.String("only", "", "run only the named section (supported: e10)")
 	flag.Parse()
 
 	fmt.Println("RM-ODP reproduction — experiment tables (see EXPERIMENTS.md)")
 	fmt.Println()
+
+	if *only == "e10" {
+		runE10(*iters)
+		return
+	}
 
 	section("E1  Figure 1: cross-viewpoint consistency check")
 	runTable(*iters, []experiments.Scenario{experiments.E1Consistency()})
@@ -85,6 +92,32 @@ func main() {
 
 	section("E9  Section 8.1: management & observability overhead")
 	runTable(*iters, experiments.E9Overhead())
+
+	runE10(*iters)
+}
+
+// runE10 prints the session-multiplexing table: connections, dials, heap
+// and latency against binding count, shared session manager vs one
+// manager per binding.
+func runE10(iters int) {
+	section("E10 Session multiplexing: N bindings to one node, shared vs per-binding sessions")
+	calls := iters / 100
+	if calls < 10 {
+		calls = 10
+	}
+	rows, err := experiments.E10SessionScaling([]int{1, 16, 64, 256}, calls)
+	if err != nil {
+		fmt.Printf("  error: %v\n", err)
+		return
+	}
+	fmt.Printf("  %-24s %6s %6s %12s %10s %10s\n",
+		"mode/bindings", "conns", "dials", "heapB/bind", "p50", "p99")
+	for _, r := range rows {
+		fmt.Printf("  %-24s %6d %6d %12d %10v %10v\n",
+			fmt.Sprintf("%s/n=%d", r.Mode, r.Bindings),
+			r.Conns, r.Dials, r.HeapPerB, r.P50, r.P99)
+	}
+	fmt.Println()
 }
 
 func section(title string) {

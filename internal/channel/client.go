@@ -4,6 +4,7 @@ import (
 	"context"
 	cryptorand "crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	mathrand "math/rand/v2"
 	"sync"
@@ -34,12 +35,20 @@ func newBindingID() uint64 {
 }
 
 // BindConfig configures the client end of a channel. Transport is
-// required; everything else has working defaults. The set of stages and
-// the presence of Locator/MaxRetries are normally decided by the
-// transparency configurator from an environment contract.
+// required unless Sessions is supplied; everything else has working
+// defaults. The set of stages and the presence of Locator/MaxRetries are
+// normally decided by the transparency configurator from an environment
+// contract.
 type BindConfig struct {
-	// Transport dials the server's endpoint. Required.
+	// Transport dials the server's endpoint. Required unless Sessions is
+	// set (a manager carries its own transport).
 	Transport netsim.Transport
+	// Sessions multiplexes this binding over shared per-endpoint
+	// sessions: every binding handed the same manager shares one
+	// connection, read loop, failure detector and heartbeat per remote
+	// endpoint. Nil gives the binding a private manager — the same code
+	// path, with sessions degenerating to one per binding.
+	Sessions *SessionManager
 	// Codec selects the transfer representation (default: wire.Canonical).
 	Codec wire.Codec
 	// Stages are the stub/binder components of this channel end, applied
@@ -71,16 +80,29 @@ type BindingStats struct {
 	Invocations uint64
 	Retries     uint64
 	Relocations uint64
-	Reconnects  uint64
+	// Reconnects counts session changes observed by this binding: the
+	// first session it joins, plus one per shared-session failover.
+	Reconnects uint64
+	// LastProbe is when the binding's current session last completed a
+	// liveness probe (zero if never, or if the session is gone). Probes
+	// are coalesced per session, so this may have been paid for by a
+	// sibling binding.
+	LastProbe time.Time
 }
 
 // Binding is the client end of an engineering channel, bound to one remote
-// interface. It is safe for concurrent use; interrogations in flight are
-// correlated by id, so a binding multiplexes any number of goroutines onto
-// one connection.
+// interface: the stub and binder of the tutorial's Fig 4. Transport is
+// delegated to a shared per-endpoint Session (the protocol object), so a
+// binding holds no connection of its own — sequencing, replay identity,
+// retries and the location cache stay here, per binding; the wire moves
+// down a layer. It is safe for concurrent use; interrogations in flight
+// are correlated by id, so a binding multiplexes any number of goroutines
+// onto its session.
 type Binding struct {
 	cfg       BindConfig
 	bindingID uint64
+	sessions  *SessionManager
+	ownSess   bool // manager is private to this binding; Close closes it
 
 	nextCorrel atomic.Uint64
 	nextSeq    atomic.Uint64
@@ -90,19 +112,20 @@ type Binding struct {
 	relocations atomic.Uint64
 	reconnects  atomic.Uint64
 
-	mu      sync.Mutex
-	ref     naming.InterfaceRef
-	conn    netsim.Conn
-	pending map[uint64]chan *wire.Message
-	closed  bool
+	mu         sync.Mutex
+	ref        naming.InterfaceRef
+	attached   bool
+	attachedEP naming.Endpoint
+	lastSess   *Session
+	closed     bool
 }
 
-// Bind creates a binding to the interface named by ref. The connection is
+// Bind creates a binding to the interface named by ref. The session is
 // established lazily on first use, so binding to a not-yet-started server
 // is fine as long as it is up by the first invocation.
 func Bind(ref naming.InterfaceRef, cfg BindConfig) (*Binding, error) {
-	if cfg.Transport == nil {
-		return nil, fmt.Errorf("channel: BindConfig.Transport is required")
+	if cfg.Transport == nil && cfg.Sessions == nil {
+		return nil, fmt.Errorf("channel: BindConfig.Transport or Sessions is required")
 	}
 	if ref.IsZero() {
 		return nil, fmt.Errorf("channel: cannot bind to zero reference")
@@ -113,12 +136,18 @@ func Bind(ref naming.InterfaceRef, cfg BindConfig) (*Binding, error) {
 	if cfg.MaxRelocations == 0 {
 		cfg.MaxRelocations = 3
 	}
-	return &Binding{
+	b := &Binding{
 		cfg:       cfg,
 		bindingID: newBindingID(),
 		ref:       ref,
-		pending:   make(map[uint64]chan *wire.Message),
-	}, nil
+	}
+	if cfg.Sessions != nil {
+		b.sessions = cfg.Sessions
+	} else {
+		b.sessions = NewSessionManager(cfg.Transport)
+		b.ownSess = true
+	}
+	return b, nil
 }
 
 // Ref returns the binding's current view of the interface reference
@@ -129,18 +158,34 @@ func (b *Binding) Ref() naming.InterfaceRef {
 	return b.ref
 }
 
+// Sessions returns the session manager this binding multiplexes over —
+// its own private one, or the shared manager supplied at Bind.
+func (b *Binding) Sessions() *SessionManager { return b.sessions }
+
 // Stats returns a snapshot of the binding's counters.
 func (b *Binding) Stats() BindingStats {
-	return BindingStats{
+	st := BindingStats{
 		Invocations: b.invocations.Load(),
 		Retries:     b.retries.Load(),
 		Relocations: b.relocations.Load(),
 		Reconnects:  b.reconnects.Load(),
 	}
+	b.mu.Lock()
+	attached, ep := b.attached, b.attachedEP
+	b.mu.Unlock()
+	if attached {
+		if s := b.sessions.peek(ep); s != nil {
+			if ns := s.lastProbe.Load(); ns > 0 {
+				st.LastProbe = time.Unix(0, ns)
+			}
+		}
+	}
+	return st
 }
 
-// Close tears down the binding and fails any in-flight interrogations
-// with ErrDisconnected.
+// Close detaches the binding from its session (the last binding out
+// closes the session, failing anything still pending on it with
+// ErrDisconnected) and fails later use with ErrClosed.
 func (b *Binding) Close() error {
 	b.mu.Lock()
 	if b.closed {
@@ -148,11 +193,14 @@ func (b *Binding) Close() error {
 		return nil
 	}
 	b.closed = true
-	conn := b.conn
-	b.conn = nil
+	attached, ep := b.attached, b.attachedEP
+	b.attached = false
 	b.mu.Unlock()
-	if conn != nil {
-		return conn.Close()
+	if attached {
+		b.sessions.detach(ep)
+	}
+	if b.ownSess {
+		return b.sessions.Close()
 	}
 	return nil
 }
@@ -193,13 +241,14 @@ func (b *Binding) invoke(ctx context.Context, op string, args []values.Value) (s
 	relocations := 0
 	attempt := 0
 	for {
+		ref := b.Ref()
 		m := wire.GetMessage()
 		m.Kind = wire.Call
 		m.BindingID = b.bindingID
 		m.Seq = b.nextSeq.Add(1)
 		m.Correlation = correl
-		m.Target = b.ref.ID
-		m.Epoch = b.Ref().Epoch
+		m.Target = ref.ID
+		m.Epoch = ref.Epoch
 		m.Operation = op
 		m.Args = args
 		reply, err := b.attempt(ctx, m)
@@ -208,6 +257,9 @@ func (b *Binding) invoke(ctx context.Context, op string, args []values.Value) (s
 		if err != nil {
 			if ctx.Err() != nil {
 				return "", nil, ctx.Err()
+			}
+			if errors.Is(err, ErrClosed) {
+				return "", nil, err
 			}
 			// Transport failure or per-attempt timeout. Failure
 			// transparency: retry if configured; relocation transparency:
@@ -267,13 +319,14 @@ func (b *Binding) Announce(ctx context.Context, op string, args []values.Value) 
 		return err
 	}
 	b.invocations.Add(1)
+	ref := b.Ref()
 	return b.sendOneWay(ctx, &wire.Message{
 		Kind:        wire.OneWay,
 		BindingID:   b.bindingID,
 		Seq:         b.nextSeq.Add(1),
 		Correlation: b.nextCorrel.Add(1),
-		Target:      b.ref.ID,
-		Epoch:       b.Ref().Epoch,
+		Target:      ref.ID,
+		Epoch:       ref.Epoch,
 		Operation:   op,
 		Args:        args,
 	})
@@ -290,13 +343,14 @@ func (b *Binding) Flow(ctx context.Context, flow string, elem values.Value) erro
 			return fmt.Errorf("%w: flow %q: %v", ErrTypeCheck, flow, err)
 		}
 	}
+	ref := b.Ref()
 	return b.sendOneWay(ctx, &wire.Message{
 		Kind:        wire.FlowMsg,
 		BindingID:   b.bindingID,
 		Seq:         b.nextSeq.Add(1),
 		Correlation: b.nextCorrel.Add(1),
-		Target:      b.ref.ID,
-		Epoch:       b.Ref().Epoch,
+		Target:      ref.ID,
+		Epoch:       ref.Epoch,
 		Operation:   flow,
 		Args:        []values.Value{elem},
 	})
@@ -318,28 +372,33 @@ func (b *Binding) Signal(ctx context.Context, name string, args []values.Value) 
 			}
 		}
 	}
+	ref := b.Ref()
 	return b.sendOneWay(ctx, &wire.Message{
 		Kind:        wire.SignalMsg,
 		BindingID:   b.bindingID,
 		Seq:         b.nextSeq.Add(1),
 		Correlation: b.nextCorrel.Add(1),
-		Target:      b.ref.ID,
-		Epoch:       b.Ref().Epoch,
+		Target:      ref.ID,
+		Epoch:       ref.Epoch,
 		Operation:   name,
 		Args:        args,
 	})
 }
 
-// Probe checks end-to-end liveness of the channel.
+// Probe checks end-to-end liveness of the channel. Probes are coalesced
+// at the session: however many co-located bindings probe concurrently,
+// one heartbeat goes on the wire and all of them share its outcome.
 func (b *Binding) Probe(ctx context.Context) error {
-	_, err := b.attempt(ctx, &wire.Message{
-		Kind:        wire.Probe,
-		BindingID:   b.bindingID,
-		Seq:         b.nextSeq.Add(1),
-		Correlation: b.nextCorrel.Add(1),
-		Target:      b.ref.ID,
-	})
-	return err
+	if b.cfg.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.cfg.CallTimeout)
+		defer cancel()
+	}
+	s, err := b.session(ctx)
+	if err != nil {
+		return err
+	}
+	return s.probeShared(ctx, b)
 }
 
 // ---------------------------------------------------------------------------
@@ -426,7 +485,7 @@ func (b *Binding) attempt(ctx context.Context, m *wire.Message) (*wire.Message, 
 	if err != nil {
 		return nil, err
 	}
-	conn, err := b.ensureConn(ctx)
+	sess, err := b.session(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -444,26 +503,23 @@ func (b *Binding) attempt(ctx context.Context, m *wire.Message) (*wire.Message, 
 		tsp.End()
 		return nil, err
 	}
-	ch := make(chan *wire.Message, 1)
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return nil, ErrClosed
+	ch, err := sess.register(b.bindingID, m.Correlation)
+	if err != nil {
+		wire.PutFrame(frame)
+		tsp.Fail(err)
+		tsp.End()
+		return nil, err
 	}
-	b.pending[m.Correlation] = ch
-	b.mu.Unlock()
-	defer func() {
-		b.mu.Lock()
-		delete(b.pending, m.Correlation)
-		b.mu.Unlock()
-	}()
+	defer sess.unregister(b.bindingID, m.Correlation)
 
-	err = conn.Send(frame)
+	err = sess.send(frame)
 	// Send does not keep a reference past return (transports copy or write
 	// synchronously), so the frame can be recycled either way.
 	wire.PutFrame(frame)
 	if err != nil {
-		b.dropConn(conn)
+		// A failed send means the shared connection is broken for every
+		// binding on it; kill the session so they all fail over together.
+		sess.kill(false)
 		err = fmt.Errorf("%w: %v", ErrDisconnected, err)
 		tsp.Fail(err)
 		tsp.End()
@@ -501,13 +557,15 @@ func (b *Binding) sendOneWay(ctx context.Context, m *wire.Message) error {
 	// The frame is resent across retries; recycle it once the loop exits.
 	defer wire.PutFrame(frame)
 	for attempt := 0; ; attempt++ {
-		conn, err := b.ensureConn(ctx)
+		sess, err := b.session(ctx)
 		if err == nil {
-			if err = conn.Send(frame); err == nil {
+			if err = sess.send(frame); err == nil {
 				return nil
 			}
-			b.dropConn(conn)
+			sess.kill(false)
 			err = fmt.Errorf("%w: %v", ErrDisconnected, err)
+		} else if errors.Is(err, ErrClosed) {
+			return err
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()
@@ -522,125 +580,75 @@ func (b *Binding) sendOneWay(ctx context.Context, m *wire.Message) error {
 	}
 }
 
-// ensureConn returns the live connection, dialling the current endpoint if
-// necessary and starting the read loop.
-func (b *Binding) ensureConn(ctx context.Context) (netsim.Conn, error) {
+// session attaches the binding to its current endpoint and returns that
+// endpoint's shared session, dialling (single-flight across bindings) if
+// necessary.
+func (b *Binding) session(ctx context.Context) (*Session, error) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		return nil, ErrClosed
-	}
-	if b.conn != nil {
-		conn := b.conn
-		b.mu.Unlock()
-		return conn, nil
 	}
 	ep := b.ref.Endpoint
-	b.mu.Unlock()
-
-	conn, err := b.cfg.Transport.Dial(ctx, ep)
-	if err != nil {
-		// The endpoint may be stale; relocation transparency refreshes it
-		// for the next attempt.
-		if b.refreshLocation() {
-			b.relocations.Add(1)
+	if !b.attached || b.attachedEP != ep {
+		// The binding moved endpoints (relocation): move its session
+		// reference in one step. detach/attach only touch the manager's
+		// lock, never this binding's.
+		if b.attached {
+			b.sessions.detach(b.attachedEP)
 		}
-		return nil, fmt.Errorf("%w: dial %s: %v", ErrDisconnected, ep, err)
+		b.sessions.attach(ep)
+		b.attached, b.attachedEP = true, ep
 	}
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		conn.Close()
-		return nil, ErrClosed
-	}
-	if b.conn != nil {
-		// Another goroutine connected first.
-		existing := b.conn
-		b.mu.Unlock()
-		conn.Close()
-		return existing, nil
-	}
-	b.conn = conn
-	b.reconnects.Add(1)
 	b.mu.Unlock()
-	go b.readLoop(conn)
-	return conn, nil
-}
 
-// dropConn discards the connection if it is still current, so the next
-// attempt redials.
-func (b *Binding) dropConn(conn netsim.Conn) {
+	s, err := b.sessions.session(ctx, ep)
+	if err != nil {
+		if !errors.Is(err, ErrClosed) && b.refreshLocation() {
+			// The endpoint may be stale; relocation transparency refreshes
+			// it for the next attempt.
+			b.relocations.Add(1)
+			if ins := b.cfg.Instruments; ins != nil {
+				ins.Relocations.Inc()
+			}
+		}
+		return nil, err
+	}
 	b.mu.Lock()
-	if b.conn == conn {
-		b.conn = nil
+	if b.lastSess != s {
+		b.lastSess = s
+		b.reconnects.Add(1)
 	}
 	b.mu.Unlock()
-	conn.Close()
+	return s, nil
 }
 
 // refreshLocation consults the locator and adopts a newer location if one
-// exists. It reports whether the binding's view changed.
+// exists. It reports whether the binding's view changed. Adopting a move
+// also fences the old endpoint's session: the first binding to learn of
+// an epoch kills the stale shared session, so every sibling multiplexed
+// on it fails over immediately instead of each waiting out a timeout.
 func (b *Binding) refreshLocation() bool {
 	if b.cfg.Locator == nil {
 		return false
 	}
-	ref, err := b.cfg.Locator.Lookup(b.ref.ID)
+	ref, err := b.cfg.Locator.Lookup(b.Ref().ID)
 	if err != nil {
 		return false
 	}
 	b.mu.Lock()
 	changed := ref.Epoch > b.ref.Epoch || ref.Endpoint != b.ref.Endpoint
-	var stale netsim.Conn
+	var fenceEP naming.Endpoint
+	var fenceEpoch uint64
 	if changed {
+		if old := b.ref.Endpoint; old != ref.Endpoint && ref.Epoch > 0 {
+			fenceEP, fenceEpoch = old, ref.Epoch
+		}
 		b.ref = ref
-		stale = b.conn
-		b.conn = nil
 	}
 	b.mu.Unlock()
-	if stale != nil {
-		stale.Close()
+	if fenceEpoch > 0 {
+		b.sessions.fence(fenceEP, fenceEpoch)
 	}
 	return changed
-}
-
-// readLoop delivers replies to their waiting interrogations until the
-// connection dies, then fails whatever is still pending.
-func (b *Binding) readLoop(conn netsim.Conn) {
-	for {
-		frame, err := conn.Recv()
-		if err != nil {
-			break
-		}
-		m, err := wire.Decode(frame)
-		// Decode copies every escaping payload out of the frame, so the
-		// buffer can be recycled immediately, whatever the outcome.
-		wire.PutFrame(frame)
-		if err != nil {
-			continue // a corrupt frame fails its call by timeout, not panic
-		}
-		switch m.Kind {
-		case wire.Reply, wire.ErrReply, wire.ProbeAck:
-			b.mu.Lock()
-			ch, ok := b.pending[m.Correlation]
-			if ok {
-				delete(b.pending, m.Correlation)
-			}
-			b.mu.Unlock()
-			if ok {
-				ch <- m
-			}
-		default:
-			// Client ends do not accept requests.
-		}
-	}
-	b.mu.Lock()
-	if b.conn == conn {
-		b.conn = nil
-	}
-	stranded := b.pending
-	b.pending = make(map[uint64]chan *wire.Message)
-	b.mu.Unlock()
-	for _, ch := range stranded {
-		close(ch)
-	}
 }

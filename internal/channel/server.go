@@ -81,6 +81,11 @@ type ServerStats struct {
 	Errors    uint64
 	Replays   uint64
 	BadFrames uint64
+	// Sessions counts connections accepted over the server's lifetime.
+	// Each accepted conn is one inbound session carrying any number of
+	// bindings, so with session-sharing clients this stays O(peer nodes)
+	// while Calls grows O(bindings × calls).
+	Sessions uint64
 }
 
 type servantEntry struct {
@@ -113,6 +118,7 @@ type Server struct {
 	errCount  atomic.Uint64
 	replays   atomic.Uint64
 	badFrames atomic.Uint64
+	sessions  atomic.Uint64
 }
 
 // NewServer wraps a listener. Call Start to begin accepting.
@@ -263,6 +269,7 @@ func (s *Server) Stats() ServerStats {
 		Errors:    s.errCount.Load(),
 		Replays:   s.replays.Load(),
 		BadFrames: s.badFrames.Load(),
+		Sessions:  s.sessions.Load(),
 	}
 }
 
@@ -275,11 +282,23 @@ func (s *Server) serveConn(conn netsim.Conn) {
 	}
 	s.conns[conn] = struct{}{}
 	s.mu.Unlock()
+	s.sessions.Add(1)
+	if ins := s.cfg.Instruments; ins != nil {
+		ins.SessionsTotal.Inc()
+		ins.SessionsOpen.Add(1)
+	}
+	// The conn is one inbound session: the distinct binding ids seen on it
+	// are its multiplexed bindings. Only this read loop touches the set.
+	bindings := make(map[uint64]struct{})
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		if ins := s.cfg.Instruments; ins != nil {
+			ins.SessionsOpen.Add(-1)
+			ins.BindingsPerSession.Observe(uint64(len(bindings)))
+		}
 	}()
 	for {
 		frame, err := conn.Recv()
@@ -296,6 +315,9 @@ func (s *Server) serveConn(conn netsim.Conn) {
 				ins.BadFrames.Inc()
 			}
 			continue
+		}
+		if m.BindingID != 0 {
+			bindings[m.BindingID] = struct{}{}
 		}
 		if err := runStages(s.cfg.Stages, Inbound, m); err != nil {
 			s.errCount.Add(1)

@@ -1,0 +1,518 @@
+package channel
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mgmt"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// This file is the session layer of the engineering channel: the protocol
+// object of the tutorial's Fig 4, factored out of the binder. A Session is
+// one transport connection to one endpoint, shared by every binding the
+// client holds to interfaces behind that endpoint; the SessionManager maps
+// (Transport, Endpoint) to at most one live Session with reference-counted
+// acquire/release and single-flight dialling. Replies are demultiplexed by
+// (BindingID, Correlation) — both already carried in every wire header —
+// so any number of bindings can interleave interrogations on one
+// connection. Failure detection is shared: when the session's read loop
+// dies, every pending call on every binding fails at once with
+// ErrDisconnected, and relocation epoch fencing lets the first binding
+// that observes a move kill the stale session so its siblings fail over
+// in one step instead of one timeout each.
+
+// SessionStats is a snapshot of a SessionManager's counters.
+type SessionStats struct {
+	Open            int    // live sessions right now
+	Dials           uint64 // transport dials performed (single-flight: one per establishment)
+	Deaths          uint64 // sessions that failed under bindings (shared failover events)
+	ProbesSent      uint64 // liveness probes put on the wire
+	ProbesCoalesced uint64 // probes satisfied by one already in flight
+}
+
+// SessionManager multiplexes all bindings that share one Transport onto
+// per-endpoint sessions. The zero value is not usable; use
+// NewSessionManager. All methods are safe for concurrent use.
+type SessionManager struct {
+	transport netsim.Transport
+
+	mu      sync.Mutex
+	entries map[naming.Endpoint]*sessionEntry
+	// fences records the highest relocation epoch seen leaving each
+	// endpoint, so one epoch announcement kills the stale session exactly
+	// once rather than once per binding that notices the move.
+	fences map[naming.Endpoint]uint64
+	closed bool
+
+	dials           atomic.Uint64
+	deaths          atomic.Uint64
+	probesSent      atomic.Uint64
+	probesCoalesced atomic.Uint64
+
+	insp atomic.Pointer[mgmt.SessionInstruments]
+}
+
+// sessionEntry is the manager's per-endpoint slot: the binding reference
+// count, the live session if any, and the single-flight dial latch.
+type sessionEntry struct {
+	refs    int
+	sess    *Session
+	dialing chan struct{} // non-nil while a dial is in flight; closed when it resolves
+}
+
+// NewSessionManager creates a session manager dialling over t.
+func NewSessionManager(t netsim.Transport) *SessionManager {
+	return &SessionManager{
+		transport: t,
+		entries:   make(map[naming.Endpoint]*sessionEntry),
+		fences:    make(map[naming.Endpoint]uint64),
+	}
+}
+
+// Instrument attaches (or, with nil, detaches) management instrumentation.
+func (m *SessionManager) Instrument(ins *mgmt.SessionInstruments) {
+	m.insp.Store(ins)
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *SessionManager) Stats() SessionStats {
+	m.mu.Lock()
+	open := 0
+	for _, e := range m.entries {
+		if e.sess != nil {
+			open++
+		}
+	}
+	m.mu.Unlock()
+	return SessionStats{
+		Open:            open,
+		Dials:           m.dials.Load(),
+		Deaths:          m.deaths.Load(),
+		ProbesSent:      m.probesSent.Load(),
+		ProbesCoalesced: m.probesCoalesced.Load(),
+	}
+}
+
+// Close tears down every live session. Bindings still attached observe
+// ErrDisconnected on their pending calls and ErrClosed on later attempts.
+func (m *SessionManager) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	var live []*Session
+	for _, e := range m.entries {
+		if e.sess != nil {
+			live = append(live, e.sess)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range live {
+		s.kill(true)
+	}
+	return nil
+}
+
+// attach registers one binding against ep, keeping the endpoint's session
+// alive while any binding references it.
+func (m *SessionManager) attach(ep naming.Endpoint) {
+	m.mu.Lock()
+	e := m.entries[ep]
+	if e == nil {
+		e = &sessionEntry{}
+		m.entries[ep] = e
+	}
+	e.refs++
+	m.mu.Unlock()
+}
+
+// detach drops one binding's reference to ep; the last reference out
+// closes the endpoint's session.
+func (m *SessionManager) detach(ep naming.Endpoint) {
+	m.mu.Lock()
+	e := m.entries[ep]
+	if e == nil {
+		m.mu.Unlock()
+		return
+	}
+	e.refs--
+	var last *Session
+	if e.refs <= 0 {
+		last = e.sess
+		if e.dialing == nil {
+			delete(m.entries, ep)
+		}
+	}
+	m.mu.Unlock()
+	if last != nil {
+		last.kill(true)
+	}
+}
+
+// session returns the live session for ep, dialling it if necessary.
+// Concurrent callers single-flight: one dials, the rest wait on the
+// latch, and everyone shares the resulting connection.
+func (m *SessionManager) session(ctx context.Context, ep naming.Endpoint) (*Session, error) {
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return nil, ErrClosed
+		}
+		e := m.entries[ep]
+		if e == nil {
+			// No binding is attached here any more: the requester detached
+			// (closed) concurrently. Don't dial a connection nobody owns.
+			m.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if e.sess != nil && !e.sess.isClosed() {
+			s := e.sess
+			m.mu.Unlock()
+			return s, nil
+		}
+		if e.dialing != nil {
+			latch := e.dialing
+			m.mu.Unlock()
+			select {
+			case <-latch:
+				continue // re-check: adopt the dialled session or its error
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		latch := make(chan struct{})
+		e.dialing = latch
+		m.mu.Unlock()
+
+		conn, err := m.transport.Dial(ctx, ep)
+		if err == nil {
+			m.dials.Add(1)
+		}
+
+		m.mu.Lock()
+		e.dialing = nil
+		if m.entries[ep] != e || m.closed {
+			// Every binding detached (or the manager closed) mid-dial;
+			// nobody wants this connection.
+			if m.entries[ep] == e && e.refs <= 0 {
+				delete(m.entries, ep)
+			}
+			m.mu.Unlock()
+			close(latch)
+			if err == nil {
+				conn.Close()
+			}
+			return nil, ErrClosed
+		}
+		if err != nil {
+			m.mu.Unlock()
+			close(latch)
+			return nil, fmt.Errorf("%w: dial %s: %v", ErrDisconnected, ep, err)
+		}
+		s := newSession(m, ep, conn)
+		e.sess = s
+		m.mu.Unlock()
+		close(latch)
+		if ins := m.insp.Load(); ins != nil {
+			ins.Dials.Inc()
+			ins.SessionsOpen.Add(1)
+		}
+		go s.readLoop()
+		return s, nil
+	}
+}
+
+// fence records that interfaces behind ep relocated at epoch and, the
+// first time a given epoch is seen, kills the stale session so every
+// binding still multiplexed on it fails over immediately rather than
+// waiting out its own timeout. Correctness never depends on the fence —
+// each binding's own locator refresh is the authority — this only turns
+// N discovery timeouts into one.
+func (m *SessionManager) fence(ep naming.Endpoint, epoch uint64) {
+	if epoch == 0 {
+		return
+	}
+	m.mu.Lock()
+	if m.fences[ep] >= epoch {
+		m.mu.Unlock()
+		return
+	}
+	m.fences[ep] = epoch
+	var stale *Session
+	if e := m.entries[ep]; e != nil {
+		stale = e.sess
+	}
+	m.mu.Unlock()
+	if stale != nil {
+		stale.kill(false)
+	}
+}
+
+// peek returns the live session for ep without dialling, or nil.
+func (m *SessionManager) peek(ep naming.Endpoint) *Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e := m.entries[ep]; e != nil {
+		return e.sess
+	}
+	return nil
+}
+
+// sessionDied is the read loop's exit notification: unpublish the session
+// and account for the shared failover.
+func (m *SessionManager) sessionDied(s *Session, graceful bool) {
+	m.mu.Lock()
+	refs := 0
+	if e := m.entries[s.ep]; e != nil && e.sess == s {
+		e.sess = nil
+		refs = e.refs
+		if e.refs <= 0 && e.dialing == nil {
+			delete(m.entries, s.ep)
+		}
+	}
+	m.mu.Unlock()
+	if !graceful {
+		m.deaths.Add(1)
+	}
+	if ins := m.insp.Load(); ins != nil {
+		ins.SessionsOpen.Add(-1)
+		ins.BindingsAtDeath.Observe(uint64(refs))
+		if !graceful {
+			ins.Reconnects.Inc()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// pendKey is the session demux key. Correlations are allocated per
+// binding, so the pair is unique across every binding on the session.
+type pendKey struct {
+	binding uint64
+	correl  uint64
+}
+
+// probeFlight is the latch for one in-flight liveness probe shared by all
+// bindings on the session.
+type probeFlight struct {
+	done chan struct{}
+	err  error
+}
+
+// Session is one shared transport connection: one conn, one read loop,
+// one demux table for every binding multiplexed over it.
+type Session struct {
+	mgr  *SessionManager
+	ep   naming.Endpoint
+	conn netsim.Conn
+
+	mu       sync.Mutex
+	pending  map[pendKey]chan *wire.Message
+	closed   bool
+	graceful bool
+
+	badFrames atomic.Uint64
+	lastProbe atomic.Int64 // unix nanos of the last completed probe
+
+	probeMu sync.Mutex
+	probe   *probeFlight
+}
+
+func newSession(m *SessionManager, ep naming.Endpoint, conn netsim.Conn) *Session {
+	return &Session{
+		mgr:     m,
+		ep:      ep,
+		conn:    conn,
+		pending: make(map[pendKey]chan *wire.Message),
+	}
+}
+
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// register claims the demux slot for one interrogation. The returned
+// channel receives the reply, or closes when the session dies.
+func (s *Session) register(binding, correl uint64) (chan *wire.Message, error) {
+	ch := make(chan *wire.Message, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrDisconnected
+	}
+	s.pending[pendKey{binding, correl}] = ch
+	s.mu.Unlock()
+	return ch, nil
+}
+
+func (s *Session) unregister(binding, correl uint64) {
+	s.mu.Lock()
+	delete(s.pending, pendKey{binding, correl})
+	s.mu.Unlock()
+}
+
+// send transmits one frame. The caller still owns the frame afterwards.
+func (s *Session) send(frame []byte) error {
+	return s.conn.Send(frame)
+}
+
+// kill tears the session down; the read loop's exit performs the
+// cleanup. graceful marks an orderly release (last binding out, manager
+// close) rather than a failure, so it is not counted as a reconnect.
+func (s *Session) kill(graceful bool) {
+	s.mu.Lock()
+	if graceful && !s.closed {
+		s.graceful = true
+	}
+	s.mu.Unlock()
+	s.conn.Close()
+}
+
+// readLoop demultiplexes inbound replies by (BindingID, Correlation)
+// until the connection dies, then fails every pending call on every
+// binding at once — the shared failure detector.
+func (s *Session) readLoop() {
+	for {
+		frame, err := s.conn.Recv()
+		if err != nil {
+			break
+		}
+		m, err := wire.Decode(frame)
+		// Decode copies every escaping payload out of the frame, so the
+		// buffer can be recycled immediately, whatever the outcome.
+		wire.PutFrame(frame)
+		if err != nil {
+			// A corrupt frame fails only its own call, by that call's
+			// timeout; the session and its other bindings keep going.
+			s.badFrames.Add(1)
+			continue
+		}
+		switch m.Kind {
+		case wire.Reply, wire.ErrReply, wire.ProbeAck:
+			k := pendKey{m.BindingID, m.Correlation}
+			s.mu.Lock()
+			ch, ok := s.pending[k]
+			if ok {
+				delete(s.pending, k)
+			}
+			s.mu.Unlock()
+			if ok {
+				ch <- m
+			} else {
+				wire.PutMessage(m) // late or unsolicited; nobody will read it
+			}
+		default:
+			// Client ends do not accept requests.
+		}
+	}
+	s.mu.Lock()
+	s.closed = true
+	stranded := s.pending
+	s.pending = nil
+	graceful := s.graceful
+	s.mu.Unlock()
+	for _, ch := range stranded {
+		close(ch)
+	}
+	s.mgr.sessionDied(s, graceful)
+}
+
+// probeShared coalesces liveness probes: however many bindings probe a
+// session concurrently, one Probe frame goes on the wire and everyone
+// shares its outcome. b supplies the wire identity (binding id, seq,
+// correlation) for the probe that is actually sent.
+func (s *Session) probeShared(ctx context.Context, b *Binding) error {
+	for {
+		s.probeMu.Lock()
+		if f := s.probe; f != nil {
+			s.probeMu.Unlock()
+			s.mgr.probesCoalesced.Add(1)
+			if ins := s.mgr.insp.Load(); ins != nil {
+				ins.ProbesCoalesced.Inc()
+			}
+			select {
+			case <-f.done:
+				// If the probe owner's context (not ours) was cancelled,
+				// the shared result says nothing about liveness; retry as
+				// the new owner.
+				if f.err != nil && ctx.Err() == nil &&
+					(f.err == context.Canceled || f.err == context.DeadlineExceeded) {
+					continue
+				}
+				return f.err
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		f := &probeFlight{done: make(chan struct{})}
+		s.probe = f
+		s.probeMu.Unlock()
+
+		err := s.probeOnce(ctx, b)
+		if err == nil {
+			s.lastProbe.Store(time.Now().UnixNano())
+		}
+
+		s.probeMu.Lock()
+		s.probe = nil
+		s.probeMu.Unlock()
+		f.err = err
+		close(f.done)
+		return err
+	}
+}
+
+// probeOnce performs one probe round trip on this session, running the
+// owning binding's stages so secured channels probe like they invoke.
+func (s *Session) probeOnce(ctx context.Context, b *Binding) error {
+	s.mgr.probesSent.Add(1)
+	if ins := s.mgr.insp.Load(); ins != nil {
+		ins.Probes.Inc()
+	}
+	correl := b.nextCorrel.Add(1)
+	m := wire.GetMessage()
+	m.Kind = wire.Probe
+	m.BindingID = b.bindingID
+	m.Seq = b.nextSeq.Add(1)
+	m.Correlation = correl
+	m.Target = b.Ref().ID
+	if err := runStages(b.cfg.Stages, Outbound, m); err != nil {
+		wire.PutMessage(m)
+		return err
+	}
+	frame, err := m.EncodeAppend(wire.GetFrame(m.SizeHint()), b.cfg.Codec)
+	wire.PutMessage(m)
+	if err != nil {
+		return err
+	}
+	ch, err := s.register(b.bindingID, correl)
+	if err != nil {
+		wire.PutFrame(frame)
+		return err
+	}
+	defer s.unregister(b.bindingID, correl)
+	err = s.send(frame)
+	wire.PutFrame(frame)
+	if err != nil {
+		s.kill(false)
+		return fmt.Errorf("%w: %v", ErrDisconnected, err)
+	}
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return ErrDisconnected
+		}
+		err := runStages(b.cfg.Stages, Inbound, reply)
+		wire.PutMessage(reply)
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -59,6 +59,12 @@ type GroupStats struct {
 // readers, not every reader. A read that overlaps an in-flight update may
 // observe the pre-update state; reads after Invoke returns see the update
 // on every replica.
+//
+// The group holds one Invoker per replica interface, not per connection:
+// when the members are channel bindings created over a shared session
+// manager (transparency.Env.Sessions), fan-out to co-located replicas
+// multiplexes over one transport session per node, so adding replicas on
+// a node adds bindings, not connections.
 type ReplicaGroup struct {
 	mu      sync.Mutex
 	members []member

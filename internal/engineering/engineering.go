@@ -91,6 +91,9 @@ type Node struct {
 	server   *channel.Server
 	endpoint naming.Endpoint
 	registry *BehaviorRegistry
+	// sessions multiplexes every outbound binding the nucleus creates
+	// (Node.Bind) over one shared transport session per peer node.
+	sessions *channel.SessionManager
 
 	mu          sync.Mutex
 	rng         *rand.Rand
@@ -126,6 +129,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		server:   channel.NewServer(l, cfg.Server),
 		endpoint: l.Endpoint(), // may differ from cfg.Endpoint (tcp port 0)
 		registry: NewBehaviorRegistry(),
+		sessions: channel.NewSessionManager(cfg.Transport),
 		rng:      rand.New(rand.NewSource(seed)),
 		capsules: make(map[uint32]*Capsule),
 	}
@@ -165,6 +169,9 @@ func (n *Node) Close() error {
 	for _, c := range caps {
 		c.deleteAll()
 	}
+	// The session manager is left open: bindings created through this
+	// nucleus may outlive it (failing over to recovered clusters on other
+	// nodes), and their sessions are reclaimed as each binding closes.
 	return n.server.Close()
 }
 
@@ -228,9 +235,14 @@ func (n *Node) DeleteCapsule(seq uint32) error {
 // Bind is the nucleus's channel-creation function: it creates the client
 // end of a channel to ref using this node's transport. Additional
 // configuration (stages, locator, retries) comes from cfg; its Transport
-// field is overridden with the node's own.
+// field is overridden with the node's own, and unless cfg supplies a
+// session manager the binding joins the node's shared one, so all of the
+// node's outbound channels multiplex over one session per peer.
 func (n *Node) Bind(ref naming.InterfaceRef, cfg channel.BindConfig) (*channel.Binding, error) {
 	cfg.Transport = n.cfg.Transport
+	if cfg.Sessions == nil {
+		cfg.Sessions = n.sessions
+	}
 	return channel.Bind(ref, cfg)
 }
 

@@ -1,0 +1,226 @@
+// E10: session multiplexing. The session layer claims that bindings are
+// cheap and connections are the scarce resource — N bindings from one
+// client to one node should cost one transport session (one connection,
+// one dial, one read loop) in shared mode, against N of each when every
+// binding owns a private session manager (the pre-session-layer shape).
+// This experiment measures both modes as N grows: connections accepted by
+// the server, dials performed by the client, heap per binding, and the
+// p50/p99 invocation latency under concurrent load across all bindings.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/values"
+)
+
+// E10SessionRow is one (mode, binding count) measurement.
+type E10SessionRow struct {
+	Mode     string // "shared" (one manager) or "per-binding" (one manager each)
+	Bindings int
+	Conns    uint64 // connections the server accepted
+	Dials    uint64 // dials the client side performed
+	HeapPerB uint64 // process heap growth per binding, bytes (rough: includes both ends)
+	P50, P99 time.Duration
+}
+
+// E10SessionScaling measures session multiplexing for each binding count
+// in ns, in both modes, with callsPerBinding sequential invocations per
+// binding running concurrently across bindings.
+func E10SessionScaling(ns []int, callsPerBinding int) ([]E10SessionRow, error) {
+	if callsPerBinding < 1 {
+		callsPerBinding = 1
+	}
+	var rows []E10SessionRow
+	for _, n := range ns {
+		for _, mode := range []string{"per-binding", "shared"} {
+			row, err := e10Row(mode, n, callsPerBinding)
+			if err != nil {
+				return rows, fmt.Errorf("e10 %s n=%d: %w", mode, n, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func e10Row(mode string, n, calls int) (E10SessionRow, error) {
+	net := netsim.New(int64(9000 + n))
+	// Per-binding mode dials n connections in a burst; keep the accept
+	// backlog out of the measurement.
+	net.SetAcceptBacklog(2 * n)
+	l, err := net.Listen("sim://server")
+	if err != nil {
+		return E10SessionRow{}, err
+	}
+	srv := channel.NewServer(l, channel.ServerConfig{})
+	defer srv.Close()
+	id := naming.InterfaceID{Nonce: 10}
+	err = srv.Register(id, nil, channel.HandlerFunc(
+		func(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+			return "OK", args, nil
+		}))
+	if err != nil {
+		return E10SessionRow{}, err
+	}
+	srv.Start()
+	ref := naming.InterfaceRef{ID: id, Endpoint: "sim://server"}
+
+	var shared *channel.SessionManager
+	var managers []*channel.SessionManager
+	if mode == "shared" {
+		shared = channel.NewSessionManager(net.From("client"))
+		defer shared.Close()
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	bindings := make([]*channel.Binding, n)
+	for i := range bindings {
+		cfg := channel.BindConfig{Sessions: shared}
+		if shared == nil {
+			m := channel.NewSessionManager(net.From("client"))
+			managers = append(managers, m)
+			cfg.Sessions = m
+		}
+		b, err := channel.Bind(ref, cfg)
+		if err != nil {
+			return E10SessionRow{}, err
+		}
+		defer b.Close()
+		bindings[i] = b
+	}
+	// Establish every binding's session before measuring, concurrently (in
+	// per-binding mode this is the n-dial burst itself).
+	arg := []values.Value{values.Int(1)}
+	if err := e10Fanout(bindings, 1, arg, nil); err != nil {
+		return E10SessionRow{}, err
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	var heapPerB uint64
+	if after.HeapAlloc > before.HeapAlloc {
+		heapPerB = (after.HeapAlloc - before.HeapAlloc) / uint64(n)
+	}
+
+	// Latency under concurrent load across all bindings.
+	durs := make([][]time.Duration, n)
+	for i := range durs {
+		durs[i] = make([]time.Duration, 0, calls)
+	}
+	if err := e10Fanout(bindings, calls, arg, durs); err != nil {
+		return E10SessionRow{}, err
+	}
+	all := make([]time.Duration, 0, n*calls)
+	for _, d := range durs {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	row := E10SessionRow{
+		Mode:     mode,
+		Bindings: n,
+		Conns:    srv.Stats().Sessions,
+		HeapPerB: heapPerB,
+		P50:      all[len(all)/2],
+		P99:      all[len(all)*99/100],
+	}
+	if shared != nil {
+		row.Dials = shared.Stats().Dials
+	} else {
+		for _, m := range managers {
+			row.Dials += m.Stats().Dials
+		}
+	}
+	return row, nil
+}
+
+// E10SessionInvoke is the benchmark-shaped slice of E10: the cost of one
+// invocation through a binding whose session is shared with {0, 63, 255}
+// sibling bindings to the same node. It isolates the demux-table overhead
+// on the hot path — the per-call price of multiplexing.
+func E10SessionInvoke() []Scenario {
+	var out []Scenario
+	for _, n := range []int{1, 64, 256} {
+		net := netsim.New(int64(9500 + n))
+		net.SetAcceptBacklog(2 * n)
+		l, err := net.Listen("sim://server")
+		must(err)
+		srv := channel.NewServer(l, channel.ServerConfig{})
+		id := naming.InterfaceID{Nonce: 10}
+		must(srv.Register(id, nil, channel.HandlerFunc(
+			func(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+				return "OK", args, nil
+			})))
+		srv.Start()
+		ref := naming.InterfaceRef{ID: id, Endpoint: "sim://server"}
+		mgr := channel.NewSessionManager(net.From("client"))
+		bindings := make([]*channel.Binding, n)
+		for i := range bindings {
+			b, err := channel.Bind(ref, channel.BindConfig{Sessions: mgr})
+			must(err)
+			bindings[i] = b
+		}
+		ctx := context.Background()
+		arg := []values.Value{values.Int(1)}
+		// Touch every binding once so the whole fleet is attached to the one
+		// session before measuring.
+		must(e10Fanout(bindings, 1, arg, nil))
+		b0, srv0, all := bindings[0], srv, bindings
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("session-invoke/siblings=%d", n),
+			Run: func() error {
+				_, _, err := b0.Invoke(ctx, "Echo", arg)
+				return err
+			},
+			Close: func() {
+				for _, b := range all {
+					b.Close()
+				}
+				mgr.Close()
+				srv0.Close()
+			},
+		})
+	}
+	return out
+}
+
+// e10Fanout runs calls sequential invocations on every binding, all
+// bindings concurrently, optionally recording per-call durations into
+// durs[i].
+func e10Fanout(bindings []*channel.Binding, calls int, arg []values.Value, durs [][]time.Duration) error {
+	ctx := context.Background()
+	errs := make(chan error, len(bindings))
+	var wg sync.WaitGroup
+	for i, b := range bindings {
+		wg.Add(1)
+		go func(i int, b *channel.Binding) {
+			defer wg.Done()
+			for j := 0; j < calls; j++ {
+				start := time.Now()
+				if _, _, err := b.Invoke(ctx, "Echo", arg); err != nil {
+					errs <- err
+					return
+				}
+				if durs != nil {
+					durs[i] = append(durs[i], time.Since(start))
+				}
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}

@@ -29,7 +29,8 @@ type ChannelClientInstruments struct {
 }
 
 // ChannelServerInstruments instrument the server end: dispatch of inbound
-// calls to servants.
+// calls to servants, and the transport sessions those calls arrive on
+// (each accepted connection is one multi-binding session).
 type ChannelServerInstruments struct {
 	Tracer *Tracer
 
@@ -37,6 +38,22 @@ type ChannelServerInstruments struct {
 	Errors          *Counter   // error replies sent
 	BadFrames       *Counter   // undecodable inbound frames
 	DispatchLatency *Histogram // servant execution latency, ns
+
+	SessionsOpen       *Gauge     // live inbound sessions (accepted conns)
+	SessionsTotal      *Counter   // sessions accepted over the server's lifetime
+	BindingsPerSession *Histogram // distinct binding ids seen, observed at session close
+}
+
+// SessionInstruments instrument the client-side session layer: the
+// per-(transport, endpoint) shared connections that bindings multiplex
+// over.
+type SessionInstruments struct {
+	SessionsOpen    *Gauge     // live outbound sessions
+	Dials           *Counter   // transport dials (single-flight: one per session establishment)
+	Reconnects      *Counter   // session deaths — every binding on the session failed over at once
+	BindingsAtDeath *Histogram // bindings attached when a session died or was released
+	Probes          *Counter   // liveness probes actually sent on the wire
+	ProbesCoalesced *Counter   // probes answered by an already in-flight probe
 }
 
 // GroupInstruments instrument a replica group (coordination).
@@ -146,11 +163,31 @@ func (m *Management) ChannelServer(name string) *ChannelServerInstruments {
 	}
 	p := "channel.server." + name + "."
 	return &ChannelServerInstruments{
-		Tracer:          m.Tracer,
-		Dispatches:      m.Registry.Counter(p + "dispatches"),
-		Errors:          m.Registry.Counter(p + "errors"),
-		BadFrames:       m.Registry.Counter(p + "bad_frames"),
-		DispatchLatency: m.Registry.Histogram(p + "dispatch_latency_ns"),
+		Tracer:             m.Tracer,
+		Dispatches:         m.Registry.Counter(p + "dispatches"),
+		Errors:             m.Registry.Counter(p + "errors"),
+		BadFrames:          m.Registry.Counter(p + "bad_frames"),
+		DispatchLatency:    m.Registry.Histogram(p + "dispatch_latency_ns"),
+		SessionsOpen:       m.Registry.Gauge(p + "sessions_open"),
+		SessionsTotal:      m.Registry.Counter(p + "sessions_total"),
+		BindingsPerSession: m.Registry.Histogram(p + "bindings_per_session"),
+	}
+}
+
+// Sessions resolves a client-side session-layer bundle named name (e.g.
+// the client host). Metrics land under session.<name>.*.
+func (m *Management) Sessions(name string) *SessionInstruments {
+	if m == nil {
+		return nil
+	}
+	p := "session." + name + "."
+	return &SessionInstruments{
+		SessionsOpen:    m.Registry.Gauge(p + "open"),
+		Dials:           m.Registry.Counter(p + "dials"),
+		Reconnects:      m.Registry.Counter(p + "reconnects"),
+		BindingsAtDeath: m.Registry.Histogram(p + "bindings_at_death"),
+		Probes:          m.Registry.Counter(p + "probes"),
+		ProbesCoalesced: m.Registry.Counter(p + "probes_coalesced"),
 	}
 }
 

@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAcceptBacklogOverflow(t *testing.T) {
+	// A listener that never accepts absorbs exactly the configured backlog;
+	// the next dial fails with the distinct ErrBacklogFull instead of
+	// hanging silently.
+	n := New(1)
+	n.SetAcceptBacklog(2)
+	l, err := n.Listen("sim://server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 2; i++ {
+		conn, err := n.Dial(context.Background(), "sim://server")
+		if err != nil {
+			t.Fatalf("dial %d within backlog: %v", i, err)
+		}
+		defer conn.Close()
+	}
+	start := time.Now()
+	_, err = n.Dial(context.Background(), "sim://server")
+	if !errors.Is(err, ErrBacklogFull) {
+		t.Fatalf("overflow dial = %v, want ErrBacklogFull", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("overflow dial took %v, should fail after the short grace", time.Since(start))
+	}
+}
+
+func TestAcceptBacklogDrainWithinGrace(t *testing.T) {
+	// A dial that finds the backlog full still succeeds if the listener
+	// drains within the grace period — the error is for stuck servers, not
+	// momentary bursts.
+	n := New(1)
+	n.SetAcceptBacklog(1)
+	l, err := n.Listen("sim://server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	first, err := n.Dial(context.Background(), "sim://server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	second, err := n.Dial(context.Background(), "sim://server")
+	if err != nil {
+		t.Fatalf("dial during momentary burst = %v, want success once the backlog drains", err)
+	}
+	second.Close()
+}
+
+func TestAcceptBacklogDialCtxCancel(t *testing.T) {
+	// A caller-side deadline shorter than the grace still wins: the dial
+	// returns the context error, not ErrBacklogFull.
+	n := New(1)
+	n.SetAcceptBacklog(1)
+	l, err := n.Listen("sim://server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	first, err := n.Dial(context.Background(), "sim://server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = n.Dial(ctx, "sim://server")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled dial = %v, want DeadlineExceeded", err)
+	}
+}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,7 @@ type Network struct {
 	links      map[[2]string]LinkProfile
 	partitions map[[2]string]bool
 	defaultLP  LinkProfile
+	backlog    int // accept backlog per listener; 0 means defaultBacklog
 
 	sent           atomic.Uint64
 	delivered      atomic.Uint64
@@ -101,6 +103,29 @@ func New(seed int64) *Network {
 		links:      make(map[[2]string]LinkProfile),
 		partitions: make(map[[2]string]bool),
 	}
+}
+
+// defaultBacklog is the accept backlog per listener when
+// SetAcceptBacklog has not been called — small, like a socket's.
+const defaultBacklog = 16
+
+// dialGrace bounds how long a dial waits on a full accept backlog before
+// failing with ErrBacklogFull. A server that is merely busy usually
+// drains within this; one that has stopped accepting fails the dial
+// distinctly instead of hanging it forever.
+const dialGrace = 500 * time.Millisecond
+
+// SetAcceptBacklog sets the accept backlog used by listeners opened after
+// the call (minimum 1; 0 restores the default of 16). Dials that find the
+// backlog full wait a bounded grace period and then fail with
+// ErrBacklogFull rather than hanging.
+func (n *Network) SetAcceptBacklog(size int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if size < 0 {
+		size = 0
+	}
+	n.backlog = size
 }
 
 // SetDefaultLink sets the profile used for host pairs without an explicit
@@ -187,10 +212,14 @@ func (n *Network) Listen(ep naming.Endpoint) (Listener, error) {
 	if _, exists := n.listeners[host]; exists {
 		return nil, &addrInUseError{host}
 	}
+	size := n.backlog
+	if size <= 0 {
+		size = defaultBacklog
+	}
 	l := &simListener{
 		net:     n,
 		ep:      ep,
-		backlog: make(chan *simConn, 16), // small accept backlog, like a socket
+		backlog: make(chan *simConn, size),
 		done:    make(chan struct{}),
 	}
 	n.listeners[host] = l
@@ -229,12 +258,27 @@ func (n *Network) DialFrom(ctx context.Context, fromHost string, ep naming.Endpo
 	client.peer, server.peer = server, client
 	select {
 	case l.backlog <- server:
+		return client, nil
 	case <-l.done:
 		return nil, ErrClosed
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	default:
 	}
-	return client, nil
+	// Backlog full: wait a bounded grace for the server to drain it, then
+	// fail distinctly instead of hanging the dialler forever.
+	grace := time.NewTimer(dialGrace)
+	defer grace.Stop()
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-grace.C:
+		return nil, fmt.Errorf("%w: %s", ErrBacklogFull, ep)
+	}
 }
 
 type hostError struct{ host string }

@@ -28,6 +28,11 @@ var (
 	ErrClosed        = errors.New("netsim: closed")
 	ErrNoSuchHost    = errors.New("netsim: no listener at endpoint")
 	ErrUnknownScheme = errors.New("netsim: unknown endpoint scheme")
+	// ErrBacklogFull reports that a listener's accept backlog stayed full
+	// for the whole dial grace period — the server exists but is not
+	// draining connections (e.g. a session storm). Distinct from a
+	// partition (which hangs) and from ErrNoSuchHost (nothing listening).
+	ErrBacklogFull = errors.New("netsim: accept backlog full")
 )
 
 // Conn is one bidirectional frame stream between two endpoints.

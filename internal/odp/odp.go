@@ -50,7 +50,12 @@ type System struct {
 
 	mu    sync.Mutex
 	nodes map[string]*engineering.Node
-	mgmt  *mgmt.Management
+	// sessions caches one SessionManager per client host, so every
+	// binding a host opens — across Env/Bind/ImportAndBind calls and
+	// replica groups — multiplexes over one transport session per peer
+	// node instead of one connection per binding.
+	sessions map[string]*channel.SessionManager
+	mgmt     *mgmt.Management
 }
 
 // EnableManagement creates the system's management domain and wires it
@@ -66,6 +71,9 @@ func (s *System) EnableManagement() *mgmt.Management {
 		s.mgmt = mgmt.New()
 		s.Net.Instrument(s.mgmt.Net("sim"))
 		s.Trader.Instrument(s.mgmt.TraderInstr("trader"))
+		for host, sm := range s.sessions {
+			sm.Instrument(s.mgmt.Sessions(host))
+		}
 	}
 	return s.mgmt
 }
@@ -87,7 +95,29 @@ func NewSystem(seed int64) *System {
 		Trader:    trader.New("trader", repo),
 		Bus:       coordination.NewBus(),
 		nodes:     make(map[string]*engineering.Node),
+		sessions:  make(map[string]*channel.SessionManager),
 	}
+}
+
+// SessionsFor returns the client host's shared session manager, creating
+// it on first use. All of the host's bindings multiplex over it: one
+// connection, read loop and heartbeat per peer node.
+func (s *System) SessionsFor(clientHost string) *channel.SessionManager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessionsForLocked(clientHost)
+}
+
+func (s *System) sessionsForLocked(clientHost string) *channel.SessionManager {
+	sm, ok := s.sessions[clientHost]
+	if !ok {
+		sm = channel.NewSessionManager(s.Net.From(clientHost))
+		if s.mgmt != nil {
+			sm.Instrument(s.mgmt.Sessions(clientHost))
+		}
+		s.sessions[clientHost] = sm
+	}
+	return sm
 }
 
 // CreateNode starts an engineering node on the simulated network.
@@ -145,8 +175,16 @@ func (s *System) Close() error {
 		nodes = append(nodes, n)
 	}
 	s.nodes = map[string]*engineering.Node{}
+	managers := make([]*channel.SessionManager, 0, len(s.sessions))
+	for _, sm := range s.sessions {
+		managers = append(managers, sm)
+	}
+	s.sessions = map[string]*channel.SessionManager{}
 	s.mu.Unlock()
 	var first error
+	for _, sm := range managers {
+		_ = sm.Close()
+	}
 	for _, n := range nodes {
 		if err := n.Close(); err != nil && first == nil {
 			first = err
@@ -235,6 +273,7 @@ func (s *System) Deploy(node *engineering.Node, tmpl core.ObjectTemplate, props 
 func (s *System) Env(clientHost string) transparency.Env {
 	return transparency.Env{
 		Transport:   s.Net.From(clientHost),
+		Sessions:    s.SessionsFor(clientHost),
 		Locator:     s.Relocator,
 		Instruments: s.Mgmt().ChannelClient(clientHost),
 	}

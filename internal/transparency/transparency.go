@@ -56,7 +56,13 @@ var (
 // it with a contract to produce channel configurations.
 type Env struct {
 	Transport netsim.Transport
-	Locator   channel.Locator
+	// Sessions multiplexes every binding created under this environment
+	// over shared per-endpoint transport sessions (one connection, one
+	// read loop and one heartbeat per remote node, however many bindings
+	// and replica proxies point there). Optional; nil gives each binding
+	// a private session.
+	Sessions *channel.SessionManager
+	Locator  channel.Locator
 	// Principal and Secret authenticate this end when the contract asks
 	// for SecurityAuthenticated or stronger.
 	Principal string
@@ -101,11 +107,12 @@ func ClientConfig(contract core.Contract, env Env) (channel.BindConfig, error) {
 	if err := contract.Validate(); err != nil {
 		return channel.BindConfig{}, err
 	}
-	if env.Transport == nil {
+	if env.Transport == nil && env.Sessions == nil {
 		return channel.BindConfig{}, ErrNeedTransport
 	}
 	cfg := channel.BindConfig{
 		Transport:   env.Transport,
+		Sessions:    env.Sessions,
 		Type:        env.Type,
 		Instruments: env.Instruments,
 	}

@@ -1,0 +1,73 @@
+package transparency
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/engineering"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/relocator"
+	"repro/internal/values"
+)
+
+func TestReplicateSharesSessionPerNode(t *testing.T) {
+	// Three replicas co-located on one node, bound through a shared session
+	// manager: the replica group fans out over three bindings but exactly
+	// one transport session (one dial, one server-side connection).
+	net := netsim.New(7)
+	reloc := relocator.New()
+	node, err := engineering.NewNode(engineering.NodeConfig{
+		ID: "r0", Endpoint: "sim://r0",
+		Transport: net.From("r0"), Locations: reloc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	node.Behaviors().Register("counter", func(values.Value) (engineering.Behavior, error) { return &counter{}, nil })
+	capsule, _ := node.CreateCapsule()
+	var refs []naming.InterfaceRef
+	for i := 0; i < 3; i++ {
+		cluster, err := capsule.CreateCluster(engineering.ClusterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := cluster.CreateObject("counter", values.Null())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := obj.AddInterface(counterIface())
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+
+	sessions := channel.NewSessionManager(net.From("client"))
+	defer sessions.Close()
+	env := Env{Sessions: sessions, Locator: reloc}
+	contract := core.Contract{
+		Require:  core.TransparencySet(core.Replication | core.Relocation),
+		Replicas: 3,
+	}
+	g, err := Replicate(refs, contract, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for i := 0; i < 5; i++ {
+		term, _, err := g.Invoke(context.Background(), "Inc", []values.Value{values.Int(1)})
+		if err != nil || term != "OK" {
+			t.Fatalf("group invoke %d = %q, %v", i, term, err)
+		}
+	}
+	if st := sessions.Stats(); st.Dials != 1 || st.Open != 1 {
+		t.Errorf("session stats = %+v, want one shared session for the whole group", st)
+	}
+	if st := node.Server().Stats(); st.Sessions != 1 {
+		t.Errorf("server sessions = %d, want 1 connection for 3 replica bindings", st.Sessions)
+	}
+}

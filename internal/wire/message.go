@@ -83,11 +83,16 @@ func (k MsgKind) String() string {
 // Message is one frame on a channel. The header travels in the canonical
 // representation regardless of codec; only the argument payload uses the
 // negotiated codec (heterogeneous peers must at least agree on headers).
+// The (BindingID, Correlation) pair is the session demux key: many
+// bindings multiplex one transport session (package channel's session
+// layer), and since correlations are allocated per binding, the pair
+// uniquely routes every Reply/ErrReply/ProbeAck on a shared connection
+// without any extra wire fields.
 type Message struct {
 	Kind        MsgKind
-	BindingID   uint64             // identifies the binding within the channel
+	BindingID   uint64             // identifies the binding within the channel (session demux, replay guard)
 	Seq         uint64             // binder sequence number (replay defence)
-	Correlation uint64             // matches a Reply/ErrReply to its Call
+	Correlation uint64             // matches a Reply/ErrReply to its Call; per-binding allocation
 	Epoch       uint64             // sender's view of the target's relocation epoch
 	Target      naming.InterfaceID // destination interface
 	Operation   string             // operation, signal or flow name

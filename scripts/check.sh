@@ -26,14 +26,41 @@ go test -race ./internal/wire/ ./internal/channel/ ./internal/netsim/ \
 	./internal/transactions/ ./internal/coordination/ ./internal/trader/ \
 	./internal/mgmt/ ./internal/relocator/
 
-echo "== benchmark smoke (E2 bank invocation) =="
-go test -run=NONE -bench=E2 -benchtime=100x -benchmem .
+echo "== benchmark smoke + alloc budget (E2 bank invocation) =="
+# The session-layer refactor must keep the single-binding hot path
+# allocation-lean: the deposit scenario's 20 allocs/op budget gets 5%
+# headroom (21). Alloc counts are deterministic, so this gate is stable
+# where a wall-clock gate would flake on shared hosts.
+go test -run=NONE -bench=E2 -benchtime=200x -benchmem . | tee /tmp/check_e2.out
+awk '/bank-deposit|deposit/ && /allocs\/op/ {
+		allocs = $(NF-1) + 0
+		if (allocs > 21) { printf "E2 deposit alloc budget exceeded: %d > 21 allocs/op\n", allocs; bad = 1 }
+		found = 1
+	}
+	END {
+		if (!found) { print "E2 deposit benchmark missing from output"; exit 1 }
+		exit bad
+	}' /tmp/check_e2.out
 
 echo "== benchmark smoke (replica scaling fan-out) =="
 go test -run=NONE -bench=E6_ReplicationScaling -benchtime=5x .
 
 echo "== benchmark smoke (E9 observability overhead) =="
 go test -run=NONE -bench=E9 -benchtime=100x -benchmem .
+
+echo "== benchmark smoke (E10 session-invoke hot path) =="
+go test -run=NONE -bench=E10 -benchtime=100x -benchmem .
+
+echo "== E10 session multiplexing smoke (256 bindings -> 1 connection, 1 dial) =="
+go run ./cmd/odpbench -only e10 -iters 200 | tee /tmp/check_e10.out
+awk '/shared\/n=256/ {
+		if ($2 + 0 != 1 || $3 + 0 != 1) {
+			printf "session multiplexing regressed: shared/n=256 conns=%s dials=%s, want 1/1\n", $2, $3
+			exit 1
+		}
+		found = 1
+	}
+	END { if (!found) { print "E10 shared/n=256 row missing"; exit 1 } }' /tmp/check_e10.out
 
 # The disabled-instrumentation budget: an uninstrumented invocation must
 # stay within 5% of the E4 replay-binder baseline (the identical channel
