@@ -8,12 +8,14 @@
 //	odpbench            # run everything
 //	odpbench -iters N   # samples per scenario (default 2000)
 //	odpbench -only e10  # just the session-multiplexing table (CI smoke)
+//	odpbench -only e11 -dur 10s  # the chaos experiment, policy on vs off
 package main
 
 import (
 	"flag"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -21,7 +23,8 @@ import (
 
 func main() {
 	iters := flag.Int("iters", 2000, "samples per scenario")
-	only := flag.String("only", "", "run only the named section (supported: e10)")
+	only := flag.String("only", "", "run only the named section (supported: e10, e11)")
+	dur := flag.Duration("dur", 6*time.Second, "per-mode wall-clock duration of the e11 chaos run")
 	flag.Parse()
 
 	fmt.Println("RM-ODP reproduction — experiment tables (see EXPERIMENTS.md)")
@@ -29,6 +32,10 @@ func main() {
 
 	if *only == "e10" {
 		runE10(*iters)
+		return
+	}
+	if *only == "e11" {
+		runE11(*dur)
 		return
 	}
 
@@ -94,6 +101,65 @@ func main() {
 	runTable(*iters, experiments.E9Overhead())
 
 	runE10(*iters)
+	runE11(*dur)
+}
+
+// runE11 prints the chaos table: the same replicated bank workload under
+// the same fault script, with the failure-policy layer on and off.
+func runE11(dur time.Duration) {
+	section("E11 Failure transparency under chaos: crash/restart + 2-node outage + link squeeze")
+	type row struct {
+		name string
+		rep  experiments.E11Report
+	}
+	var rows []row
+	for _, on := range []bool{true, false} {
+		rep, err := experiments.E11Chaos(dur, on)
+		if err != nil {
+			fmt.Printf("  error (policyOn=%v): %v\n", on, err)
+			return
+		}
+		rows = append(rows, row{rep.Mode, rep})
+	}
+	fmt.Printf("  %-12s %6s %9s %9s %9s %10s %10s %9s %7s %7s %7s\n",
+		"mode", "ops", "avail", "av.fault", "av.heal", "p99.fault", "p99.heal", "ttr", "opens", "retry", "stale")
+	for _, r := range rows {
+		ttr := "never"
+		if r.rep.TimeToRecover >= 0 {
+			ttr = r.rep.TimeToRecover.Round(time.Millisecond).String()
+		}
+		fmt.Printf("  %-12s %6d %8.2f%% %8.2f%% %8.2f%% %10v %10v %9s %7d %7d %7d\n",
+			r.name, r.rep.Ops,
+			100*r.rep.Availability, 100*r.rep.AvailabilityFaults, 100*r.rep.AvailabilityHealed,
+			r.rep.P99Faults.Round(time.Millisecond), r.rep.P99Healed.Round(time.Millisecond),
+			ttr, r.rep.BreakerOpens, r.rep.Retries, r.rep.DegradedReads)
+	}
+	for _, r := range rows {
+		if len(r.rep.Errors) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(r.rep.Errors))
+		for k := range r.rep.Errors {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("  %s errors:", r.name)
+		for _, k := range keys {
+			fmt.Printf(" %s=%d", k, r.rep.Errors[k])
+		}
+		fmt.Println()
+	}
+	fmt.Println("  fault timeline (policy-on run):")
+	for _, line := range strings.Split(strings.TrimRight(rows[0].rep.Timeline, "\n"), "\n") {
+		fmt.Println("    " + line)
+	}
+	if rows[0].rep.StaleTrace != "" {
+		fmt.Println("  one degraded read, traced (staleness flag is the marker span):")
+		for _, line := range strings.Split(strings.TrimRight(rows[0].rep.StaleTrace, "\n"), "\n") {
+			fmt.Println("    " + line)
+		}
+	}
+	fmt.Println()
 }
 
 // runE10 prints the session-multiplexing table: connections, dials, heap

@@ -14,6 +14,7 @@ import (
 	"repro/internal/mgmt"
 	"repro/internal/naming"
 	"repro/internal/netsim"
+	"repro/internal/policy"
 	"repro/internal/types"
 	"repro/internal/values"
 	"repro/internal/wire"
@@ -62,11 +63,20 @@ type BindConfig struct {
 	// the location and replays the interaction. Optional.
 	Locator Locator
 	// MaxRetries enables failure transparency: the number of additional
-	// attempts after a transport failure or per-attempt timeout.
+	// attempts after a transport failure or per-attempt timeout. Ignored
+	// when Policy is set.
 	MaxRetries int
 	// CallTimeout bounds each attempt of an interrogation. Zero means the
-	// invocation relies solely on the caller's context.
+	// invocation relies solely on the caller's context. When Policy is set
+	// with a non-zero AttemptTimeout, the policy's value wins.
 	CallTimeout time.Duration
+	// Policy, when set, replaces the legacy MaxRetries/CallTimeout pair
+	// with the full recovery policy: attempt count, per-attempt timeout,
+	// one deadline budget shared by all attempts and relocations, and
+	// seeded exponential backoff between retries. Nil keeps the legacy
+	// semantics exactly (immediate retries, a fresh CallTimeout per
+	// attempt, no budget).
+	Policy *policy.RetryPolicy
 	// MaxRelocations bounds location refreshes per invocation (default 3).
 	MaxRelocations int
 	// Instruments enables management instrumentation of this channel end:
@@ -234,14 +244,38 @@ func (b *Binding) Invoke(ctx context.Context, op string, args []values.Value) (s
 }
 
 // invoke is the uninstrumented interrogation body: the retry/relocation
-// loop around attempt.
+// loop around attempt. With a nil Policy it behaves exactly as before the
+// policy layer existed; with one, all attempts share a single deadline
+// budget, retries back off with seeded jitter, and calls to an endpoint
+// whose shared circuit breaker is open fail fast with ErrCircuitOpen.
 func (b *Binding) invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
 	correl := b.nextCorrel.Add(1)
+
+	pol := b.cfg.Policy
+	maxAttempts := b.cfg.MaxRetries + 1
+	attemptTimeout := b.cfg.CallTimeout
+	if pol != nil {
+		maxAttempts = pol.Attempts()
+		if pol.AttemptTimeout > 0 {
+			attemptTimeout = pol.AttemptTimeout
+		}
+		if pol.Budget > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = pol.WithBudget(ctx)
+			defer cancel()
+		}
+	}
 
 	relocations := 0
 	attempt := 0
 	for {
 		ref := b.Ref()
+		br := b.breakerFor(ref.Endpoint)
+		if br != nil {
+			if ok, _ := br.Allow(); !ok {
+				return "", nil, fmt.Errorf("%w: endpoint %s", policy.ErrCircuitOpen, ref.Endpoint)
+			}
+		}
 		m := wire.GetMessage()
 		m.Kind = wire.Call
 		m.BindingID = b.bindingID
@@ -251,9 +285,27 @@ func (b *Binding) invoke(ctx context.Context, op string, args []values.Value) (s
 		m.Epoch = ref.Epoch
 		m.Operation = op
 		m.Args = args
-		reply, err := b.attempt(ctx, m)
+		reply, err := b.attempt(ctx, m, attemptTimeout)
 		// attempt encodes the request and does not retain it.
 		wire.PutMessage(m)
+		if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			// The attempt's own timer fired while the call as a whole still
+			// has budget: a per-attempt timeout, distinct and retryable.
+			err = fmt.Errorf("%w: %s: attempt %d exceeded %v: %w",
+				ErrAttemptTimeout, ref.Endpoint, attempt+1, attemptTimeout, err)
+		}
+		if br != nil {
+			// Only endpoint-health outcomes feed the breaker: a connection
+			// loss or attempt timeout says the endpoint may be dead; an
+			// application or stage error says it answered.
+			if err == nil {
+				br.Record(true)
+			} else if errors.Is(err, ErrDisconnected) || errors.Is(err, ErrAttemptTimeout) {
+				br.Record(false)
+			} else {
+				br.Record(true)
+			}
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				return "", nil, ctx.Err()
@@ -264,11 +316,16 @@ func (b *Binding) invoke(ctx context.Context, op string, args []values.Value) (s
 			// Transport failure or per-attempt timeout. Failure
 			// transparency: retry if configured; relocation transparency:
 			// re-resolve first in case the failure was a move.
-			if attempt < b.cfg.MaxRetries {
+			if attempt+1 < maxAttempts {
 				attempt++
 				b.retries.Add(1)
 				if ins := b.cfg.Instruments; ins != nil {
 					ins.Retries.Inc()
+				}
+				if pol != nil {
+					if werr := b.backoff(ctx, pol, attempt); werr != nil {
+						return "", nil, werr
+					}
 				}
 				if b.refreshLocation() {
 					relocations++
@@ -388,17 +445,42 @@ func (b *Binding) Signal(ctx context.Context, name string, args []values.Value) 
 // Probe checks end-to-end liveness of the channel. Probes are coalesced
 // at the session: however many co-located bindings probe concurrently,
 // one heartbeat goes on the wire and all of them share its outcome.
+// A probe also consults the endpoint's shared circuit breaker: an open
+// breaker refuses it, and after the cooling-off period the probe is
+// exactly the single half-open trial whose outcome re-closes (or
+// re-opens) the breaker for every binding sharing it.
 func (b *Binding) Probe(ctx context.Context) error {
-	if b.cfg.CallTimeout > 0 {
+	timeout := b.cfg.CallTimeout
+	if pol := b.cfg.Policy; pol != nil && pol.AttemptTimeout > 0 {
+		timeout = pol.AttemptTimeout
+	}
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, b.cfg.CallTimeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	s, err := b.session(ctx)
-	if err != nil {
-		return err
+	ep := b.Ref().Endpoint
+	br := b.breakerFor(ep)
+	if br != nil {
+		if ok, _ := br.Allow(); !ok {
+			return fmt.Errorf("%w: endpoint %s", policy.ErrCircuitOpen, ep)
+		}
 	}
-	return s.probeShared(ctx, b)
+	s, err := b.session(ctx)
+	if err == nil {
+		err = s.probeShared(ctx, b)
+	}
+	if br != nil {
+		switch {
+		case err == nil:
+			br.Record(true)
+		case errors.Is(err, ErrDisconnected), errors.Is(err, context.DeadlineExceeded):
+			br.Record(false)
+		default:
+			br.Record(true) // cancelled or local error: says nothing about the endpoint
+		}
+	}
+	return err
 }
 
 // ---------------------------------------------------------------------------
@@ -467,11 +549,35 @@ func (b *Binding) remoteError(reply *wire.Message) error {
 	return &RemoteError{Code: reply.Termination, Detail: detail}
 }
 
+// breakerFor returns the shared circuit breaker for ep, or nil when the
+// session manager has no breaker set attached — a single atomic load on
+// the no-policy hot path.
+func (b *Binding) breakerFor(ep naming.Endpoint) *policy.Breaker {
+	bs := b.sessions.Breakers()
+	if bs == nil {
+		return nil
+	}
+	return bs.For(string(ep))
+}
+
+// backoff sleeps the policy's delay before retry number retry, accounting
+// the sleep into the shared policy instruments when present.
+func (b *Binding) backoff(ctx context.Context, pol *policy.RetryPolicy, retry int) error {
+	d := pol.Backoff(retry)
+	if bs := b.sessions.Breakers(); bs != nil {
+		if pins := bs.Instruments(); pins != nil {
+			pins.Retries.Inc()
+			pins.BackoffNs.Add(uint64(d))
+		}
+	}
+	return policy.Wait(ctx, d)
+}
+
 // attempt performs one round trip, including the per-attempt timeout.
-func (b *Binding) attempt(ctx context.Context, m *wire.Message) (*wire.Message, error) {
-	if b.cfg.CallTimeout > 0 {
+func (b *Binding) attempt(ctx context.Context, m *wire.Message, timeout time.Duration) (*wire.Message, error) {
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, b.cfg.CallTimeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 	var tr *mgmt.Tracer
@@ -554,26 +660,57 @@ func (b *Binding) sendOneWay(ctx context.Context, m *wire.Message) error {
 	if err != nil {
 		return err
 	}
+	pol := b.cfg.Policy
+	maxAttempts := b.cfg.MaxRetries + 1
+	if pol != nil {
+		maxAttempts = pol.Attempts()
+		if pol.Budget > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = pol.WithBudget(ctx)
+			defer cancel()
+		}
+	}
 	// The frame is resent across retries; recycle it once the loop exits.
 	defer wire.PutFrame(frame)
 	for attempt := 0; ; attempt++ {
+		ep := b.Ref().Endpoint
+		br := b.breakerFor(ep)
+		if br != nil {
+			if ok, _ := br.Allow(); !ok {
+				return fmt.Errorf("%w: endpoint %s", policy.ErrCircuitOpen, ep)
+			}
+		}
 		sess, err := b.session(ctx)
 		if err == nil {
 			if err = sess.send(frame); err == nil {
+				if br != nil {
+					br.Record(true)
+				}
 				return nil
 			}
 			sess.kill(false)
 			err = fmt.Errorf("%w: %v", ErrDisconnected, err)
 		} else if errors.Is(err, ErrClosed) {
+			if br != nil {
+				br.Record(true) // local close, not endpoint health
+			}
 			return err
+		}
+		if br != nil {
+			br.Record(!errors.Is(err, ErrDisconnected))
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		if attempt >= b.cfg.MaxRetries {
+		if attempt+1 >= maxAttempts {
 			return err
 		}
 		b.retries.Add(1)
+		if pol != nil {
+			if werr := b.backoff(ctx, pol, attempt+1); werr != nil {
+				return werr
+			}
+		}
 		if b.refreshLocation() {
 			b.relocations.Add(1)
 		}

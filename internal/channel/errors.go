@@ -27,6 +27,11 @@ var (
 	ErrDisconnected = errors.New("channel: connection lost")
 	ErrBadReply     = errors.New("channel: malformed reply")
 	ErrTypeCheck    = errors.New("channel: interaction violates interface type")
+	// ErrAttemptTimeout marks one attempt of an interrogation exceeding its
+	// per-attempt bound while the call as a whole still had budget left, so
+	// the retry loop may try again. The wrapped error carries the endpoint
+	// and attempt index; match with errors.Is.
+	ErrAttemptTimeout = errors.New("channel: attempt timed out")
 )
 
 // Infrastructure error codes carried in ErrReply frames. These are channel

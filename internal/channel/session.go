@@ -2,6 +2,7 @@ package channel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/mgmt"
 	"repro/internal/naming"
 	"repro/internal/netsim"
+	"repro/internal/policy"
 	"repro/internal/wire"
 )
 
@@ -55,7 +57,8 @@ type SessionManager struct {
 	probesSent      atomic.Uint64
 	probesCoalesced atomic.Uint64
 
-	insp atomic.Pointer[mgmt.SessionInstruments]
+	insp     atomic.Pointer[mgmt.SessionInstruments]
+	breakers atomic.Pointer[policy.BreakerSet]
 }
 
 // sessionEntry is the manager's per-endpoint slot: the binding reference
@@ -78,6 +81,19 @@ func NewSessionManager(t netsim.Transport) *SessionManager {
 // Instrument attaches (or, with nil, detaches) management instrumentation.
 func (m *SessionManager) Instrument(ins *mgmt.SessionInstruments) {
 	m.insp.Store(ins)
+}
+
+// SetBreakers shares a circuit-breaker set across every binding
+// multiplexed over this manager: all bindings to one endpoint consult
+// one breaker, so a node death opens the circuit once for everyone and
+// a single half-open probe re-closes it. Nil detaches (no breakers).
+func (m *SessionManager) SetBreakers(bs *policy.BreakerSet) {
+	m.breakers.Store(bs)
+}
+
+// Breakers returns the attached breaker set, or nil.
+func (m *SessionManager) Breakers() *policy.BreakerSet {
+	return m.breakers.Load()
 }
 
 // Stats returns a snapshot of the manager's counters.
@@ -212,7 +228,10 @@ func (m *SessionManager) session(ctx context.Context, ep naming.Endpoint) (*Sess
 		if err != nil {
 			m.mu.Unlock()
 			close(latch)
-			return nil, fmt.Errorf("%w: dial %s: %v", ErrDisconnected, ep, err)
+			// Both sentinels stay visible to errors.Is: ErrDisconnected for
+			// the channel layer, and the transport's cause (ErrNoSuchHost,
+			// ErrBacklogFull, …) for the error taxonomy.
+			return nil, fmt.Errorf("%w: dial %s: %w", ErrDisconnected, ep, err)
 		}
 		s := newSession(m, ep, conn)
 		e.sess = s
@@ -443,7 +462,7 @@ func (s *Session) probeShared(ctx context.Context, b *Binding) error {
 				// the shared result says nothing about liveness; retry as
 				// the new owner.
 				if f.err != nil && ctx.Err() == nil &&
-					(f.err == context.Canceled || f.err == context.DeadlineExceeded) {
+					(errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
 					continue
 				}
 				return f.err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/policy"
 	"repro/internal/values"
 )
 
@@ -20,6 +21,12 @@ type FailoverGroup struct {
 	// its first invocation; a typical hook recovers the primary's last
 	// checkpoint into the backup (coordination.RecoverCluster).
 	OnPromote func(name string) error
+	// Policy, when set, paces the fail-over loop: its budget bounds the
+	// whole invocation (all promotions included), its backoff separates
+	// consecutive attempts, and a non-zero MaxAttempts caps how many
+	// members are tried. Set before first use; nil keeps the legacy
+	// immediate, unbounded cascade.
+	Policy *policy.RetryPolicy
 
 	mu         sync.Mutex
 	members    []member
@@ -75,6 +82,13 @@ func (g *FailoverGroup) Promotions() uint64 {
 // demotion and promotion (the others observe the new primary and retry),
 // so promotions stay race-free.
 func (g *FailoverGroup) Invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	pol := g.Policy
+	if pol != nil && pol.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = pol.WithBudget(ctx)
+		defer cancel()
+	}
+	attempt := 0
 	for {
 		g.mu.Lock()
 		if len(g.members) == 0 {
@@ -89,6 +103,10 @@ func (g *FailoverGroup) Invoke(ctx context.Context, op string, args []values.Val
 		}
 		if ctx.Err() != nil {
 			return "", nil, ctx.Err()
+		}
+		attempt++
+		if pol != nil && pol.MaxAttempts > 0 && attempt >= pol.Attempts() {
+			return "", nil, err
 		}
 		// Primary is gone: drop it and promote the next member — unless a
 		// concurrent caller already did (then just retry the new primary).
@@ -111,6 +129,13 @@ func (g *FailoverGroup) Invoke(ctx context.Context, op string, args []values.Val
 			}
 		}
 		g.mu.Unlock()
+		if pol != nil {
+			// Pace the retry against the freshly promoted member; the
+			// promotion itself was immediate and local.
+			if werr := policy.Wait(ctx, pol.Backoff(attempt)); werr != nil {
+				return "", nil, werr
+			}
+		}
 	}
 }
 

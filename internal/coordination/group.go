@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mgmt"
+	"repro/internal/policy"
 	"repro/internal/values"
 )
 
@@ -32,10 +33,42 @@ const maxFanout = 16
 
 // GroupStats counts replica-group activity.
 type GroupStats struct {
-	Updates     uint64
-	Reads       uint64
-	Failovers   uint64 // members skipped or dropped after failure
-	Divergences uint64 // update replies that disagreed across replicas
+	Updates       uint64
+	Reads         uint64
+	Failovers     uint64 // members skipped or dropped after failure
+	Divergences   uint64 // update replies that disagreed across replicas
+	SkippedLegs   uint64 // update legs not attempted because a member's circuit was open
+	DegradedReads uint64 // reads served with the staleness flag set
+}
+
+// MemberPolicy is the group's failure policy: per-member circuit breakers
+// (keyed by member name, typically shared with other groups through one
+// BreakerSet) and what to do with members that fail.
+type MemberPolicy struct {
+	// Breakers gates each member: an update skips members whose breaker is
+	// open instead of burning a timeout on them, and the member's half-open
+	// probe is re-admitted through OnRejoin.
+	Breakers *policy.BreakerSet
+	// Retain keeps failed members in the group (recorded against their
+	// breaker) instead of dropping and closing them — the mode that lets a
+	// crashed replica rejoin after restart. Without breakers, retained dead
+	// members are retried on every update, so Retain normally rides with
+	// Breakers.
+	Retain bool
+	// OnRejoin, when set, runs before a member whose breaker grants its
+	// half-open probe participates in an update again — the hook where the
+	// returning replica's state is caught up (checkpoint recovery, state
+	// transfer). A non-nil error counts as a failed probe: the breaker
+	// re-opens and the member sits out this update.
+	OnRejoin func(ctx context.Context, name string, inv Invoker) error
+}
+
+// ReadMeta describes how a degraded-capable read was served.
+type ReadMeta struct {
+	Member    string // replica that answered
+	Stale     bool   // answer may lag: members were skipped/failed, or quorum is gone
+	Skipped   int    // members passed over because their circuit was open
+	Failovers int    // members that failed before one answered
 }
 
 // ReplicaGroup realises replication transparency (Section 9): it
@@ -77,12 +110,23 @@ type ReplicaGroup struct {
 	seqCond *sync.Cond
 	serving uint64 // ticket currently admitted to fan out
 
-	updates     atomic.Uint64
-	reads       atomic.Uint64
-	failovers   atomic.Uint64
-	divergences atomic.Uint64
+	peak int // largest membership ever seen; the quorum baseline
+
+	updates       atomic.Uint64
+	reads         atomic.Uint64
+	failovers     atomic.Uint64
+	divergences   atomic.Uint64
+	skippedLegs   atomic.Uint64
+	degradedReads atomic.Uint64
 
 	insp atomic.Pointer[mgmt.GroupInstruments]
+	mpol atomic.Pointer[MemberPolicy]
+}
+
+// SetMemberPolicy attaches (nil detaches) the group's failure policy.
+// Safe to call at any time; updates snapshot it per invocation.
+func (g *ReplicaGroup) SetMemberPolicy(mp *MemberPolicy) {
+	g.mpol.Store(mp)
 }
 
 // Instrument attaches management instruments to the group (update spans,
@@ -114,6 +158,9 @@ func (g *ReplicaGroup) Add(name string, inv Invoker) error {
 		}
 	}
 	g.members = append(g.members, member{name: name, inv: inv})
+	if len(g.members) > g.peak {
+		g.peak = len(g.members)
+	}
 	return nil
 }
 
@@ -242,22 +289,68 @@ func (g *ReplicaGroup) Invoke(ctx context.Context, op string, args []values.Valu
 	}
 	g.seqMu.Unlock()
 
-	replies := fanout(uctx, tr, snap, op, args)
+	// Inside the sequence slot: gate each member on its breaker. Members
+	// whose circuit is open sit the update out (a skipped leg, not a
+	// failure); a member granted its half-open probe is first caught up by
+	// OnRejoin, so it re-enters having seen every update before this one.
+	mp := g.mpol.Load()
+	legs := snap
+	var brs []*policy.Breaker
+	skipped := 0
+	if mp != nil && mp.Breakers != nil {
+		legs = make([]member, 0, len(snap))
+		brs = make([]*policy.Breaker, 0, len(snap))
+		for _, m := range snap {
+			br := mp.Breakers.For(m.name)
+			ok, probe := br.Allow()
+			if !ok {
+				skipped++
+				continue
+			}
+			if probe && mp.OnRejoin != nil {
+				if rerr := mp.OnRejoin(uctx, m.name, m.inv); rerr != nil {
+					br.Record(false)
+					skipped++
+					continue
+				}
+			}
+			legs = append(legs, m)
+			brs = append(brs, br)
+		}
+	}
+	var replies []reply
+	if len(legs) > 0 {
+		replies = fanout(uctx, tr, legs, op, args)
+	}
 
 	g.seqMu.Lock()
 	g.serving++
 	g.seqMu.Unlock()
 	g.seqCond.Broadcast()
 
+	for i := range brs {
+		brs[i].Record(replies[i].err == nil)
+	}
+	if skipped > 0 {
+		g.skippedLegs.Add(uint64(skipped))
+	}
+	if len(legs) == 0 {
+		err := fmt.Errorf("%w: all %d replicas of the group", policy.ErrCircuitOpen, len(snap))
+		usp.Fail(err)
+		endUpdate(ins, usp)
+		return "", nil, err
+	}
+
 	// Post-processing is local: detect divergence on the collected set,
-	// then drop the replicas that failed.
+	// then drop the replicas that failed (unless the policy retains them
+	// for a later rejoin).
 	var first *reply
 	var failed []member
 	diverged := false
 	for i := range replies {
 		r := &replies[i]
 		if r.err != nil {
-			failed = append(failed, snap[i])
+			failed = append(failed, legs[i])
 			continue
 		}
 		if first == nil {
@@ -280,9 +373,11 @@ func (g *ReplicaGroup) Invoke(ctx context.Context, op string, args []values.Valu
 		if ins != nil {
 			ins.Failovers.Add(uint64(len(failed)))
 		}
-		g.drop(failed)
-		for _, m := range failed {
-			_ = m.inv.Close()
+		if mp == nil || !mp.Retain {
+			g.drop(failed)
+			for _, m := range failed {
+				_ = m.inv.Close()
+			}
 		}
 	}
 	if first == nil {
@@ -337,32 +432,108 @@ func (g *ReplicaGroup) drop(failed []member) {
 }
 
 // InvokeRead sends a read-only operation to one replica, rotating across
-// members and failing over (and dropping) dead ones. The group lock is
-// held only to pick the replica, never across the network call, so
-// readers proceed in parallel with each other and with in-flight updates.
+// members and failing over (and, without a retaining member policy,
+// dropping) dead ones. The group lock is held only to pick the replica,
+// never across the network call, so readers proceed in parallel with
+// each other and with in-flight updates.
 func (g *ReplicaGroup) InvokeRead(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	term, res, _, err := g.InvokeReadMeta(ctx, op, args)
+	return term, res, err
+}
+
+// InvokeReadMeta is InvokeRead plus the degraded-read metadata of failure
+// transparency's weak mode: when replicas are partitioned away or
+// circuit-open, the read is still served from a surviving replica, but
+// the answer is flagged Stale — it may predate updates the unreachable
+// majority could have seen. One full rotation over the membership
+// snapshot bounds the attempt count.
+func (g *ReplicaGroup) InvokeReadMeta(ctx context.Context, op string, args []values.Value) (string, []values.Value, ReadMeta, error) {
 	g.reads.Add(1)
-	for {
-		g.mu.Lock()
-		if len(g.members) == 0 {
-			g.mu.Unlock()
-			return "", nil, ErrEmptyGroup
-		}
-		idx := g.next % len(g.members)
-		m := g.members[idx]
-		g.next = (idx + 1) % len(g.members)
+	var meta ReadMeta
+	mp := g.mpol.Load()
+
+	g.mu.Lock()
+	if len(g.members) == 0 {
 		g.mu.Unlock()
-		term, res, err := m.inv.Invoke(ctx, op, args)
-		if err == nil {
-			return term, res, nil
+		return "", nil, meta, ErrEmptyGroup
+	}
+	snap := make([]member, len(g.members))
+	copy(snap, g.members)
+	start := g.next % len(snap)
+	g.next = (start + 1) % len(snap)
+	peak := g.peak
+	g.mu.Unlock()
+
+	var lastErr error
+	for k := 0; k < len(snap); k++ {
+		m := snap[(start+k)%len(snap)]
+		var br *policy.Breaker
+		if mp != nil && mp.Breakers != nil {
+			br = mp.Breakers.For(m.name)
+			ok, probe := br.Allow()
+			if !ok {
+				meta.Skipped++
+				lastErr = fmt.Errorf("%w: replica %s", policy.ErrCircuitOpen, m.name)
+				continue
+			}
+			if probe && mp.OnRejoin != nil {
+				// Re-admitting this member is the update path's job: only
+				// there does OnRejoin replay missed state inside the update
+				// sequence. A read that closed the breaker here would let a
+				// stale replica rejoin the fan-out and diverge. Hand the
+				// probe token back and read from a survivor instead.
+				br.ReturnProbe()
+				meta.Skipped++
+				lastErr = fmt.Errorf("%w: replica %s awaiting rejoin", policy.ErrCircuitOpen, m.name)
+				continue
+			}
 		}
+		term, res, err := m.inv.Invoke(ctx, op, args)
+		if br != nil {
+			br.Record(err == nil)
+		}
+		if err == nil {
+			meta.Member = m.name
+			// Stale when the rotation had to pass over dead or circuit-open
+			// members, or when the survivors no longer form a majority of
+			// the group's peak membership — either way updates may exist
+			// that this replica has not seen.
+			live := len(snap) - meta.Skipped - meta.Failovers
+			meta.Stale = meta.Skipped+meta.Failovers > 0 || live*2 <= peak
+			if meta.Stale {
+				g.degradedReads.Add(1)
+				if ins := g.insp.Load(); ins != nil {
+					if ins.DegradedReads != nil {
+						ins.DegradedReads.Inc()
+					}
+					if ins.Tracer != nil {
+						// The staleness flag in the trace: a zero-length
+						// marker span under the read's context.
+						_, sp := ins.Tracer.Start(ctx, "replica.read.stale:"+m.name)
+						sp.End()
+					}
+				}
+			}
+			return term, res, meta, nil
+		}
+		meta.Failovers++
 		g.failovers.Add(1)
 		if ins := g.insp.Load(); ins != nil {
 			ins.Failovers.Inc()
 		}
-		g.drop([]member{m})
-		_ = m.inv.Close()
+		lastErr = err
+		if ctx.Err() != nil {
+			return "", nil, meta, ctx.Err()
+		}
+		if mp == nil || !mp.Retain {
+			g.drop([]member{m})
+			_ = m.inv.Close()
+		}
 	}
+	if lastErr == nil {
+		lastErr = ErrEmptyGroup
+	}
+	return "", nil, meta, lastErr
 }
 
 // Close releases every member channel.
@@ -383,9 +554,11 @@ func (g *ReplicaGroup) Close() error {
 // Stats returns a snapshot of group counters.
 func (g *ReplicaGroup) Stats() GroupStats {
 	return GroupStats{
-		Updates:     g.updates.Load(),
-		Reads:       g.reads.Load(),
-		Failovers:   g.failovers.Load(),
-		Divergences: g.divergences.Load(),
+		Updates:       g.updates.Load(),
+		Reads:         g.reads.Load(),
+		Failovers:     g.failovers.Load(),
+		Divergences:   g.divergences.Load(),
+		SkippedLegs:   g.skippedLegs.Load(),
+		DegradedReads: g.degradedReads.Load(),
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/naming"
 	"repro/internal/netsim"
 	"repro/internal/odp"
+	"repro/internal/policy"
 	"repro/internal/transactions"
 	"repro/internal/transparency"
 	"repro/internal/types"
@@ -133,6 +134,9 @@ func E9TracedTransfer() ([]mgmt.Span, string, error) {
 	system := odp.NewSystem(77)
 	defer system.Close()
 	m := system.EnableManagement()
+	// Breakers on: the client host's set reports under policy.client.*,
+	// so the demo's dump shows breaker state beside the trace.
+	system.EnableBreakers(policy.BreakerConfig{})
 
 	var tellers, managers []naming.InterfaceRef
 	for _, host := range []string{"replica-a", "replica-b"} {
@@ -194,7 +198,22 @@ func E9TracedTransfer() ([]mgmt.Span, string, error) {
 	for _, s := range m.Tracer.Spans() {
 		if strings.HasPrefix(s.Name, "replica.update:Deposit") {
 			spans := m.Tracer.Trace(s.Trace)
-			return spans, mgmt.RenderTrace(spans), nil
+			text := mgmt.RenderTrace(spans)
+			// Append the failure-policy metrics (all healthy here, so the
+			// breaker gauges read zero — the live view odpstat serves).
+			var pb strings.Builder
+			for _, line := range strings.Split(m.Registry.Dump(), "\n") {
+				// Dump lines read "counter   <name> <value>"; keep the
+				// policy.* family.
+				if f := strings.Fields(line); len(f) >= 2 && strings.HasPrefix(f[1], "policy.") {
+					pb.WriteString(line)
+					pb.WriteByte('\n')
+				}
+			}
+			if pb.Len() > 0 {
+				text += "\n== policy ==\n" + pb.String()
+			}
+			return spans, text, nil
 		}
 	}
 	return nil, "", fmt.Errorf("deposit trace not retained")

@@ -62,6 +62,7 @@ type GroupInstruments struct {
 
 	Updates       *Counter
 	Failovers     *Counter
+	DegradedReads *Counter   // reads served with the staleness flag set
 	UpdateLatency *Histogram // full fan-out latency, ns
 }
 
@@ -80,6 +81,20 @@ type TraderInstruments struct {
 	Imports       *Counter
 	Matched       *Counter
 	ImportLatency *Histogram // import latency, ns
+}
+
+// PolicyInstruments instrument the failure-policy layer: circuit-breaker
+// state transitions and retry/backoff activity. One bundle is shared by
+// every breaker in a BreakerSet and by the bindings applying a
+// RetryPolicy, so odpstat shows breaker state and retry pressure live.
+type PolicyInstruments struct {
+	BreakerOpens  *Counter // transitions into the open state
+	BreakerCloses *Counter // successful half-open probes re-closing a breaker
+	BreakersOpen  *Gauge   // breakers currently open
+	Probes        *Counter // half-open probes admitted
+	Rejected      *Counter // calls refused while a breaker was open
+	Retries       *Counter // policy-paced retries performed
+	BackoffNs     *Counter // total nanoseconds slept in retry backoff
 }
 
 // NetInstruments instrument a transport/network: frame-level counters.
@@ -201,6 +216,7 @@ func (m *Management) Group(name string) *GroupInstruments {
 		Tracer:        m.Tracer,
 		Updates:       m.Registry.Counter(p + "updates"),
 		Failovers:     m.Registry.Counter(p + "failovers"),
+		DegradedReads: m.Registry.Counter(p + "degraded_reads"),
 		UpdateLatency: m.Registry.Histogram(p + "update_latency_ns"),
 	}
 }
@@ -230,6 +246,29 @@ func (m *Management) TraderInstr(name string) *TraderInstruments {
 		Imports:       m.Registry.Counter(p + "imports"),
 		Matched:       m.Registry.Counter(p + "matched"),
 		ImportLatency: m.Registry.Histogram(p + "import_latency_ns"),
+	}
+}
+
+// Policy resolves a failure-policy bundle. Metrics land under
+// policy.<name>.* — or directly under policy.* when name is empty — so
+// the breaker counters the chaos experiment watches are
+// policy.breaker.open and policy.retry.backoff_ns.
+func (m *Management) Policy(name string) *PolicyInstruments {
+	if m == nil {
+		return nil
+	}
+	p := "policy."
+	if name != "" {
+		p += name + "."
+	}
+	return &PolicyInstruments{
+		BreakerOpens:  m.Registry.Counter(p + "breaker.open"),
+		BreakerCloses: m.Registry.Counter(p + "breaker.close"),
+		BreakersOpen:  m.Registry.Gauge(p + "breaker.open_now"),
+		Probes:        m.Registry.Counter(p + "breaker.probes"),
+		Rejected:      m.Registry.Counter(p + "breaker.rejected"),
+		Retries:       m.Registry.Counter(p + "retry.attempts"),
+		BackoffNs:     m.Registry.Counter(p + "retry.backoff_ns"),
 	}
 }
 

@@ -1,0 +1,205 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func chaosScript() Script {
+	return Script{
+		{At: 10 * time.Millisecond, Fault: Fault{Kind: FaultCrash, A: "*"}},
+		{At: 20 * time.Millisecond, Fault: Fault{Kind: FaultPartition, A: "n1", B: "n2"}},
+		{At: 30 * time.Millisecond, Fault: Fault{Kind: FaultLink, A: "n1", B: "n3",
+			Profile: LinkProfile{Latency: 5 * time.Millisecond}}},
+		{At: 40 * time.Millisecond, Fault: Fault{Kind: FaultRestart, A: "*"}},
+		{At: 50 * time.Millisecond, Fault: Fault{Kind: FaultHeal, A: "n1", B: "n2"}},
+		{At: 50 * time.Millisecond, Fault: Fault{Kind: FaultLinkClear, A: "n1", B: "n3"}},
+		{At: 60 * time.Millisecond, Fault: Fault{Kind: FaultCrash, A: "*"}},
+	}
+}
+
+// TestChaosDeterminism: same seed + same script ⇒ byte-identical event
+// timeline, including every wildcard host pick.
+func TestChaosDeterminism(t *testing.T) {
+	run := func() string {
+		c := NewChaos(New(1), ChaosConfig{
+			Hosts: []string{"n1", "n2", "n3", "n4"},
+			Seed:  42,
+		}, chaosScript())
+		// Step the clock in uneven increments; only the fault offsets
+		// should matter.
+		for _, at := range []time.Duration{5 * time.Millisecond, 33 * time.Millisecond, time.Second} {
+			c.Advance(at)
+		}
+		if !c.Done() {
+			t.Fatal("script not exhausted")
+		}
+		return c.Timeline()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("timelines differ:\n%s\nvs\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty timeline")
+	}
+	// A different seed picks different wildcard hosts (with 4 hosts and 3
+	// wildcard faults, collision of the whole log is vanishingly unlikely).
+	c := NewChaos(New(1), ChaosConfig{Hosts: []string{"n1", "n2", "n3", "n4"}, Seed: 1234}, chaosScript())
+	c.Advance(time.Second)
+	if c.Timeline() == a {
+		t.Fatal("different seed produced an identical timeline")
+	}
+}
+
+// TestChaosWildcardRestartMatchesCrash: a "*" restart revives the host
+// the preceding "*" crash killed.
+func TestChaosWildcardRestartMatchesCrash(t *testing.T) {
+	var crashed, restarted []string
+	c := NewChaos(New(1), ChaosConfig{
+		Hosts:   []string{"a", "b", "c"},
+		Seed:    7,
+		Crash:   func(h string) error { crashed = append(crashed, h); return nil },
+		Restart: func(h string) error { restarted = append(restarted, h); return nil },
+	}, Script{
+		{At: 0, Fault: Fault{Kind: FaultCrash, A: "*"}},
+		{At: time.Millisecond, Fault: Fault{Kind: FaultRestart, A: "*"}},
+	})
+	c.Advance(time.Second)
+	if len(crashed) != 1 || len(restarted) != 1 || crashed[0] != restarted[0] {
+		t.Fatalf("crash=%v restart=%v, want matched pair", crashed, restarted)
+	}
+}
+
+// TestCrashHostSeversAndFreesAddress: a crash closes the listener and
+// the host's established connections, and the address is immediately
+// reusable; closing the stale listener handle afterwards must not tear
+// down the new listener.
+func TestCrashHostSeversAndFreesAddress(t *testing.T) {
+	n := New(1)
+	old, err := n.Listen("sim://server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := old.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	conn, err := n.Dial(context.Background(), "sim://server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-accepted
+
+	n.CrashHost("server")
+	if _, err := conn.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv on severed conn = %v, want ErrClosed", err)
+	}
+	if err := conn.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send on severed conn = %v, want ErrClosed", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	if _, err := n.Dial(ctx, "sim://server"); !errors.Is(err, ErrNoSuchHost) {
+		t.Fatalf("dial to crashed host = %v, want ErrNoSuchHost", err)
+	}
+	cancel()
+
+	// Restart: the address is free again.
+	fresh, err := n.Listen("sim://server")
+	if err != nil {
+		t.Fatalf("re-listen after crash: %v", err)
+	}
+	// A stale Close of the pre-crash handle must not evict the fresh one.
+	old.Close()
+	go func() {
+		c, err := fresh.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	c2, err := n.Dial(ctx2, "sim://server")
+	if err != nil {
+		t.Fatalf("dial after restart: %v", err)
+	}
+	c2.Close()
+	fresh.Close()
+	if _, err := n.Listen("sim://server"); err != nil {
+		t.Fatalf("listen after full teardown: %v", err)
+	}
+}
+
+// TestDelayedConnNoGoroutineLeak: closing a connection whose link has a
+// latency profile releases its delivery goroutine even mid-sleep.
+func TestDelayedConnNoGoroutineLeak(t *testing.T) {
+	n := New(1)
+	n.SetLink("client", "server", LinkProfile{Latency: 10 * time.Second})
+	l, err := n.Listen("sim://server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_ = c
+		}
+	}()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		conn, err := n.Dial(context.Background(), "sim://server")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Force the delayed path to spin up its delivery goroutine, then
+		// close with the 10s sleep still pending.
+		if err := conn.Send([]byte("stuck")); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before=%d after=%d; delivery loops leaked", before, runtime.NumGoroutine())
+}
+
+// TestChaosRealTimeRun: the wall-clock driver applies the script and
+// Stop is safe both mid-run and after exhaustion.
+func TestChaosRealTimeRun(t *testing.T) {
+	n := New(1)
+	c := NewChaos(n, ChaosConfig{}, Script{
+		{At: 5 * time.Millisecond, Fault: Fault{Kind: FaultPartition, A: "x", B: "y"}},
+		{At: 15 * time.Millisecond, Fault: Fault{Kind: FaultHeal, A: "x", B: "y"}},
+	})
+	c.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for !c.Done() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	if !c.Done() {
+		t.Fatalf("script incomplete: %s", c.Timeline())
+	}
+	if n.partitioned("x", "y") {
+		t.Fatal("partition not healed")
+	}
+	evs := c.Events()
+	if len(evs) != 2 || evs[0].Kind != FaultPartition || evs[1].Kind != FaultHeal {
+		t.Fatalf("events = %v", evs)
+	}
+}

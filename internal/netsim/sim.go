@@ -49,6 +49,7 @@ type Network struct {
 	listeners  map[string]*simListener
 	links      map[[2]string]LinkProfile
 	partitions map[[2]string]bool
+	conns      map[*simConn]struct{} // client ends of established connections
 	defaultLP  LinkProfile
 	backlog    int // accept backlog per listener; 0 means defaultBacklog
 
@@ -102,6 +103,7 @@ func New(seed int64) *Network {
 		listeners:  make(map[string]*simListener),
 		links:      make(map[[2]string]LinkProfile),
 		partitions: make(map[[2]string]bool),
+		conns:      make(map[*simConn]struct{}),
 	}
 }
 
@@ -141,6 +143,45 @@ func (n *Network) SetLink(a, b string, p LinkProfile) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.links[[2]string{a, b}] = p
+}
+
+// ClearLink removes any explicit profile between hosts a and b (both
+// directions), restoring the network-wide default. Chaos scripts use it to
+// end a latency spike or bandwidth squeeze.
+func (n *Network) ClearLink(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.links, [2]string{a, b})
+	delete(n.links, [2]string{b, a})
+}
+
+// CrashHost fails a node at the transport level: its listener (if any) is
+// closed — subsequent dials fail with ErrNoSuchHost — and every
+// established connection with an end at the host is severed, exactly as a
+// process crash drops its sockets. The host's link profiles and
+// partitions are untouched; a restarted process simply listens again.
+func (n *Network) CrashHost(host string) {
+	n.mu.Lock()
+	l := n.listeners[host]
+	var victims []*simConn
+	for c := range n.conns {
+		if c.local.Address() == host || c.remote.Address() == host {
+			victims = append(victims, c)
+		}
+	}
+	n.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+func (n *Network) untrack(c *simConn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
 }
 
 // Partition blocks all traffic between hosts a and b (both directions).
@@ -258,7 +299,7 @@ func (n *Network) DialFrom(ctx context.Context, fromHost string, ep naming.Endpo
 	client.peer, server.peer = server, client
 	select {
 	case l.backlog <- server:
-		return client, nil
+		return n.track(client), nil
 	case <-l.done:
 		return nil, ErrClosed
 	case <-ctx.Done():
@@ -271,7 +312,7 @@ func (n *Network) DialFrom(ctx context.Context, fromHost string, ep naming.Endpo
 	defer grace.Stop()
 	select {
 	case l.backlog <- server:
-		return client, nil
+		return n.track(client), nil
 	case <-l.done:
 		return nil, ErrClosed
 	case <-ctx.Done():
@@ -279,6 +320,15 @@ func (n *Network) DialFrom(ctx context.Context, fromHost string, ep naming.Endpo
 	case <-grace.C:
 		return nil, fmt.Errorf("%w: %s", ErrBacklogFull, ep)
 	}
+}
+
+// track registers the client end of an established connection so
+// CrashHost can sever it; Close untracks.
+func (n *Network) track(c *simConn) *simConn {
+	n.mu.Lock()
+	n.conns[c] = struct{}{}
+	n.mu.Unlock()
+	return c
 }
 
 type hostError struct{ host string }
@@ -309,7 +359,12 @@ func (l *simListener) Close() error {
 	l.once.Do(func() {
 		close(l.done)
 		l.net.mu.Lock()
-		delete(l.net.listeners, l.ep.Address())
+		// Only deregister if the slot still holds this listener: after a
+		// crash/restart cycle the address may belong to a fresh listener,
+		// which a stale handle's Close must not tear down.
+		if l.net.listeners[l.ep.Address()] == l {
+			delete(l.net.listeners, l.ep.Address())
+		}
 		l.net.mu.Unlock()
 	})
 	return nil
@@ -331,6 +386,7 @@ type simConn struct {
 	queue  [][]byte
 	notify chan struct{} // capacity 1: wake one waiting Recv
 	closed bool
+	done   chan struct{} // closed with the conn; stops the delivery goroutine
 
 	sendQ    chan []byte // delayed-path queue, created lazily
 	sendOnce sync.Once
@@ -342,6 +398,7 @@ func newSimConn(n *Network, local, remote naming.Endpoint) *simConn {
 		local:  local,
 		remote: remote,
 		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
 	}
 }
 
@@ -433,12 +490,42 @@ func parseDelayHeader(b []byte) (time.Duration, []byte) {
 }
 
 func (c *simConn) deliveryLoop() {
-	for env := range c.sendQ {
-		delay, frame := parseDelayHeader(env)
-		if delay > 0 {
-			time.Sleep(delay)
+	for {
+		var held bool
+		select {
+		case env := <-c.sendQ:
+			delay, frame := parseDelayHeader(env)
+			if delay > 0 {
+				// Interruptible sleep: a closed conn must release this
+				// goroutine even mid-latency-spike, or every flapped link
+				// leaks one.
+				t := time.NewTimer(delay)
+				select {
+				case <-t.C:
+				case <-c.done:
+					t.Stop()
+					held = true
+				}
+			}
+			if !held {
+				c.peer.deliver(frame)
+				continue
+			}
+		case <-c.done:
 		}
-		c.peer.deliver(frame)
+		// Conn closed: the held frame and anything still queued will never
+		// arrive — count them dropped so the stats balance.
+		if held {
+			c.net.countDropped(false)
+		}
+		for {
+			select {
+			case <-c.sendQ:
+				c.net.countDropped(false)
+			default:
+				return
+			}
+		}
 	}
 }
 
@@ -505,7 +592,9 @@ func (c *simConn) closeOneSide() {
 		return
 	}
 	c.closed = true
+	close(c.done)
 	c.mu.Unlock()
+	c.net.untrack(c)
 	select {
 	case c.notify <- struct{}{}:
 	default:

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mgmt"
 	"repro/internal/naming"
 	"repro/internal/netsim"
+	"repro/internal/policy"
 	"repro/internal/relocator"
 	"repro/internal/trader"
 	"repro/internal/transparency"
@@ -56,6 +57,11 @@ type System struct {
 	// node instead of one connection per binding.
 	sessions map[string]*channel.SessionManager
 	mgmt     *mgmt.Management
+	// breakerCfg, when set by EnableBreakers, mints one shared BreakerSet
+	// per client host; defaultPol, when set by SetDefaultPolicy, is the
+	// retry policy Env hands to every binding configured afterwards.
+	breakerCfg *policy.BreakerConfig
+	defaultPol *policy.RetryPolicy
 }
 
 // EnableManagement creates the system's management domain and wires it
@@ -73,9 +79,47 @@ func (s *System) EnableManagement() *mgmt.Management {
 		s.Trader.Instrument(s.mgmt.TraderInstr("trader"))
 		for host, sm := range s.sessions {
 			sm.Instrument(s.mgmt.Sessions(host))
+			if bs := sm.Breakers(); bs != nil {
+				bs.Instrument(s.mgmt.Policy(host))
+			}
 		}
 	}
 	return s.mgmt
+}
+
+// EnableBreakers attaches one shared circuit-breaker set per client
+// host's session manager — hosts already known and any created later —
+// so every binding a host holds to a dead endpoint fails fast together,
+// and the single half-open probe that re-closes the breaker is shared
+// too. With management enabled, each set reports under policy.<host>.*
+// (breaker.open, breaker.open_now, breaker.rejected, retry.backoff_ns),
+// which is what lets odpstat show breaker state live.
+func (s *System) EnableBreakers(cfg policy.BreakerConfig) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.breakerCfg = &cfg
+	for host, sm := range s.sessions {
+		s.attachBreakersLocked(host, sm)
+	}
+}
+
+func (s *System) attachBreakersLocked(host string, sm *channel.SessionManager) {
+	if s.breakerCfg == nil || sm.Breakers() != nil {
+		return
+	}
+	bs := policy.NewBreakerSet(*s.breakerCfg)
+	bs.Instrument(s.mgmt.Policy(host))
+	sm.SetBreakers(bs)
+}
+
+// SetDefaultPolicy installs the retry policy that Env (and so Bind and
+// ImportAndBind) hands to every binding configured afterwards whose
+// contract asks for failure transparency. nil restores the legacy
+// fixed-retry semantics. Existing bindings are unaffected.
+func (s *System) SetDefaultPolicy(p *policy.RetryPolicy) {
+	s.mu.Lock()
+	s.defaultPol = p
+	s.mu.Unlock()
 }
 
 // Mgmt returns the system's management domain, nil when disabled.
@@ -115,6 +159,7 @@ func (s *System) sessionsForLocked(clientHost string) *channel.SessionManager {
 		if s.mgmt != nil {
 			sm.Instrument(s.mgmt.Sessions(clientHost))
 		}
+		s.attachBreakersLocked(clientHost, sm)
 		s.sessions[clientHost] = sm
 	}
 	return sm
@@ -271,11 +316,15 @@ func (s *System) Deploy(node *engineering.Node, tmpl core.ObjectTemplate, props 
 // Env builds the transparency environment for a client at the given
 // simulated host.
 func (s *System) Env(clientHost string) transparency.Env {
+	s.mu.Lock()
+	pol := s.defaultPol
+	s.mu.Unlock()
 	return transparency.Env{
 		Transport:   s.Net.From(clientHost),
 		Sessions:    s.SessionsFor(clientHost),
 		Locator:     s.Relocator,
 		Instruments: s.Mgmt().ChannelClient(clientHost),
+		Policy:      pol,
 	}
 }
 

@@ -1,0 +1,280 @@
+package policy
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mgmt"
+)
+
+func TestAttemptsDefaults(t *testing.T) {
+	if got := (RetryPolicy{}).Attempts(); got != 1 {
+		t.Fatalf("zero policy attempts = %d, want 1", got)
+	}
+	if got := (RetryPolicy{MaxAttempts: -3}).Attempts(); got != 1 {
+		t.Fatalf("negative attempts = %d, want 1", got)
+	}
+	if got := (RetryPolicy{MaxAttempts: 4}).Attempts(); got != 4 {
+		t.Fatalf("attempts = %d, want 4", got)
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, Multiplier: 2, MaxBackoff: 50 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 50, 50}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w*time.Millisecond {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	if got := (RetryPolicy{}).Backoff(3); got != 0 {
+		t.Errorf("zero policy backoff = %v, want 0", got)
+	}
+	// Default cap is 16×base.
+	p2 := RetryPolicy{BaseBackoff: time.Millisecond}
+	if got := p2.Backoff(30); got != 16*time.Millisecond {
+		t.Errorf("default cap backoff = %v, want 16ms", got)
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, Jitter: 0.5, Seed: 42}
+	for retry := 1; retry <= 8; retry++ {
+		a, b := p.Backoff(retry), p.Backoff(retry)
+		if a != b {
+			t.Fatalf("jittered backoff not deterministic at retry %d: %v vs %v", retry, a, b)
+		}
+		full := RetryPolicy{BaseBackoff: p.BaseBackoff}.Backoff(retry)
+		if a > full || a < full/2 {
+			t.Fatalf("retry %d: jittered %v outside [%v, %v]", retry, a, full/2, full)
+		}
+	}
+	// Different seeds disagree somewhere (decorrelated storms).
+	other := RetryPolicy{BaseBackoff: 10 * time.Millisecond, Jitter: 0.5, Seed: 43}
+	same := true
+	for retry := 1; retry <= 8; retry++ {
+		if p.Backoff(retry) != other.Backoff(retry) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two seeds produced identical jitter everywhere")
+	}
+}
+
+func TestWaitHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Wait(ctx, time.Second); err != context.Canceled {
+		t.Fatalf("Wait on dead ctx = %v, want Canceled", err)
+	}
+	start := time.Now()
+	if err := Wait(context.Background(), 5*time.Millisecond); err != nil {
+		t.Fatalf("Wait = %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("Wait returned early")
+	}
+}
+
+func TestWithBudget(t *testing.T) {
+	ctx, cancel := (RetryPolicy{}).WithBudget(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("zero budget should not set a deadline")
+	}
+	ctx2, cancel2 := (RetryPolicy{Budget: time.Minute}).WithBudget(context.Background())
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); !ok {
+		t.Fatal("budget should set a deadline")
+	}
+}
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	cfg.Clock = clk.Now
+	return NewBreaker(cfg), clk
+}
+
+func TestBreakerConsecutiveFailuresOpen(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{ConsecutiveFailures: 3, OpenFor: time.Second})
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatal("closed breaker refused")
+		}
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker allowed a call before OpenFor")
+	}
+	if st := b.Stats(); st.Opens != 1 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want Opens=1 Rejected=1", st)
+	}
+	// Cooling off: exactly one probe is admitted.
+	clk.Advance(time.Second)
+	ok1, probe1 := b.Allow()
+	ok2, _ := b.Allow()
+	if !ok1 || !probe1 {
+		t.Fatalf("first caller after OpenFor: ok=%v probe=%v, want probe", ok1, probe1)
+	}
+	if ok2 {
+		t.Fatal("second caller admitted while probe in flight")
+	}
+	// Probe fails: re-open, full cooling-off again.
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("re-opened breaker allowed a call immediately")
+	}
+	// Probe succeeds: close.
+	clk.Advance(time.Second)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("no probe admitted after second cooling-off")
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if ok, probe := b.Allow(); !ok || probe {
+		t.Fatal("closed breaker should allow without probing")
+	}
+}
+
+func TestBreakerFailureRateWindow(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{
+		MinSamples: 10, FailureRate: 0.5, ConsecutiveFailures: -1, Window: time.Minute,
+	})
+	// 5 successes + 4 failures: 9 samples, below MinSamples.
+	for i := 0; i < 5; i++ {
+		b.Record(true)
+	}
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Fatalf("below MinSamples tripped: %v", b.State())
+	}
+	// 10th sample takes the rate to 5/10 = 0.5 ≥ 0.5: trip.
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("rate 0.5 did not trip: %v", b.State())
+	}
+}
+
+func TestBreakerWindowExpiry(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{
+		MinSamples: 4, FailureRate: 0.5, ConsecutiveFailures: -1, Window: 10 * time.Second,
+	})
+	b.Record(false)
+	b.Record(false)
+	// A full window later those failures have aged out entirely.
+	clk.Advance(11 * time.Second)
+	b.Record(true)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false) // window: 2 ok, 2 fail → rate 0.5 over 4 ≥ MinSamples… trips
+	if b.State() != Open {
+		t.Fatalf("fresh-window rate should trip: %v", b.State())
+	}
+}
+
+func TestBreakerSetSharing(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{ConsecutiveFailures: 1})
+	a1, a2 := s.For("sim://a"), s.For("sim://a")
+	if a1 != a2 {
+		t.Fatal("same key minted two breakers")
+	}
+	if s.For("sim://b") == a1 {
+		t.Fatal("distinct keys share a breaker")
+	}
+	a1.Record(false)
+	if got := s.For("sim://a").State(); got != Open {
+		t.Fatalf("shared breaker state = %v, want open", got)
+	}
+	if s.Peek("sim://c") != nil {
+		t.Fatal("Peek minted a breaker")
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap["sim://a"].Opens != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestBreakerInstrumentation(t *testing.T) {
+	m := mgmt.New()
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	s := NewBreakerSet(BreakerConfig{ConsecutiveFailures: 1, OpenFor: time.Second, Clock: clk.Now})
+	s.Instrument(m.Policy("t"))
+	br := s.For("x")
+	br.Record(false) // open
+	if ok, _ := br.Allow(); ok {
+		t.Fatal("open breaker allowed before OpenFor")
+	}
+	clk.Advance(time.Second)
+	ok, probe := br.Allow()
+	if !ok || !probe {
+		t.Fatalf("expected probe admission, got ok=%v probe=%v", ok, probe)
+	}
+	br.Record(true) // close
+	if got := m.Registry.Counter("policy.t.breaker.open").Load(); got != 1 {
+		t.Fatalf("breaker.open counter = %d, want 1", got)
+	}
+	if got := m.Registry.Counter("policy.t.breaker.close").Load(); got != 1 {
+		t.Fatalf("breaker.close counter = %d, want 1", got)
+	}
+	if got := m.Registry.Gauge("policy.t.breaker.open_now").Load(); got != 0 {
+		t.Fatalf("breaker.open_now gauge = %d, want 0", got)
+	}
+}
+
+func TestBreakerConcurrency(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{ConsecutiveFailures: 3, OpenFor: time.Microsecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				br := s.For("ep")
+				if ok, _ := br.Allow(); ok {
+					br.Record(i%3 == 0)
+				}
+				br.State()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.For("ep").Stats()
+	if st.Successes+st.Failures+st.Rejected == 0 {
+		t.Fatal("no outcomes recorded")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/mgmt"
 	"repro/internal/naming"
+	"repro/internal/policy"
 	"repro/internal/typerepo"
 	"repro/internal/values"
 )
@@ -97,12 +98,27 @@ type Importer interface {
 
 // Stats counts trading activity.
 type Stats struct {
-	Exports    uint64
-	Withdraws  uint64
-	Imports    uint64
-	Matched    uint64
-	Federated  uint64 // imports forwarded to linked traders
-	Considered uint64 // offers examined during matching
+	Exports      uint64
+	Withdraws    uint64
+	Imports      uint64
+	Matched      uint64
+	Federated    uint64 // imports forwarded to linked traders
+	Considered   uint64 // offers examined during matching
+	LinksSkipped uint64 // federation links passed over with an open circuit
+	LinksFailed  uint64 // federation links that answered an import with an error
+}
+
+// ImportResult is an import's answer plus its degradation metadata: when
+// federation links were skipped (open circuit) or failed, the offers are
+// still the best available but the view is partial.
+type ImportResult struct {
+	Offers []Offer
+	// Degraded is set when at least one federation link did not
+	// contribute: its offers may be missing from the result.
+	Degraded     bool
+	LinksQueried int // links consulted this import
+	LinksSkipped int // links passed over because their circuit was open
+	LinksFailed  int // links that returned an error
 }
 
 // entry is one stored offer plus its export sequence number, which
@@ -134,14 +150,17 @@ type Trader struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	exports atomic.Uint64
-	withdrs atomic.Uint64
-	imports atomic.Uint64
-	matched atomic.Uint64
-	feder   atomic.Uint64
-	consid  atomic.Uint64
+	exports      atomic.Uint64
+	withdrs      atomic.Uint64
+	imports      atomic.Uint64
+	matched      atomic.Uint64
+	feder        atomic.Uint64
+	consid       atomic.Uint64
+	linksSkipped atomic.Uint64
+	linksFailed  atomic.Uint64
 
-	insp atomic.Pointer[mgmt.TraderInstruments]
+	insp     atomic.Pointer[mgmt.TraderInstruments]
+	breakers atomic.Pointer[policy.BreakerSet]
 }
 
 // Instrument mirrors the trader's import activity into a management
@@ -298,31 +317,48 @@ func (t *Trader) Links() []string {
 	return out
 }
 
+// SetLinkBreakers attaches (nil detaches) a circuit-breaker set over the
+// federation links, keyed by link name: imports skip links whose breaker
+// is open instead of waiting out their failure, returning a partial
+// result marked Degraded. Sharing one set across traders makes a dead
+// partner trip once for the whole federation client.
+func (t *Trader) SetLinkBreakers(bs *policy.BreakerSet) {
+	t.breakers.Store(bs)
+}
+
 // Import finds offers matching the request: correct (sub)type, constraint
 // satisfied, ordered by the preference, truncated to MaxMatches, searching
 // linked traders up to MaxHops away. Federation links are queried
 // concurrently, so a federated import costs the slowest link, not the sum
-// of all links.
+// of all links. Degradation metadata is discarded; use ImportEx to see it.
 func (t *Trader) Import(req ImportRequest) ([]Offer, error) {
+	res, err := t.ImportEx(req)
+	return res.Offers, err
+}
+
+// ImportEx is Import plus degradation metadata: which federation links
+// were consulted, skipped on an open circuit, or failed, and whether the
+// result is therefore partial.
+func (t *Trader) ImportEx(req ImportRequest) (ImportResult, error) {
 	if req.ServiceType == "" {
-		return nil, fmt.Errorf("%w: empty service type", ErrBadRequest)
+		return ImportResult{}, fmt.Errorf("%w: empty service type", ErrBadRequest)
 	}
 	if req.MaxMatches < 0 || req.MaxHops < 0 {
-		return nil, fmt.Errorf("%w: negative bounds", ErrBadRequest)
+		return ImportResult{}, fmt.Errorf("%w: negative bounds", ErrBadRequest)
 	}
 	expr, err := constraint.Parse(req.Constraint)
 	if err != nil {
-		return nil, err
+		return ImportResult{}, err
 	}
 	var prefExpr *constraint.Expr
 	if req.Preference.Kind == PrefMax || req.Preference.Kind == PrefMin {
 		prefExpr, err = constraint.Parse(req.Preference.Expr)
 		if err != nil {
-			return nil, err
+			return ImportResult{}, err
 		}
 	}
 	if _, err := t.types.LookupInterface(req.ServiceType); err != nil {
-		return nil, fmt.Errorf("%w: %q", ErrTypeUnknown, req.ServiceType)
+		return ImportResult{}, fmt.Errorf("%w: %q", ErrTypeUnknown, req.ServiceType)
 	}
 
 	t.imports.Add(1)
@@ -335,8 +371,9 @@ func (t *Trader) Import(req ImportRequest) ([]Offer, error) {
 
 	matches, err := t.localMatches(req.ServiceType, expr)
 	if err != nil {
-		return nil, err
+		return ImportResult{}, err
 	}
+	var res ImportResult
 
 	// Federation: propagate with a decremented hop budget — concurrently
 	// across links — and merge at the origin, deduplicating by offer id
@@ -359,7 +396,24 @@ func (t *Trader) Import(req ImportRequest) ([]Offer, error) {
 			sub.MaxMatches = 0 // collect everything; order and truncate at the origin
 			sub.Preference = Preference{}
 			t.feder.Add(uint64(len(linked)))
-			remote := t.queryLinks(linked, sub)
+			remote, errs := t.queryLinks(names, linked, sub)
+			res.LinksQueried = len(linked)
+			for _, lerr := range errs {
+				switch {
+				case lerr == nil:
+				case errors.Is(lerr, policy.ErrCircuitOpen):
+					res.LinksSkipped++
+				default:
+					res.LinksFailed++
+				}
+			}
+			if res.LinksSkipped > 0 {
+				t.linksSkipped.Add(uint64(res.LinksSkipped))
+			}
+			if res.LinksFailed > 0 {
+				t.linksFailed.Add(uint64(res.LinksFailed))
+			}
+			res.Degraded = res.LinksSkipped+res.LinksFailed > 0
 			seen := make(map[string]bool, len(matches))
 			for _, o := range matches {
 				seen[o.ID] = true
@@ -376,7 +430,7 @@ func (t *Trader) Import(req ImportRequest) ([]Offer, error) {
 	}
 
 	if err := t.orderMatches(matches, req.Preference, prefExpr); err != nil {
-		return nil, err
+		return ImportResult{}, err
 	}
 	if req.MaxMatches > 0 && len(matches) > req.MaxMatches {
 		matches = matches[:req.MaxMatches]
@@ -386,18 +440,37 @@ func (t *Trader) Import(req ImportRequest) ([]Offer, error) {
 		ins.Matched.Add(uint64(len(matches)))
 		ins.ImportLatency.ObserveDuration(time.Since(start))
 	}
-	return matches, nil
+	res.Offers = matches
+	return res, nil
 }
 
 // queryLinks imports from every linked trader concurrently (bounded at
-// maxLinkFanout goroutines) and returns the per-link results,
+// maxLinkFanout goroutines) and returns the per-link results and errors,
 // index-aligned with linked. A dead federation partner must not fail the
-// import, so errors simply leave a nil batch.
-func (t *Trader) queryLinks(linked []Importer, sub ImportRequest) [][]Offer {
+// import: its error is reported for the degradation metadata, its batch
+// stays nil, and its circuit breaker (when attached) records the outcome
+// so the next import skips it without waiting.
+func (t *Trader) queryLinks(names []string, linked []Importer, sub ImportRequest) ([][]Offer, []error) {
 	results := make([][]Offer, len(linked))
+	errs := make([]error, len(linked))
+	bs := t.breakers.Load()
+	queryOne := func(i int) {
+		var br *policy.Breaker
+		if bs != nil {
+			br = bs.For(names[i])
+			if ok, _ := br.Allow(); !ok {
+				errs[i] = fmt.Errorf("%w: federation link %s", policy.ErrCircuitOpen, names[i])
+				return
+			}
+		}
+		results[i], errs[i] = linked[i].Import(sub)
+		if br != nil {
+			br.Record(errs[i] == nil)
+		}
+	}
 	if len(linked) == 1 {
-		results[0], _ = linked[0].Import(sub)
-		return results
+		queryOne(0)
+		return results, errs
 	}
 	workers := len(linked)
 	if workers > maxLinkFanout {
@@ -410,7 +483,7 @@ func (t *Trader) queryLinks(linked []Importer, sub ImportRequest) [][]Offer {
 			if i >= len(linked) {
 				return
 			}
-			results[i], _ = linked[i].Import(sub)
+			queryOne(i)
 		}
 	}
 	// The calling goroutine is one of the workers, so a fan-out of width w
@@ -425,7 +498,7 @@ func (t *Trader) queryLinks(linked []Importer, sub ImportRequest) [][]Offer {
 	}
 	work()
 	wg.Wait()
-	return results
+	return results, errs
 }
 
 // candidateTypes returns the bucket types whose offers can satisfy an
@@ -571,11 +644,13 @@ func (t *Trader) orderMatches(matches []Offer, pref Preference, prefExpr *constr
 // Stats returns a snapshot of trading counters.
 func (t *Trader) Stats() Stats {
 	return Stats{
-		Exports:    t.exports.Load(),
-		Withdraws:  t.withdrs.Load(),
-		Imports:    t.imports.Load(),
-		Matched:    t.matched.Load(),
-		Federated:  t.feder.Load(),
-		Considered: t.consid.Load(),
+		Exports:      t.exports.Load(),
+		Withdraws:    t.withdrs.Load(),
+		Imports:      t.imports.Load(),
+		Matched:      t.matched.Load(),
+		Federated:    t.feder.Load(),
+		Considered:   t.consid.Load(),
+		LinksSkipped: t.linksSkipped.Load(),
+		LinksFailed:  t.linksFailed.Load(),
 	}
 }

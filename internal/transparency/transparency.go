@@ -37,6 +37,7 @@ import (
 	"repro/internal/mgmt"
 	"repro/internal/naming"
 	"repro/internal/netsim"
+	"repro/internal/policy"
 	"repro/internal/security"
 	"repro/internal/transactions"
 	"repro/internal/types"
@@ -75,6 +76,14 @@ type Env struct {
 	// Instruments enables management instrumentation of bindings created
 	// under this environment (tracing, metrics, QoS). Optional.
 	Instruments *mgmt.ChannelClientInstruments
+	// Policy, when set, is the recovery policy applied to every binding
+	// created under this environment whose contract asks for failure
+	// transparency: seeded exponential backoff between retries and one
+	// deadline budget shared by all attempts, instead of the legacy
+	// immediate retries with a fresh CallTimeout each. An engineering
+	// choice, not part of the computational contract, so it lives on the
+	// environment. Optional; nil keeps the legacy semantics.
+	Policy *policy.RetryPolicy
 }
 
 // Mechanism names the engineering mechanism realising a transparency, for
@@ -137,13 +146,26 @@ func ClientConfig(contract core.Contract, env Env) (channel.BindConfig, error) {
 		cfg.Locator = env.Locator
 	}
 
-	// Failure transparency: retries with a per-attempt bound.
+	// Failure transparency: retries with a per-attempt bound. The legacy
+	// MaxRetries/CallTimeout pair is always derived (callers inspect it);
+	// when the environment carries a recovery policy, the policy governs
+	// and the pair is only its fallback documentation.
 	if req.Has(core.Failure) {
 		cfg.MaxRetries = contract.EffectiveRetries()
 		if contract.MaxLatency > 0 {
 			cfg.CallTimeout = contract.MaxLatency
 		} else {
 			cfg.CallTimeout = 2 * time.Second
+		}
+		if env.Policy != nil {
+			p := *env.Policy
+			if p.MaxAttempts == 0 {
+				p.MaxAttempts = cfg.MaxRetries + 1
+			}
+			if p.AttemptTimeout == 0 {
+				p.AttemptTimeout = cfg.CallTimeout
+			}
+			cfg.Policy = &p
 		}
 	} else if contract.MaxLatency > 0 {
 		cfg.CallTimeout = contract.MaxLatency

@@ -24,7 +24,14 @@ go build ./...
 echo "== race detector (hot-path and fan-out packages) =="
 go test -race ./internal/wire/ ./internal/channel/ ./internal/netsim/ \
 	./internal/transactions/ ./internal/coordination/ ./internal/trader/ \
-	./internal/mgmt/ ./internal/relocator/
+	./internal/mgmt/ ./internal/relocator/ ./internal/policy/
+
+echo "== E11 chaos smoke (policy-on availability + recovery + no leaked goroutines) =="
+# A short chaos run under the race detector: TestE11ChaosSmoke asserts
+# >=99% availability after the faults heal, a measured time-to-recover,
+# breakers actually opening, a traced degraded read, and that the run
+# winds down without leaking goroutines.
+go test -race -run 'TestE11' ./internal/experiments/
 
 echo "== benchmark smoke + alloc budget (E2 bank invocation) =="
 # The session-layer refactor must keep the single-binding hot path
