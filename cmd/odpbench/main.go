@@ -9,11 +9,15 @@
 //	odpbench -iters N   # samples per scenario (default 2000)
 //	odpbench -only e10  # just the session-multiplexing table (CI smoke)
 //	odpbench -only e11 -dur 10s  # the chaos experiment, policy on vs off
+//	odpbench -only e12  # pipelining/batching grid, sim + loopback TCP
+//	odpbench -only e12smoke -json  # the CI cell (tcp, 64x8) as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -23,9 +27,16 @@ import (
 
 func main() {
 	iters := flag.Int("iters", 2000, "samples per scenario")
-	only := flag.String("only", "", "run only the named section (supported: e10, e11)")
+	only := flag.String("only", "", "run only the named section (supported: e10, e11, e12, e12smoke)")
 	dur := flag.Duration("dur", 6*time.Second, "per-mode wall-clock duration of the e11 chaos run")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables (e12/e12smoke only)")
 	flag.Parse()
+
+	if *only == "e12" || *only == "e12smoke" {
+		// JSON mode keeps stdout clean for the CI gate's parser.
+		runE12(*only == "e12smoke", *asJSON, *iters)
+		return
+	}
 
 	fmt.Println("RM-ODP reproduction — experiment tables (see EXPERIMENTS.md)")
 	fmt.Println()
@@ -102,6 +113,58 @@ func main() {
 
 	runE10(*iters)
 	runE11(*dur)
+	runE12(false, false, *iters)
+}
+
+// runE12 prints (or, for the CI gate, emits as JSON) the pipelining and
+// frame-batching grid: invocation throughput and latency for batched vs
+// unbatched data planes across bindings × in-flight, on the simulated
+// network and on real loopback TCP. smoke restricts the grid to the CI
+// cell (tcp, 64 bindings × 8 in-flight) plus the single-call latency
+// cell (tcp, 1×1) that guards against batching taxing the idle path.
+func runE12(smoke, asJSON bool, iters int) {
+	type sweep struct {
+		transport          string
+		bindings, inflight []int
+	}
+	budget := iters * 4 // per-cell invocation budget
+	if budget < 2000 {
+		budget = 2000
+	}
+	sweeps := []sweep{
+		{"sim", []int{1, 64, 256}, []int{1, 8, 64}},
+		{"tcp", []int{1, 64, 256}, []int{1, 8, 64}},
+	}
+	if smoke {
+		sweeps = []sweep{{"tcp", []int{1, 64}, []int{1, 8}}}
+	}
+	var rows []experiments.E12PipelineRow
+	for _, sw := range sweeps {
+		r, err := experiments.E12Pipeline(sw.transport, sw.bindings, sw.inflight, budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "e12 %s: %v\n", sw.transport, err)
+			os.Exit(1)
+		}
+		rows = append(rows, r...)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintf(os.Stderr, "e12 encode: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	section("E12 Invocation pipelining + adaptive frame batching: throughput vs data plane")
+	fmt.Printf("  %-28s %10s %12s %10s %10s\n",
+		"transport/mode/n×k", "calls", "calls/sec", "p50", "p99")
+	for _, r := range rows {
+		fmt.Printf("  %-28s %10d %12.0f %10v %10v\n",
+			fmt.Sprintf("%s/%s/n=%d k=%d", r.Transport, r.Mode, r.Bindings, r.InFlight),
+			r.Calls, r.Throughput, r.P50, r.P99)
+	}
+	fmt.Println()
 }
 
 // runE11 prints the chaos table: the same replicated bank workload under

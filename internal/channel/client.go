@@ -79,6 +79,17 @@ type BindConfig struct {
 	Policy *policy.RetryPolicy
 	// MaxRelocations bounds location refreshes per invocation (default 3).
 	MaxRelocations int
+	// MaxInFlight bounds the interrogations this binding may have
+	// outstanding at once. Zero means unlimited — a binding pipelines any
+	// number of concurrent Invokes onto its session. With a bound, an
+	// Invoke beyond it either queues for a slot (the default, honouring the
+	// caller's context) or fails fast with ErrTooManyInFlight when FailFast
+	// is set.
+	MaxInFlight int
+	// FailFast makes an Invoke beyond MaxInFlight return
+	// ErrTooManyInFlight immediately instead of waiting for a slot.
+	// Ignored when MaxInFlight is zero.
+	FailFast bool
 	// Instruments enables management instrumentation of this channel end:
 	// stub/binder/transport spans, invocation metrics and the optional QoS
 	// monitor. Nil disables it at the cost of a nil check per invocation.
@@ -93,6 +104,10 @@ type BindingStats struct {
 	// Reconnects counts session changes observed by this binding: the
 	// first session it joins, plus one per shared-session failover.
 	Reconnects uint64
+	// OneWayQueued counts announcements, flow elements and signals this
+	// binding handed to the session's batched send queue (each is still
+	// flushed before the call returns, so send errors stay observable).
+	OneWayQueued uint64
 	// LastProbe is when the binding's current session last completed a
 	// liveness probe (zero if never, or if the session is gone). Probes
 	// are coalesced per session, so this may have been paid for by a
@@ -117,10 +132,15 @@ type Binding struct {
 	nextCorrel atomic.Uint64
 	nextSeq    atomic.Uint64
 
-	invocations atomic.Uint64
-	retries     atomic.Uint64
-	relocations atomic.Uint64
-	reconnects  atomic.Uint64
+	// inflight is the MaxInFlight semaphore (nil when unbounded): one
+	// buffered slot per permitted outstanding interrogation.
+	inflight chan struct{}
+
+	invocations  atomic.Uint64
+	retries      atomic.Uint64
+	relocations  atomic.Uint64
+	reconnects   atomic.Uint64
+	oneWayQueued atomic.Uint64
 
 	mu         sync.Mutex
 	ref        naming.InterfaceRef
@@ -151,6 +171,9 @@ func Bind(ref naming.InterfaceRef, cfg BindConfig) (*Binding, error) {
 		bindingID: newBindingID(),
 		ref:       ref,
 	}
+	if cfg.MaxInFlight > 0 {
+		b.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
 	if cfg.Sessions != nil {
 		b.sessions = cfg.Sessions
 	} else {
@@ -175,10 +198,11 @@ func (b *Binding) Sessions() *SessionManager { return b.sessions }
 // Stats returns a snapshot of the binding's counters.
 func (b *Binding) Stats() BindingStats {
 	st := BindingStats{
-		Invocations: b.invocations.Load(),
-		Retries:     b.retries.Load(),
-		Relocations: b.relocations.Load(),
-		Reconnects:  b.reconnects.Load(),
+		Invocations:  b.invocations.Load(),
+		Retries:      b.retries.Load(),
+		Relocations:  b.relocations.Load(),
+		Reconnects:   b.reconnects.Load(),
+		OneWayQueued: b.oneWayQueued.Load(),
 	}
 	b.mu.Lock()
 	attached, ep := b.attached, b.attachedEP
@@ -222,6 +246,23 @@ func (b *Binding) Close() error {
 func (b *Binding) Invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
 	if err := b.typeCheckCall(op, args, false); err != nil {
 		return "", nil, err
+	}
+	if b.inflight != nil {
+		// The in-flight cap covers the whole interrogation, retries
+		// included, so a retry storm cannot exceed the pipelining bound.
+		select {
+		case b.inflight <- struct{}{}:
+		default:
+			if b.cfg.FailFast {
+				return "", nil, fmt.Errorf("%w: binding cap %d", ErrTooManyInFlight, b.cfg.MaxInFlight)
+			}
+			select {
+			case b.inflight <- struct{}{}:
+			case <-ctx.Done():
+				return "", nil, ctx.Err()
+			}
+		}
+		defer func() { <-b.inflight }()
 	}
 	b.invocations.Add(1)
 	ins := b.cfg.Instruments
@@ -377,16 +418,16 @@ func (b *Binding) Announce(ctx context.Context, op string, args []values.Value) 
 	}
 	b.invocations.Add(1)
 	ref := b.Ref()
-	return b.sendOneWay(ctx, &wire.Message{
-		Kind:        wire.OneWay,
-		BindingID:   b.bindingID,
-		Seq:         b.nextSeq.Add(1),
-		Correlation: b.nextCorrel.Add(1),
-		Target:      ref.ID,
-		Epoch:       ref.Epoch,
-		Operation:   op,
-		Args:        args,
-	})
+	m := wire.GetMessage()
+	m.Kind = wire.OneWay
+	m.BindingID = b.bindingID
+	m.Seq = b.nextSeq.Add(1)
+	m.Correlation = b.nextCorrel.Add(1)
+	m.Target = ref.ID
+	m.Epoch = ref.Epoch
+	m.Operation = op
+	m.Args = args
+	return b.sendOneWay(ctx, m)
 }
 
 // Flow emits one element of a stream-interface flow (producer side).
@@ -401,16 +442,16 @@ func (b *Binding) Flow(ctx context.Context, flow string, elem values.Value) erro
 		}
 	}
 	ref := b.Ref()
-	return b.sendOneWay(ctx, &wire.Message{
-		Kind:        wire.FlowMsg,
-		BindingID:   b.bindingID,
-		Seq:         b.nextSeq.Add(1),
-		Correlation: b.nextCorrel.Add(1),
-		Target:      ref.ID,
-		Epoch:       ref.Epoch,
-		Operation:   flow,
-		Args:        []values.Value{elem},
-	})
+	m := wire.GetMessage()
+	m.Kind = wire.FlowMsg
+	m.BindingID = b.bindingID
+	m.Seq = b.nextSeq.Add(1)
+	m.Correlation = b.nextCorrel.Add(1)
+	m.Target = ref.ID
+	m.Epoch = ref.Epoch
+	m.Operation = flow
+	m.Args = []values.Value{elem}
+	return b.sendOneWay(ctx, m)
 }
 
 // Signal emits one signal-interface primitive.
@@ -430,16 +471,16 @@ func (b *Binding) Signal(ctx context.Context, name string, args []values.Value) 
 		}
 	}
 	ref := b.Ref()
-	return b.sendOneWay(ctx, &wire.Message{
-		Kind:        wire.SignalMsg,
-		BindingID:   b.bindingID,
-		Seq:         b.nextSeq.Add(1),
-		Correlation: b.nextCorrel.Add(1),
-		Target:      ref.ID,
-		Epoch:       ref.Epoch,
-		Operation:   name,
-		Args:        args,
-	})
+	m := wire.GetMessage()
+	m.Kind = wire.SignalMsg
+	m.BindingID = b.bindingID
+	m.Seq = b.nextSeq.Add(1)
+	m.Correlation = b.nextCorrel.Add(1)
+	m.Target = ref.ID
+	m.Epoch = ref.Epoch
+	m.Operation = name
+	m.Args = args
+	return b.sendOneWay(ctx, m)
 }
 
 // Probe checks end-to-end liveness of the channel. Probes are coalesced
@@ -616,34 +657,36 @@ func (b *Binding) attempt(ctx context.Context, m *wire.Message, timeout time.Dur
 		tsp.End()
 		return nil, err
 	}
-	defer sess.unregister(b.bindingID, m.Correlation)
 
-	err = sess.send(frame)
-	// Send does not keep a reference past return (transports copy or write
-	// synchronously), so the frame can be recycled either way.
-	wire.PutFrame(frame)
-	if err != nil {
-		// A failed send means the shared connection is broken for every
-		// binding on it; kill the session so they all fail over together.
-		sess.kill(false)
-		err = fmt.Errorf("%w: %v", ErrDisconnected, err)
+	// send takes ownership of the frame: on the batched plane it is queued
+	// to the session's sender goroutine (coalescing with every concurrent
+	// attempt on this session into one vectored write) and recycled after
+	// the write. A send failure has already killed the session, so every
+	// binding sharing it fails over together.
+	if err := sess.send(frame); err != nil {
+		sess.abandon(b.bindingID, m.Correlation, ch)
 		tsp.Fail(err)
 		tsp.End()
 		return nil, err
 	}
 	select {
-	case reply, ok := <-ch:
-		if !ok {
+	case reply := <-ch:
+		release(ch)
+		if reply == nil {
+			// Death notification: the session's read loop failed every
+			// pending interrogation at once.
 			tsp.Fail(ErrDisconnected)
 			tsp.End()
 			return nil, ErrDisconnected
 		}
 		tsp.End()
 		if err := runStages(b.cfg.Stages, Inbound, reply); err != nil {
+			wire.PutMessage(reply)
 			return nil, err
 		}
 		return reply, nil
 	case <-ctx.Done():
+		sess.abandon(b.bindingID, m.Correlation, ch)
 		tsp.Fail(ctx.Err())
 		tsp.End()
 		return nil, ctx.Err()
@@ -652,14 +695,25 @@ func (b *Binding) attempt(ctx context.Context, m *wire.Message, timeout time.Dur
 
 // sendOneWay transmits a message without expecting any reply, applying
 // failure-transparency retries for transport-level send errors only.
+// One-ways ride the session's batched queue like calls do — concurrent
+// announcements coalesce into one vectored write — but each is flushed
+// before returning (group commit), so a send that can never depart still
+// surfaces its error and engages the retry loop instead of vanishing.
+// The caller must not touch m afterwards: it is recycled here.
 func (b *Binding) sendOneWay(ctx context.Context, m *wire.Message) error {
-	if err := runStages(b.cfg.Stages, Outbound, m); err != nil {
+	err := runStages(b.cfg.Stages, Outbound, m)
+	if err != nil {
+		wire.PutMessage(m)
 		return err
 	}
-	frame, err := m.EncodeAppend(wire.GetFrame(m.SizeHint()), b.cfg.Codec)
+	// Encode once; the encoded bytes are copied into a fresh pooled frame
+	// per attempt because each send consumes its frame.
+	encoded, err := m.EncodeAppend(wire.GetFrame(m.SizeHint()), b.cfg.Codec)
+	wire.PutMessage(m)
 	if err != nil {
 		return err
 	}
+	defer wire.PutFrame(encoded)
 	pol := b.cfg.Policy
 	maxAttempts := b.cfg.MaxRetries + 1
 	if pol != nil {
@@ -670,8 +724,6 @@ func (b *Binding) sendOneWay(ctx context.Context, m *wire.Message) error {
 			defer cancel()
 		}
 	}
-	// The frame is resent across retries; recycle it once the loop exits.
-	defer wire.PutFrame(frame)
 	for attempt := 0; ; attempt++ {
 		ep := b.Ref().Endpoint
 		br := b.breakerFor(ep)
@@ -682,14 +734,19 @@ func (b *Binding) sendOneWay(ctx context.Context, m *wire.Message) error {
 		}
 		sess, err := b.session(ctx)
 		if err == nil {
-			if err = sess.send(frame); err == nil {
+			frame := append(wire.GetFrame(len(encoded)), encoded...)
+			if err = sess.send(frame); err == nil { // send owns frame
+				b.oneWayQueued.Add(1)
+				err = sess.flushSends()
+			}
+			if err == nil {
 				if br != nil {
 					br.Record(true)
 				}
 				return nil
 			}
-			sess.kill(false)
-			err = fmt.Errorf("%w: %v", ErrDisconnected, err)
+			// send/flush already killed the session and wrapped the error
+			// in ErrDisconnected; fall through to the retry decision.
 		} else if errors.Is(err, ErrClosed) {
 			if br != nil {
 				br.Record(true) // local close, not endpoint health

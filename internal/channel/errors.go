@@ -34,6 +34,23 @@ var (
 	ErrAttemptTimeout = errors.New("channel: attempt timed out")
 )
 
+// ErrSessionClosing reports that a frame was handed to a session whose send
+// path had already begun shutting down, so the frame was never written.
+// Before the batched sender existed this window was a silent drop: Send on
+// a mid-close connection could return nil for a frame that would never
+// depart. The sentinel wraps ErrDisconnected so every existing
+// errors.Is(err, ErrDisconnected) retry/relocation policy treats it as the
+// retriable connection loss it is, while errors.Is(err, ErrSessionClosing)
+// still distinguishes the local-race case from a broken wire.
+var ErrSessionClosing = fmt.Errorf("%w: session closing, frame not sent", ErrDisconnected)
+
+// ErrTooManyInFlight reports that an Invoke was refused because the binding
+// already had BindConfig.MaxInFlight interrogations outstanding and the
+// binding is configured to fail fast rather than queue. It is not a
+// connection failure — errors.Is(err, ErrDisconnected) is false — so retry
+// policies do not burn attempts on it.
+var ErrTooManyInFlight = errors.New("channel: too many in-flight invocations")
+
 // Infrastructure error codes carried in ErrReply frames. These are channel
 // failures, distinct from application terminations (which are ordinary
 // Reply frames with a termination name from the interface type).

@@ -66,6 +66,18 @@ type ServerConfig struct {
 	// on the connection's read loop, so every message is still handled
 	// and backpressure reaches the transport naturally.
 	Workers int
+	// Unbatched disables the per-connection reply writer: replies go
+	// straight to the connection, one write per frame. The batched writer
+	// is the default — concurrent handlers answering calls from one
+	// session coalesce their replies into vectored writes, mirroring the
+	// client's batched send path. This switch is the measured baseline for
+	// E12 and an escape hatch.
+	Unbatched bool
+	// SendQueueBytes and MaxBatchBytes bound the per-connection reply
+	// writer exactly as SessionConfig bounds the client's (zero = same
+	// defaults).
+	SendQueueBytes int
+	MaxBatchBytes  int
 	// Instruments enables management instrumentation of this channel end:
 	// dispatch spans (parented under the caller's trace extension, when
 	// present) and dispatch metrics. Nil disables it.
@@ -228,15 +240,17 @@ func (s *Server) Close() error {
 
 // task is one unit of servant work for the worker pool: a call (conn set)
 // or an announcement (conn nil). A plain struct rather than a closure so
-// dispatching allocates nothing.
+// dispatching allocates nothing. q is the connection's reply writer (nil
+// when the server runs unbatched).
 type task struct {
 	conn netsim.Conn
+	q    *frameQueue
 	m    *wire.Message
 }
 
 func (s *Server) runTask(t task) {
 	if t.conn != nil {
-		s.handleCall(t.conn, t.m)
+		s.handleCall(replyDest{conn: t.conn, q: t.q}, t.m)
 	} else {
 		s.handleOneWay(t.m)
 	}
@@ -287,6 +301,23 @@ func (s *Server) serveConn(conn netsim.Conn) {
 		ins.SessionsTotal.Inc()
 		ins.SessionsOpen.Add(1)
 	}
+	// The connection's reply writer: worker-pool handlers answering calls
+	// from this session enqueue here, so concurrent replies coalesce into
+	// vectored writes exactly as the client's concurrent calls did on the
+	// way in.
+	dest := replyDest{conn: conn}
+	if !s.cfg.Unbatched {
+		var bi batchInstruments
+		if ins := s.cfg.Instruments; ins != nil {
+			bi = batchInstruments{
+				framesPerWrite: ins.ReplyFramesPerWrite,
+				batchBytes:     ins.ReplyBatchBytes,
+				queueDepth:     ins.ReplyQueueDepth,
+			}
+		}
+		dest.q = newFrameQueue(conn, s.cfg.SendQueueBytes, s.cfg.MaxBatchBytes, bi,
+			func(error) { conn.Close() }) // a dead writer wakes the read loop
+	}
 	// The conn is one inbound session: the distinct binding ids seen on it
 	// are its multiplexed bindings. Only this read loop touches the set.
 	bindings := make(map[uint64]struct{})
@@ -294,6 +325,11 @@ func (s *Server) serveConn(conn netsim.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		if dest.q != nil {
+			// Drain accepted replies (handlers still running will see
+			// ErrSessionClosing and drop theirs, as a dead conn always did).
+			dest.q.close()
+		}
 		conn.Close()
 		if ins := s.cfg.Instruments; ins != nil {
 			ins.SessionsOpen.Add(-1)
@@ -322,7 +358,7 @@ func (s *Server) serveConn(conn netsim.Conn) {
 		if err := runStages(s.cfg.Stages, Inbound, m); err != nil {
 			s.errCount.Add(1)
 			if m.Kind == wire.Call {
-				s.sendErr(conn, m, stageCode(err), err.Error())
+				s.sendErr(dest, m, stageCode(err), err.Error())
 			}
 			wire.PutMessage(m)
 			continue
@@ -334,7 +370,7 @@ func (s *Server) serveConn(conn netsim.Conn) {
 			ack.BindingID = m.BindingID
 			ack.Correlation = m.Correlation
 			ack.Target = m.Target
-			s.reply(conn, m, ack)
+			s.reply(dest, m, ack)
 			wire.PutMessage(ack)
 			wire.PutMessage(m)
 		case wire.Call:
@@ -342,13 +378,14 @@ func (s *Server) serveConn(conn netsim.Conn) {
 			if s.cfg.ReplayGuard {
 				switch verdict, cached := s.guardCheck(m); verdict {
 				case guardReplayCached:
+					// The cached frame stays owned by the reply cache.
+					dest.put(cached, false)
 					s.replays.Add(1)
-					_ = conn.Send(cached)
 					wire.PutMessage(m)
 					continue
 				case guardReplayReject:
 					s.replays.Add(1)
-					s.sendErr(conn, m, CodeReplay, "correlation id regressed")
+					s.sendErr(dest, m, CodeReplay, "correlation id regressed")
 					wire.PutMessage(m)
 					continue
 				case guardInFlight:
@@ -357,7 +394,7 @@ func (s *Server) serveConn(conn netsim.Conn) {
 					continue // original execution will answer
 				}
 			}
-			s.dispatch(task{conn: conn, m: m})
+			s.dispatch(task{conn: conn, q: dest.q, m: m})
 		case wire.OneWay:
 			s.oneWays.Add(1)
 			s.dispatch(task{m: m})
@@ -391,21 +428,21 @@ func (s *Server) lookup(id naming.InterfaceID) (*servantEntry, bool) {
 	return e, ok
 }
 
-func (s *Server) handleCall(conn netsim.Conn, m *wire.Message) {
+func (s *Server) handleCall(dest replyDest, m *wire.Message) {
 	e, ok := s.lookup(m.Target)
 	if !ok {
-		s.sendErr(conn, m, CodeNoSuchInterface, m.Target.String())
+		s.sendErr(dest, m, CodeNoSuchInterface, m.Target.String())
 		return
 	}
 	var decl types.Operation
 	if e.typ != nil {
 		decl, ok = e.typ.Operation(m.Operation)
 		if !ok {
-			s.sendErr(conn, m, CodeNoSuchOperation, m.Operation)
+			s.sendErr(dest, m, CodeNoSuchOperation, m.Operation)
 			return
 		}
 		if err := checkArgs(decl, m.Args); err != nil {
-			s.sendErr(conn, m, CodeBadArgs, err.Error())
+			s.sendErr(dest, m, CodeBadArgs, err.Error())
 			return
 		}
 	}
@@ -432,14 +469,14 @@ func (s *Server) handleCall(conn netsim.Conn, m *wire.Message) {
 	if err != nil {
 		// Handlers may return a *StageError to control the code (e.g. an
 		// activator wrapper reporting a deactivated cluster).
-		s.sendErr(conn, m, stageCode(err), err.Error())
+		s.sendErr(dest, m, stageCode(err), err.Error())
 		return
 	}
 	if e.typ != nil && !decl.IsAnnouncement() {
 		if err := checkTermination(decl, term, results); err != nil {
 			// The servant itself violated its declared type: a server bug,
 			// reported as internal rather than leaking the bad payload.
-			s.sendErr(conn, m, CodeInternal, err.Error())
+			s.sendErr(dest, m, CodeInternal, err.Error())
 			return
 		}
 	}
@@ -451,7 +488,7 @@ func (s *Server) handleCall(conn netsim.Conn, m *wire.Message) {
 	rm.Operation = m.Operation
 	rm.Termination = term
 	rm.Args = results
-	s.reply(conn, m, rm)
+	s.reply(dest, m, rm)
 	wire.PutMessage(rm)
 }
 
@@ -547,7 +584,31 @@ func checkTermination(decl types.Operation, term string, results []values.Value)
 	return nil
 }
 
-func (s *Server) sendErr(conn netsim.Conn, req *wire.Message, code, detail string) {
+// replyDest is where one connection's outbound frames go: through the
+// connection's batched reply writer when it has one, straight to the
+// connection otherwise.
+type replyDest struct {
+	conn netsim.Conn
+	q    *frameQueue
+}
+
+// put transmits one frame, best-effort — a dead conn fails the client's
+// call by timeout, exactly as before. own marks the frame as the send
+// path's to recycle (false when the replay-guard cache retains it).
+func (d replyDest) put(frame []byte, own bool) {
+	if d.q != nil {
+		_ = d.q.enqueue(frame, own)
+		return
+	}
+	_ = d.conn.Send(frame)
+	if own {
+		// Send does not keep a reference past return, so the buffer can go
+		// back to the pool unless the replay cache holds it.
+		wire.PutFrame(frame)
+	}
+}
+
+func (s *Server) sendErr(dest replyDest, req *wire.Message, code, detail string) {
 	s.errCount.Add(1)
 	if ins := s.cfg.Instruments; ins != nil {
 		ins.Errors.Inc()
@@ -560,13 +621,13 @@ func (s *Server) sendErr(conn netsim.Conn, req *wire.Message, code, detail strin
 	rm.Operation = req.Operation
 	rm.Termination = code
 	rm.Args = []values.Value{values.Str(detail)}
-	s.reply(conn, req, rm)
+	s.reply(dest, req, rm)
 	wire.PutMessage(rm)
 }
 
 // reply runs the outbound pipeline, mirrors the request codec and sends,
 // recording the frame in the replay guard's reply cache when enabled.
-func (s *Server) reply(conn netsim.Conn, req, m *wire.Message) {
+func (s *Server) reply(dest replyDest, req, m *wire.Message) {
 	if err := runStages(s.cfg.Stages, Outbound, m); err != nil {
 		s.errCount.Add(1)
 		return
@@ -585,12 +646,7 @@ func (s *Server) reply(conn netsim.Conn, req, m *wire.Message) {
 	if s.cfg.ReplayGuard && req.Kind == wire.Call {
 		retained = s.guardStore(req, frame)
 	}
-	_ = conn.Send(frame) // a dead conn fails the client's call by timeout
-	if !retained {
-		// Send does not keep a reference past return, so the buffer can go
-		// back to the pool unless the replay cache holds it.
-		wire.PutFrame(frame)
-	}
+	dest.put(frame, !retained)
 }
 
 // ---------------------------------------------------------------------------

@@ -38,11 +38,29 @@ type SessionStats struct {
 	ProbesCoalesced uint64 // probes satisfied by one already in flight
 }
 
+// SessionConfig tunes the session data plane. The zero value is the
+// default: batched sends with the bounds from sendq.go.
+type SessionConfig struct {
+	// Unbatched disables the per-session sender goroutine: Send calls go
+	// straight to the connection, one write per frame, as before the
+	// batched path existed. It exists as the measured baseline for E12 and
+	// as an escape hatch; the batched path is the default because it is
+	// never slower once more than one frame is in flight.
+	Unbatched bool
+	// SendQueueBytes bounds the bytes queued to the sender before
+	// enqueuers block (backpressure). Zero means the default (1 MiB).
+	SendQueueBytes int
+	// MaxBatchBytes bounds one vectored write. Zero means the default
+	// (256 KiB).
+	MaxBatchBytes int
+}
+
 // SessionManager multiplexes all bindings that share one Transport onto
 // per-endpoint sessions. The zero value is not usable; use
 // NewSessionManager. All methods are safe for concurrent use.
 type SessionManager struct {
 	transport netsim.Transport
+	cfg       SessionConfig
 
 	mu      sync.Mutex
 	entries map[naming.Endpoint]*sessionEntry
@@ -69,10 +87,18 @@ type sessionEntry struct {
 	dialing chan struct{} // non-nil while a dial is in flight; closed when it resolves
 }
 
-// NewSessionManager creates a session manager dialling over t.
+// NewSessionManager creates a session manager dialling over t with the
+// default (batched) data plane.
 func NewSessionManager(t netsim.Transport) *SessionManager {
+	return NewSessionManagerWithConfig(t, SessionConfig{})
+}
+
+// NewSessionManagerWithConfig creates a session manager with an explicit
+// data-plane configuration.
+func NewSessionManagerWithConfig(t netsim.Transport, cfg SessionConfig) *SessionManager {
 	return &SessionManager{
 		transport: t,
+		cfg:       cfg,
 		entries:   make(map[naming.Endpoint]*sessionEntry),
 		fences:    make(map[naming.Endpoint]uint64),
 	}
@@ -324,11 +350,14 @@ type probeFlight struct {
 }
 
 // Session is one shared transport connection: one conn, one read loop,
-// one demux table for every binding multiplexed over it.
+// one demux table for every binding multiplexed over it, and (unless the
+// manager was configured Unbatched) one sender goroutine that drains the
+// frame queue into vectored writes.
 type Session struct {
 	mgr  *SessionManager
 	ep   naming.Endpoint
 	conn netsim.Conn
+	q    *frameQueue // nil when the data plane is unbatched
 
 	mu       sync.Mutex
 	pending  map[pendKey]chan *wire.Message
@@ -343,12 +372,25 @@ type Session struct {
 }
 
 func newSession(m *SessionManager, ep naming.Endpoint, conn netsim.Conn) *Session {
-	return &Session{
+	s := &Session{
 		mgr:     m,
 		ep:      ep,
 		conn:    conn,
 		pending: make(map[pendKey]chan *wire.Message),
 	}
+	if !m.cfg.Unbatched {
+		var bi batchInstruments
+		if ins := m.insp.Load(); ins != nil {
+			bi = batchInstruments{
+				framesPerWrite: ins.FramesPerWrite,
+				batchBytes:     ins.BatchBytes,
+				queueDepth:     ins.SendQueueDepth,
+			}
+		}
+		s.q = newFrameQueue(conn, m.cfg.SendQueueBytes, m.cfg.MaxBatchBytes, bi,
+			func(error) { s.kill(false) })
+	}
+	return s
 }
 
 func (s *Session) isClosed() bool {
@@ -357,13 +399,39 @@ func (s *Session) isClosed() bool {
 	return s.closed
 }
 
+// waiterPool recycles the one-shot reply channels of register. The
+// ownership protocol makes pooling safe: whichever party removes a key
+// from the pending map sends exactly one value on its channel (a reply,
+// or nil at session death), except the registering caller itself, which
+// on unregister-success owns a channel nothing will ever send on. release
+// drains the one possible value before pooling, so a recycled channel is
+// always empty.
+var waiterPool = sync.Pool{New: func() any { return make(chan *wire.Message, 1) }}
+
+// release drains and recycles a reply channel once its interrogation is
+// over and the caller is certain no further send can target it (its key
+// is out of the pending map).
+func release(ch chan *wire.Message) {
+	select {
+	case m := <-ch:
+		if m != nil {
+			wire.PutMessage(m)
+		}
+	default:
+	}
+	waiterPool.Put(ch)
+}
+
 // register claims the demux slot for one interrogation. The returned
-// channel receives the reply, or closes when the session dies.
+// channel receives exactly one value: the reply, or nil when the session
+// dies first. The caller must hand the channel back with release (after
+// unregistering if no value was received).
 func (s *Session) register(binding, correl uint64) (chan *wire.Message, error) {
-	ch := make(chan *wire.Message, 1)
+	ch := waiterPool.Get().(chan *wire.Message)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		waiterPool.Put(ch)
 		return nil, ErrDisconnected
 	}
 	s.pending[pendKey{binding, correl}] = ch
@@ -371,15 +439,67 @@ func (s *Session) register(binding, correl uint64) (chan *wire.Message, error) {
 	return ch, nil
 }
 
-func (s *Session) unregister(binding, correl uint64) {
+// unregister abandons an interrogation (timeout, cancellation). It
+// reports whether the slot was still claimed: true means no send will
+// ever reach the channel; false means a reply or death notification was
+// already (or is being) delivered and the caller must receive it before
+// releasing the channel.
+func (s *Session) unregister(binding, correl uint64) bool {
 	s.mu.Lock()
-	delete(s.pending, pendKey{binding, correl})
+	k := pendKey{binding, correl}
+	_, ok := s.pending[k]
+	if ok {
+		delete(s.pending, k)
+	}
 	s.mu.Unlock()
+	return ok
 }
 
-// send transmits one frame. The caller still owns the frame afterwards.
+// abandon gives up on an interrogation and reclaims its reply channel.
+// If the slot was still claimed, no send can reach the channel and it
+// pools immediately; otherwise the delivering side removed the key first,
+// so exactly one value is on its way — wait for it (the send trails the
+// map delete by at most a few instructions) so a pooled channel is always
+// empty.
+func (s *Session) abandon(binding, correl uint64, ch chan *wire.Message) {
+	if s.unregister(binding, correl) {
+		release(ch)
+		return
+	}
+	if m := <-ch; m != nil {
+		wire.PutMessage(m)
+	}
+	waiterPool.Put(ch)
+}
+
+// send transmits one frame, taking ownership of it: the buffer is
+// recycled by the send path whatever the outcome, so callers must not
+// touch it after the call. On the batched plane the frame is queued to
+// the session's sender goroutine — many bindings' frames coalesce into
+// one vectored write — and a connection failure surfaces either here (as
+// the sender's sticky error) or on the reply channel. A send failure
+// kills the session so every sibling binding fails over together.
 func (s *Session) send(frame []byte) error {
-	return s.conn.Send(frame)
+	if s.q != nil {
+		return s.q.enqueue(frame, true)
+	}
+	err := s.conn.Send(frame)
+	wire.PutFrame(frame)
+	if err != nil {
+		s.kill(false)
+		return fmt.Errorf("%w: %v", ErrDisconnected, err)
+	}
+	return nil
+}
+
+// flushSends blocks until every frame handed to send so far is on the
+// wire (one-way interactions use it for group commit: enqueue then flush
+// keeps write errors observable without a write per announcement).
+func (s *Session) flushSends() error {
+	if s.q != nil {
+		return s.q.flush()
+	}
+	return nil
 }
 
 // kill tears the session down; the read loop's exit performs the
@@ -423,6 +543,8 @@ func (s *Session) readLoop() {
 			}
 			s.mu.Unlock()
 			if ok {
+				// Removing the key made this goroutine the channel's sole
+				// sender; cap 1 means the send cannot block.
 				ch <- m
 			} else {
 				wire.PutMessage(m) // late or unsolicited; nobody will read it
@@ -437,10 +559,18 @@ func (s *Session) readLoop() {
 	s.pending = nil
 	graceful := s.graceful
 	s.mu.Unlock()
-	for _, ch := range stranded {
-		close(ch)
-	}
+	// Account the death before waking anyone: a caller that observes
+	// ErrDisconnected must also observe the death in SessionStats.
 	s.mgr.sessionDied(s, graceful)
+	// The map swap removed every key at once, making this goroutine the
+	// sole sender for each stranded channel: nil is the death notification
+	// (channels are pooled, so they are never closed).
+	for _, ch := range stranded {
+		ch <- nil
+	}
+	if s.q != nil {
+		s.q.close() // conn is dead; the sender drains by failing fast
+	}
 }
 
 // probeShared coalesces liveness probes: however many bindings probe a
@@ -516,22 +646,21 @@ func (s *Session) probeOnce(ctx context.Context, b *Binding) error {
 		wire.PutFrame(frame)
 		return err
 	}
-	defer s.unregister(b.bindingID, correl)
-	err = s.send(frame)
-	wire.PutFrame(frame)
-	if err != nil {
-		s.kill(false)
-		return fmt.Errorf("%w: %v", ErrDisconnected, err)
+	if err := s.send(frame); err != nil { // send owns the frame now
+		s.abandon(b.bindingID, correl, ch)
+		return err
 	}
 	select {
-	case reply, ok := <-ch:
-		if !ok {
+	case reply := <-ch:
+		release(ch)
+		if reply == nil {
 			return ErrDisconnected
 		}
 		err := runStages(b.cfg.Stages, Inbound, reply)
 		wire.PutMessage(reply)
 		return err
 	case <-ctx.Done():
+		s.abandon(b.bindingID, correl, ch)
 		return ctx.Err()
 	}
 }

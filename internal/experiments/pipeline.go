@@ -1,0 +1,209 @@
+// E12: invocation pipelining + adaptive frame batching. The session data
+// plane claims that once many interrogations are in flight on one shared
+// connection, the per-call cost should be dominated by the work, not the
+// writes: the per-session sender goroutine coalesces whatever its queue
+// holds into one vectored write, so syscalls per invocation fall as load
+// rises while an isolated call still departs immediately (no delay
+// timer). This experiment measures invocation throughput and latency
+// across a (bindings × in-flight-per-binding) grid, with the batched data
+// plane against the unbatched baseline (one write per frame, the
+// pre-batching shape), on both transports.
+//
+// The two transports answer different questions. Real loopback TCP is
+// where batching pays: a vectored write replaces N length-prefix +
+// payload write pairs with one writev, so the batched/unbatched ratio at
+// high concurrency is the headline number (and the CI gate). The
+// simulated transport has no vectored path and its Send is a cheap
+// in-memory enqueue, so E12/sim isolates just the pipelining change —
+// decoupling callers from the wire via the send queue — and its ratio is
+// expected to sit near 1×, not 2×.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/values"
+)
+
+// E12PipelineRow is one (transport, mode, bindings, in-flight) measurement.
+// Modes:
+//
+//	batched    the full data plane of this PR: pipelined bindings
+//	           (MaxInFlight=k) over the per-session sender goroutine.
+//	unbatched  pipelined bindings, one write per frame — isolates the
+//	           batching contribution.
+//	serial     the unpipelined baseline: the same k workers per binding
+//	           forced through MaxInFlight=1, one write per frame. This is
+//	           the pre-pipelining shape a caller saw if it serialised its
+//	           own calls per binding; the CI gate compares batched
+//	           against it.
+type E12PipelineRow struct {
+	Transport string `json:"transport"` // "sim" or "tcp"
+	Mode      string `json:"mode"`      // "batched", "unbatched" or "serial"
+	Bindings  int    `json:"bindings"`
+	InFlight  int    `json:"inflight"` // concurrent interrogations per binding
+	Calls     int    `json:"calls"`    // total invocations measured
+	// Throughput is invocations completed per second across the whole
+	// fleet (the fleet shares one connection, so this is also the
+	// per-connection rate).
+	Throughput float64       `json:"throughput"`
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
+}
+
+// E12Pipeline measures the grid bindings × inflight in both data-plane
+// modes on one transport. totalCalls is the per-cell invocation budget:
+// each cell runs ~totalCalls invocations however many workers it has, so
+// big cells do not take quadratically longer than small ones.
+func E12Pipeline(transport string, bindings, inflight []int, totalCalls int) ([]E12PipelineRow, error) {
+	if totalCalls < 1 {
+		totalCalls = 1
+	}
+	var rows []E12PipelineRow
+	for _, n := range bindings {
+		for _, k := range inflight {
+			modes := []string{"unbatched", "batched"}
+			if k > 1 {
+				// With one worker per binding "serial" measures the same
+				// thing as "unbatched"; only a multi-worker cell has a
+				// serialisation to remove.
+				modes = []string{"serial", "unbatched", "batched"}
+			}
+			for _, mode := range modes {
+				row, err := e12Cell(transport, mode, n, k, totalCalls)
+				if err != nil {
+					return rows, fmt.Errorf("e12 %s/%s n=%d k=%d: %w", transport, mode, n, k, err)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+func e12Cell(transport, mode string, n, k, totalCalls int) (E12PipelineRow, error) {
+	unbatched := mode != "batched"
+	maxInFlight := k
+	if mode == "serial" {
+		maxInFlight = 1
+	}
+
+	var (
+		listener netsim.Listener
+		clientT  netsim.Transport
+		err      error
+	)
+	switch transport {
+	case "sim":
+		net := netsim.New(int64(12000 + n*100 + k))
+		net.SetAcceptBacklog(2 * n)
+		listener, err = net.Listen("sim://server")
+		if err != nil {
+			return E12PipelineRow{}, err
+		}
+		clientT = net.From("client")
+	case "tcp":
+		t := netsim.NewTCP()
+		listener, err = t.Listen("tcp://127.0.0.1:0")
+		if err != nil {
+			return E12PipelineRow{}, err
+		}
+		clientT = t
+	default:
+		return E12PipelineRow{}, fmt.Errorf("unknown transport %q", transport)
+	}
+
+	srv := channel.NewServer(listener, channel.ServerConfig{Unbatched: unbatched})
+	defer srv.Close()
+	id := naming.InterfaceID{Nonce: 12}
+	err = srv.Register(id, nil, channel.HandlerFunc(
+		func(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+			return "OK", args, nil
+		}))
+	if err != nil {
+		return E12PipelineRow{}, err
+	}
+	srv.Start()
+	ref := naming.InterfaceRef{ID: id, Endpoint: listener.Endpoint()}
+
+	mgr := channel.NewSessionManagerWithConfig(clientT, channel.SessionConfig{Unbatched: unbatched})
+	defer mgr.Close()
+	fleet := make([]*channel.Binding, n)
+	for i := range fleet {
+		// The in-flight cap equals the worker count (serial mode pins it to
+		// 1), so the semaphore is exercised without ever rejecting (queue
+		// mode, not FailFast).
+		b, err := channel.Bind(ref, channel.BindConfig{Sessions: mgr, MaxInFlight: maxInFlight})
+		if err != nil {
+			return E12PipelineRow{}, err
+		}
+		defer b.Close()
+		fleet[i] = b
+	}
+
+	arg := []values.Value{values.Int(1)}
+	ctx := context.Background()
+	// Attach every binding to the shared session before the clock starts.
+	for _, b := range fleet {
+		if _, _, err := b.Invoke(ctx, "Echo", arg); err != nil {
+			return E12PipelineRow{}, err
+		}
+	}
+
+	workers := n * k
+	perWorker := totalCalls / workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	calls := workers * perWorker
+	durs := make([][]time.Duration, workers)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b := fleet[w%n]
+			lat := make([]time.Duration, 0, perWorker)
+			for j := 0; j < perWorker; j++ {
+				t0 := time.Now()
+				if _, _, err := b.Invoke(ctx, "Echo", arg); err != nil {
+					errs <- err
+					return
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			durs[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return E12PipelineRow{}, err
+	}
+
+	all := make([]time.Duration, 0, calls)
+	for _, d := range durs {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return E12PipelineRow{
+		Transport:  transport,
+		Mode:       mode,
+		Bindings:   n,
+		InFlight:   k,
+		Calls:      calls,
+		Throughput: float64(calls) / elapsed.Seconds(),
+		P50:        all[len(all)/2],
+		P99:        all[len(all)*99/100],
+	}, nil
+}

@@ -42,6 +42,12 @@ type ChannelServerInstruments struct {
 	SessionsOpen       *Gauge     // live inbound sessions (accepted conns)
 	SessionsTotal      *Counter   // sessions accepted over the server's lifetime
 	BindingsPerSession *Histogram // distinct binding ids seen, observed at session close
+
+	// Reply batching: concurrent replies to one inbound session coalesce
+	// into vectored writes, mirroring the client-side session sender.
+	ReplyFramesPerWrite *Histogram // reply frames per transport write
+	ReplyBatchBytes     *Histogram // bytes per batched reply write
+	ReplyQueueDepth     *Gauge     // reply frames queued awaiting the writer
 }
 
 // SessionInstruments instrument the client-side session layer: the
@@ -54,6 +60,14 @@ type SessionInstruments struct {
 	BindingsAtDeath *Histogram // bindings attached when a session died or was released
 	Probes          *Counter   // liveness probes actually sent on the wire
 	ProbesCoalesced *Counter   // probes answered by an already in-flight probe
+
+	// Adaptive frame batching: the per-session sender goroutine drains
+	// whatever is queued into one vectored write, so these show the batch
+	// sizes the workload actually achieves (1 frame/write when idle,
+	// growing under concurrent load).
+	FramesPerWrite *Histogram // frames per transport write
+	BatchBytes     *Histogram // bytes per transport write
+	SendQueueDepth *Gauge     // frames queued awaiting the sender
 }
 
 // GroupInstruments instrument a replica group (coordination).
@@ -183,9 +197,12 @@ func (m *Management) ChannelServer(name string) *ChannelServerInstruments {
 		Errors:             m.Registry.Counter(p + "errors"),
 		BadFrames:          m.Registry.Counter(p + "bad_frames"),
 		DispatchLatency:    m.Registry.Histogram(p + "dispatch_latency_ns"),
-		SessionsOpen:       m.Registry.Gauge(p + "sessions_open"),
-		SessionsTotal:      m.Registry.Counter(p + "sessions_total"),
-		BindingsPerSession: m.Registry.Histogram(p + "bindings_per_session"),
+		SessionsOpen:        m.Registry.Gauge(p + "sessions_open"),
+		SessionsTotal:       m.Registry.Counter(p + "sessions_total"),
+		BindingsPerSession:  m.Registry.Histogram(p + "bindings_per_session"),
+		ReplyFramesPerWrite: m.Registry.Histogram(p + "reply_frames_per_write"),
+		ReplyBatchBytes:     m.Registry.Histogram(p + "reply_batch_bytes"),
+		ReplyQueueDepth:     m.Registry.Gauge(p + "reply_queue_depth"),
 	}
 }
 
@@ -203,6 +220,9 @@ func (m *Management) Sessions(name string) *SessionInstruments {
 		BindingsAtDeath: m.Registry.Histogram(p + "bindings_at_death"),
 		Probes:          m.Registry.Counter(p + "probes"),
 		ProbesCoalesced: m.Registry.Counter(p + "probes_coalesced"),
+		FramesPerWrite:  m.Registry.Histogram(p + "frames_per_write"),
+		BatchBytes:      m.Registry.Histogram(p + "batch_bytes"),
+		SendQueueDepth:  m.Registry.Gauge(p + "send_queue_depth"),
 	}
 }
 

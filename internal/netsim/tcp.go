@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -89,7 +90,12 @@ type tcpConn struct {
 	remote   naming.Endpoint
 	coalesce bool
 
-	readMu  sync.Mutex
+	readMu sync.Mutex
+	// br buffers reads (guarded by readMu): when the peer batches frames
+	// into one segment (SendBatch/Coalesce), the whole batch is pulled
+	// into the buffer with one read syscall instead of two per frame —
+	// the receive-side complement of the vectored write.
+	br      *bufio.Reader
 	writeMu sync.Mutex
 	lenBuf  [4]byte // guarded by writeMu (direct-write path)
 
@@ -104,15 +110,22 @@ type tcpConn struct {
 	werr    error
 	closed  bool
 	kick    chan struct{}
+
+	// Vectored-write scratch, guarded by writeMu (direct path only): the
+	// iovec slice handed to net.Buffers and the backing store for the
+	// per-frame length prefixes, both reused across batches.
+	vecScratch net.Buffers
+	lenScratch []byte
 }
 
 var (
-	_ Conn    = (*tcpConn)(nil)
-	_ Flusher = (*tcpConn)(nil)
+	_ Conn        = (*tcpConn)(nil)
+	_ Flusher     = (*tcpConn)(nil)
+	_ BatchSender = (*tcpConn)(nil)
 )
 
 func newTCPConn(nc net.Conn, remote naming.Endpoint, cfg TCPConfig) *tcpConn {
-	c := &tcpConn{nc: nc, remote: remote, coalesce: cfg.Coalesce}
+	c := &tcpConn{nc: nc, remote: remote, coalesce: cfg.Coalesce, br: bufio.NewReaderSize(nc, 64<<10)}
 	if c.coalesce {
 		c.cond = sync.NewCond(&c.writeMu)
 		c.kick = make(chan struct{}, 1)
@@ -136,6 +149,67 @@ func (c *tcpConn) Send(frame []byte) error {
 	}
 	if _, err := c.nc.Write(frame); err != nil {
 		return fmt.Errorf("netsim: write frame: %w", err)
+	}
+	return nil
+}
+
+// SendBatch implements BatchSender: the frames depart in order as one
+// vectored write (writev via net.Buffers), each length-prefixed exactly as
+// Send would have framed it. Under Coalesce the batch is appended to the
+// pending buffer in one critical section and the background writer drains
+// it, so a batch still costs one wakeup rather than one per frame.
+func (c *tcpConn) SendBatch(frames [][]byte) error {
+	for _, f := range frames {
+		if len(f) > maxFrame {
+			return fmt.Errorf("netsim: frame of %d bytes exceeds limit", len(f))
+		}
+	}
+	if len(frames) == 0 {
+		return nil
+	}
+	if c.coalesce {
+		c.writeMu.Lock()
+		if c.werr != nil {
+			err := c.werr
+			c.writeMu.Unlock()
+			return err
+		}
+		if c.closed {
+			c.writeMu.Unlock()
+			return ErrClosed
+		}
+		for _, f := range frames {
+			c.pend = binary.BigEndian.AppendUint32(c.pend, uint32(len(f)))
+			c.pend = append(c.pend, f...)
+		}
+		select {
+		case c.kick <- struct{}{}:
+		default:
+		}
+		c.writeMu.Unlock()
+		return nil
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	// The length prefixes live in one reused scratch buffer; it must not
+	// reallocate mid-loop or the already-taken sub-slices would go stale.
+	if cap(c.lenScratch) < 4*len(frames) {
+		c.lenScratch = make([]byte, 0, 4*len(frames))
+	}
+	c.lenScratch = c.lenScratch[:0]
+	c.vecScratch = c.vecScratch[:0]
+	for _, f := range frames {
+		off := len(c.lenScratch)
+		c.lenScratch = binary.BigEndian.AppendUint32(c.lenScratch, uint32(len(f)))
+		c.vecScratch = append(c.vecScratch, c.lenScratch[off:off+4], f)
+	}
+	bufs := c.vecScratch
+	_, err := bufs.WriteTo(c.nc)
+	// WriteTo consumes the slice; drop the frame references so the scratch
+	// does not pin recycled buffers until the next batch.
+	clear(c.vecScratch)
+	if err != nil {
+		return fmt.Errorf("netsim: write batch: %w", err)
 	}
 	return nil
 }
@@ -209,7 +283,7 @@ func (c *tcpConn) Recv() ([]byte, error) {
 	c.readMu.Lock()
 	defer c.readMu.Unlock()
 	var lenBuf [4]byte
-	if _, err := io.ReadFull(c.nc, lenBuf[:]); err != nil {
+	if _, err := io.ReadFull(c.br, lenBuf[:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF || errors.Is(err, net.ErrClosed) {
 			return nil, ErrClosed
 		}
@@ -220,7 +294,7 @@ func (c *tcpConn) Recv() ([]byte, error) {
 		return nil, fmt.Errorf("netsim: frame of %d bytes exceeds limit", n)
 	}
 	frame := bufpool.Get(int(n))[:n]
-	if _, err := io.ReadFull(c.nc, frame); err != nil {
+	if _, err := io.ReadFull(c.br, frame); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF || errors.Is(err, net.ErrClosed) {
 			return nil, ErrClosed
 		}

@@ -65,6 +65,19 @@ type Flusher interface {
 	Flush() error
 }
 
+// BatchSender is implemented by connections that can transmit several
+// frames in one underlying write (vectored I/O on the TCP transport). The
+// frames are delivered in order, framed exactly as if each had been passed
+// to Send individually — batching changes the syscall count, never the
+// byte stream the peer observes. Like Send, implementations must not
+// retain the slices after SendBatch returns, so callers may recycle the
+// buffers immediately. Senders that batch (package channel's session
+// sender) probe for this interface and fall back to per-frame Send when a
+// transport does not provide it.
+type BatchSender interface {
+	SendBatch(frames [][]byte) error
+}
+
 // Listener accepts inbound connections at an endpoint.
 type Listener interface {
 	Accept() (Conn, error)

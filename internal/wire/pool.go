@@ -28,6 +28,18 @@ func GetFrame(sizeHint int) []byte { return bufpool.Get(sizeHint) }
 // a transport. The caller must not touch the buffer afterwards.
 func PutFrame(b []byte) { bufpool.Put(b) }
 
+// PutFrames recycles a batch of frame buffers at once and clears the slice
+// entries so a reused batch slice cannot pin recycled buffers. The batched
+// session sender uses it after a vectored write: the frames were appended
+// into the shared batch without copying, so returning them here is the
+// single ownership hand-back for the whole write.
+func PutFrames(frames [][]byte) {
+	for i, f := range frames {
+		bufpool.Put(f)
+		frames[i] = nil
+	}
+}
+
 // ---------------------------------------------------------------------------
 // decode scratch: records and sequences are parsed into pooled scratch
 // slices, then copied out into an exactly-sized slice handed to the owned

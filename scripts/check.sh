@@ -69,6 +69,42 @@ awk '/shared\/n=256/ {
 	}
 	END { if (!found) { print "E10 shared/n=256 row missing"; exit 1 } }' /tmp/check_e10.out
 
+echo "== E12 pipelining + batching smoke (batched >= 2x unpipelined at 64 bindings x 8 in-flight) =="
+# The pipelined/batched data plane must at least double invocation
+# throughput over the unpipelined baseline (per-binding serialisation,
+# one write per frame) on real loopback TCP. Wall-clock throughput on a
+# shared host is noisy, so the gate takes the best of three runs: a real
+# regression (ratio near 1x) can never pass, while one run hit by a load
+# spike does not fail the build.
+e12_ok=0
+for e12_attempt in 1 2 3; do
+	go run ./cmd/odpbench -only e12smoke -json > /tmp/check_e12.json
+	if awk '
+		/"mode"/       { mode = $2; gsub(/[",]/, "", mode) }
+		/"bindings"/   { bindings = $2 + 0 }
+		/"inflight"/   { inflight = $2 + 0 }
+		/"throughput"/ {
+			thr = $2 + 0
+			if (bindings == 64 && inflight == 8) {
+				if (mode == "batched") batched = thr
+				if (mode == "serial")  serial  = thr
+			}
+		}
+		END {
+			if (batched == 0 || serial == 0) { print "e12: 64x8 rows missing from JSON"; exit 1 }
+			printf "e12: batched %.0f calls/s vs unpipelined %.0f calls/s: %.2fx\n", batched, serial, batched / serial
+			exit !(batched >= 2 * serial)
+		}' /tmp/check_e12.json; then
+		e12_ok=1
+		break
+	fi
+	echo "e12 attempt $e12_attempt below 2x; retrying"
+done
+if [ "$e12_ok" != "1" ]; then
+	echo "E12 pipelining gate failed: batched < 2x unpipelined in 3 runs"
+	exit 1
+fi
+
 # The disabled-instrumentation budget: an uninstrumented invocation must
 # stay within 5% of the E4 replay-binder baseline (the identical channel
 # configuration, built before mgmt existed). The comparison needs quiet,
