@@ -1,7 +1,8 @@
 // Command odpbench regenerates every experiment in EXPERIMENTS.md as
-// formatted tables: the per-figure micro-benchmarks (E1–E9) plus the two
+// formatted tables: the per-figure micro-benchmarks (E1–E9) plus the
 // behavioural measurements that are not ns/op-shaped — relocation
-// recovery latency and failure masking under loss.
+// recovery latency, failure masking under loss, session multiplexing,
+// chaos, pipelining and the sharded-infrastructure swarm.
 //
 // Usage:
 //
@@ -11,6 +12,15 @@
 //	odpbench -only e11 -dur 10s  # the chaos experiment, policy on vs off
 //	odpbench -only e12  # pipelining/batching grid, sim + loopback TCP
 //	odpbench -only e12smoke -json  # the CI cell (tcp, 64x8) as JSON
+//	odpbench -only e13  # sharded trader/relocator swarm (full grid)
+//	odpbench -only e13smoke -json  # the CI slice (1-vs-8 grid, 100k swarm)
+//	odpbench -json      # any section: unified []Record instead of tables
+//
+// With -json every section emits the unified experiments.Record shape
+// (experiment id, scenario, numeric params and metrics), one JSON array
+// on stdout — the format BENCH files are generated from. The one
+// exception is -only e12/-only e12smoke, which keeps its original row
+// array because the CI gate's parser predates the unified shape.
 package main
 
 import (
@@ -25,95 +35,190 @@ import (
 	"repro/internal/experiments"
 )
 
+// emitter accumulates unified records; in JSON mode the tables are
+// suppressed and the array is printed once at the end.
+type emitter struct {
+	json bool
+	recs []experiments.Record
+}
+
+func (e *emitter) add(recs ...experiments.Record) {
+	e.recs = append(e.recs, recs...)
+}
+
+func (e *emitter) flush() {
+	if !e.json {
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(e.recs); err != nil {
+		fmt.Fprintf(os.Stderr, "odpbench: encode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	iters := flag.Int("iters", 2000, "samples per scenario")
-	only := flag.String("only", "", "run only the named section (supported: e10, e11, e12, e12smoke)")
+	only := flag.String("only", "", "run only the named section (supported: e10, e11, e12, e12smoke, e13, e13smoke)")
 	dur := flag.Duration("dur", 6*time.Second, "per-mode wall-clock duration of the e11 chaos run")
-	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables (e12/e12smoke only)")
+	asJSON := flag.Bool("json", false, "emit machine-readable records instead of tables")
 	flag.Parse()
 
+	em := &emitter{json: *asJSON}
+
 	if *only == "e12" || *only == "e12smoke" {
-		// JSON mode keeps stdout clean for the CI gate's parser.
+		// JSON mode keeps the original row array: the CI gate parses it.
 		runE12(*only == "e12smoke", *asJSON, *iters)
 		return
 	}
+	if *only == "e13" || *only == "e13smoke" {
+		runE13(em, *only == "e13smoke")
+		em.flush()
+		return
+	}
 
-	fmt.Println("RM-ODP reproduction — experiment tables (see EXPERIMENTS.md)")
-	fmt.Println()
+	if !em.json {
+		fmt.Println("RM-ODP reproduction — experiment tables (see EXPERIMENTS.md)")
+		fmt.Println()
+	}
 
 	if *only == "e10" {
-		runE10(*iters)
+		runE10(em, *iters)
+		em.flush()
 		return
 	}
 	if *only == "e11" {
-		runE11(*dur)
+		runE11(em, *dur)
+		em.flush()
 		return
 	}
 
-	section("E1  Figure 1: cross-viewpoint consistency check")
-	runTable(*iters, []experiments.Scenario{experiments.E1Consistency()})
+	section(em, "E1  Figure 1: cross-viewpoint consistency check")
+	runTable(em, "e1", *iters, []experiments.Scenario{experiments.E1Consistency()})
 
-	section("E2  Figure 2: bank branch invocations (channel + ACID refinement)")
-	runTable(*iters, experiments.E2Bank())
+	section(em, "E2  Figure 2: bank branch invocations (channel + ACID refinement)")
+	runTable(em, "e2", *iters, experiments.E2Bank())
 
-	section("E3  Figure 3: interface subtype checking")
-	runTable(*iters, experiments.E3Subtype())
+	section(em, "E3  Figure 3: interface subtype checking")
+	runTable(em, "e3", *iters, experiments.E3Subtype())
 
-	section("E4  Figure 4: channel composition ablation")
-	runTable(*iters*10, experiments.E4Codec())
-	runTable(*iters, experiments.E4Channel())
+	section(em, "E4  Figure 4: channel composition ablation")
+	runTable(em, "e4", *iters*10, experiments.E4Codec())
+	runTable(em, "e4", *iters, experiments.E4Channel())
 
-	section("E5  Figure 5: engineering structures")
-	runTable(*iters/4, experiments.E5Structure())
+	section(em, "E5  Figure 5: engineering structures")
+	runTable(em, "e5", *iters/4, experiments.E5Structure())
 
-	section("E6  Section 9: transparency ablation")
-	runTable(*iters, experiments.E6Transparency())
+	section(em, "E6  Section 9: transparency ablation")
+	runTable(em, "e6", *iters, experiments.E6Transparency())
 
-	section("E6b Relocation transparency: binding recovery across migration")
+	section(em, "E6b Relocation transparency: binding recovery across migration")
 	samples, err := experiments.E6RelocationRecovery(20)
 	if err != nil {
 		fmt.Printf("  error: %v\n", err)
 	} else {
 		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-		fmt.Printf("  %-36s %12s %12s %12s\n", "scenario", "p50", "p90", "max")
-		fmt.Printf("  %-36s %12v %12v %12v\n", "first-call-after-migration",
-			samples[len(samples)/2], samples[len(samples)*9/10], samples[len(samples)-1])
+		p50 := samples[len(samples)/2]
+		p90 := samples[len(samples)*9/10]
+		max := samples[len(samples)-1]
+		em.add(experiments.Record{
+			Experiment: "e6b",
+			Scenario:   "first-call-after-migration",
+			Metrics: map[string]float64{
+				"p50_us": float64(p50.Microseconds()),
+				"p90_us": float64(p90.Microseconds()),
+				"max_us": float64(max.Microseconds()),
+			},
+		})
+		if !em.json {
+			fmt.Printf("  %-36s %12s %12s %12s\n", "scenario", "p50", "p90", "max")
+			fmt.Printf("  %-36s %12v %12v %12v\n", "first-call-after-migration", p50, p90, max)
+		}
 	}
-	fmt.Println()
+	blank(em)
 
-	section("E6c Failure transparency: success rate over a lossy link (drop=30% each way)")
+	section(em, "E6c Failure transparency: success rate over a lossy link (drop=30% each way)")
 	withR, withoutR, err := experiments.E6FailureMasking(0.3, 200)
 	if err != nil {
 		fmt.Printf("  error: %v\n", err)
 	} else {
-		fmt.Printf("  %-36s %8s\n", "configuration", "ok/200")
-		fmt.Printf("  %-36s %8d\n", "failure transparency (25 retries)", withR)
-		fmt.Printf("  %-36s %8d\n", "no retries", withoutR)
+		em.add(experiments.Record{
+			Experiment: "e6c",
+			Scenario:   "failure-masking",
+			Params:     map[string]float64{"drop": 0.3, "calls": 200},
+			Metrics: map[string]float64{
+				"ok_with_retries": float64(withR),
+				"ok_no_retries":   float64(withoutR),
+			},
+		})
+		if !em.json {
+			fmt.Printf("  %-36s %8s\n", "configuration", "ok/200")
+			fmt.Printf("  %-36s %8d\n", "failure transparency (25 retries)", withR)
+			fmt.Printf("  %-36s %8d\n", "no retries", withoutR)
+		}
 	}
-	fmt.Println()
+	blank(em)
 
-	section("E6d Replication scaling: group update vs replica count (latent links)")
-	runTable(*iters/10, experiments.E6ReplicationScaling())
+	section(em, "E6d Replication scaling: group update vs replica count (latent links)")
+	runTable(em, "e6d", *iters/10, experiments.E6ReplicationScaling())
 
-	section("E7  Section 8.2.1: ACID transaction function")
-	runTable(*iters, experiments.E7Transactions())
+	section(em, "E7  Section 8.2.1: ACID transaction function")
+	runTable(em, "e7", *iters, experiments.E7Transactions())
 
-	section("E7b Durable 2PC: commit vs participant count (forced-log delay)")
-	runTable(*iters/10, experiments.E7DurableCommit())
+	section(em, "E7b Durable 2PC: commit vs participant count (forced-log delay)")
+	runTable(em, "e7b", *iters/10, experiments.E7DurableCommit())
 
-	section("E8  Section 8.3.2: trading function")
-	runTable(*iters/4, experiments.E8Trader())
+	section(em, "E8  Section 8.3.2: trading function")
+	runTable(em, "e8", *iters/4, experiments.E8Trader())
 
-	section("E8b Trader scaling: indexed import and parallel federation")
-	runTable(*iters/10, experiments.E8TraderScaling())
-	runTable(*iters/10, experiments.E8FederationParallel())
+	section(em, "E8b Trader scaling: indexed import and parallel federation")
+	runTable(em, "e8b", *iters/10, experiments.E8TraderScaling())
+	runTable(em, "e8b", *iters/10, experiments.E8FederationParallel())
 
-	section("E9  Section 8.1: management & observability overhead")
-	runTable(*iters, experiments.E9Overhead())
+	section(em, "E9  Section 8.1: management & observability overhead")
+	runTable(em, "e9", *iters, experiments.E9Overhead())
 
-	runE10(*iters)
-	runE11(*dur)
+	runE10(em, *iters)
+	runE11(em, *dur)
 	runE12(false, false, *iters)
+	runE13(em, true)
+	em.flush()
+}
+
+// runE13 prints (or records) the sharded-infrastructure swarm: import
+// throughput vs shard count with capacity-gated shards over channels,
+// the large binding swarm, and the per-offer rebalance blackout probe.
+func runE13(em *emitter, smoke bool) {
+	rep, err := experiments.E13(smoke)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "e13: %v\n", err)
+		os.Exit(1)
+	}
+	em.add(rep.Records()...)
+	if em.json {
+		return
+	}
+	section(em, "E13 Sharded trader + relocator: shard scaling, binding swarm, rebalance blackout")
+	fmt.Printf("  %-24s %8s %12s %10s %10s\n", "grid (gated shards)", "calls", "imports/sec", "p50", "p99")
+	for _, g := range rep.Grid {
+		fmt.Printf("  %-24s %8d %12.0f %10v %10v\n",
+			fmt.Sprintf("shards=%d workers=%d", g.Shards, g.Workers),
+			g.Calls, g.Throughput, g.P50.Round(time.Microsecond), g.P99.Round(time.Microsecond))
+	}
+	s := rep.Swarm
+	fmt.Printf("  swarm: %d bindings over %d hosts x %d nodes (%d shards): %d lost lookups,\n",
+		s.Bindings, s.Config.Hosts, s.Config.Nodes, s.Config.Shards, s.LostLookups)
+	fmt.Printf("         %d conns, %d dials, cache hit rate %.4f, %d heapB/binding,\n",
+		s.Conns, s.Dials, s.CacheHitRate, s.HeapPerBinding)
+	fmt.Printf("         p50 %v p99 %v, %.0f bindings/sec (%v total)\n",
+		s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.PerSec, s.Elapsed.Round(time.Millisecond))
+	b := rep.Blackout
+	fmt.Printf("  blackout: %d offers probed through add+remove rebalance: %d probes, %d misses,\n",
+		b.Offers, b.Probes, b.Misses)
+	fmt.Printf("            worst per-offer gap %v, %d offers migrated live\n",
+		b.MaxBlackout.Round(time.Microsecond), b.Migrated)
+	fmt.Println()
 }
 
 // runE12 prints (or, for the CI gate, emits as JSON) the pipelining and
@@ -156,7 +261,7 @@ func runE12(smoke, asJSON bool, iters int) {
 		}
 		return
 	}
-	section("E12 Invocation pipelining + adaptive frame batching: throughput vs data plane")
+	fmt.Println("E12 Invocation pipelining + adaptive frame batching: throughput vs data plane")
 	fmt.Printf("  %-28s %10s %12s %10s %10s\n",
 		"transport/mode/n×k", "calls", "calls/sec", "p50", "p99")
 	for _, r := range rows {
@@ -169,8 +274,8 @@ func runE12(smoke, asJSON bool, iters int) {
 
 // runE11 prints the chaos table: the same replicated bank workload under
 // the same fault script, with the failure-policy layer on and off.
-func runE11(dur time.Duration) {
-	section("E11 Failure transparency under chaos: crash/restart + 2-node outage + link squeeze")
+func runE11(em *emitter, dur time.Duration) {
+	section(em, "E11 Failure transparency under chaos: crash/restart + 2-node outage + link squeeze")
 	type row struct {
 		name string
 		rep  experiments.E11Report
@@ -183,6 +288,26 @@ func runE11(dur time.Duration) {
 			return
 		}
 		rows = append(rows, row{rep.Mode, rep})
+		em.add(experiments.Record{
+			Experiment: "e11",
+			Scenario:   rep.Mode,
+			Params:     map[string]float64{"dur_s": dur.Seconds()},
+			Metrics: map[string]float64{
+				"ops":                 float64(rep.Ops),
+				"availability":        rep.Availability,
+				"availability_faults": rep.AvailabilityFaults,
+				"availability_healed": rep.AvailabilityHealed,
+				"p99_faults_us":       float64(rep.P99Faults.Microseconds()),
+				"p99_healed_us":       float64(rep.P99Healed.Microseconds()),
+				"ttr_ms":              float64(rep.TimeToRecover.Milliseconds()),
+				"breaker_opens":       float64(rep.BreakerOpens),
+				"retries":             float64(rep.Retries),
+				"degraded_reads":      float64(rep.DegradedReads),
+			},
+		})
+	}
+	if em.json {
+		return
 	}
 	fmt.Printf("  %-12s %6s %9s %9s %9s %10s %10s %9s %7s %7s %7s\n",
 		"mode", "ops", "avail", "av.fault", "av.heal", "p99.fault", "p99.heal", "ttr", "opens", "retry", "stale")
@@ -228,8 +353,8 @@ func runE11(dur time.Duration) {
 // runE10 prints the session-multiplexing table: connections, dials, heap
 // and latency against binding count, shared session manager vs one
 // manager per binding.
-func runE10(iters int) {
-	section("E10 Session multiplexing: N bindings to one node, shared vs per-binding sessions")
+func runE10(em *emitter, iters int) {
+	section(em, "E10 Session multiplexing: N bindings to one node, shared vs per-binding sessions")
 	calls := iters / 100
 	if calls < 10 {
 		calls = 10
@@ -237,6 +362,23 @@ func runE10(iters int) {
 	rows, err := experiments.E10SessionScaling([]int{1, 16, 64, 256}, calls)
 	if err != nil {
 		fmt.Printf("  error: %v\n", err)
+		return
+	}
+	for _, r := range rows {
+		em.add(experiments.Record{
+			Experiment: "e10",
+			Scenario:   r.Mode,
+			Params:     map[string]float64{"bindings": float64(r.Bindings)},
+			Metrics: map[string]float64{
+				"conns":            float64(r.Conns),
+				"dials":            float64(r.Dials),
+				"heap_per_binding": float64(r.HeapPerB),
+				"p50_us":           float64(r.P50.Microseconds()),
+				"p99_us":           float64(r.P99.Microseconds()),
+			},
+		})
+	}
+	if em.json {
 		return
 	}
 	fmt.Printf("  %-24s %6s %6s %12s %10s %10s\n",
@@ -249,15 +391,27 @@ func runE10(iters int) {
 	fmt.Println()
 }
 
-func section(title string) {
+func section(em *emitter, title string) {
+	if em.json {
+		return
+	}
 	fmt.Println(title)
 }
 
-func runTable(iters int, scenarios []experiments.Scenario) {
+func blank(em *emitter) {
+	if em.json {
+		return
+	}
+	fmt.Println()
+}
+
+func runTable(em *emitter, expID string, iters int, scenarios []experiments.Scenario) {
 	if iters < 10 {
 		iters = 10
 	}
-	fmt.Printf("  %-40s %14s %12s\n", "scenario", "ns/op", "ops/sec")
+	if !em.json {
+		fmt.Printf("  %-40s %14s %12s\n", "scenario", "ns/op", "ops/sec")
+	}
 	for _, s := range scenarios {
 		// Warm up, then measure.
 		for i := 0; i < iters/10; i++ {
@@ -280,10 +434,20 @@ func runTable(iters int, scenarios []experiments.Scenario) {
 			continue
 		}
 		nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
-		fmt.Printf("  %-40s %14.0f %12.0f\n", s.Name, nsPerOp, 1e9/nsPerOp)
+		em.add(experiments.Record{
+			Experiment: expID,
+			Scenario:   s.Name,
+			Metrics: map[string]float64{
+				"ns_per_op": nsPerOp,
+				"ops_sec":   1e9 / nsPerOp,
+			},
+		})
+		if !em.json {
+			fmt.Printf("  %-40s %14.0f %12.0f\n", s.Name, nsPerOp, 1e9/nsPerOp)
+		}
 	}
 	for _, s := range scenarios {
 		s.Close()
 	}
-	fmt.Println()
+	blank(em)
 }

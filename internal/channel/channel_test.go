@@ -796,3 +796,82 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not reached in time")
 }
+
+// cachingLocator serves a stale snapshot until Invalidate is called —
+// the shape of a real relocation cache. A binding that retries blind
+// (without invalidating) re-reads the stale line forever.
+type cachingLocator struct {
+	mu          sync.Mutex
+	stale       naming.InterfaceRef
+	fresh       naming.InterfaceRef
+	invalidated int
+}
+
+func (c *cachingLocator) Lookup(id naming.InterfaceID) (naming.InterfaceRef, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.invalidated == 0 {
+		return c.stale, nil
+	}
+	return c.fresh, nil
+}
+
+func (c *cachingLocator) Invalidate(id naming.InterfaceID) {
+	c.mu.Lock()
+	c.invalidated++
+	c.mu.Unlock()
+}
+
+func TestStaleLocationInvalidatedNotRetriedBlind(t *testing.T) {
+	// Section 9.2 meets the client-side cache: on "no such interface" the
+	// binding must push the staleness evidence into its locator (via
+	// LocationInvalidator) so the refresh reaches the authority, instead
+	// of replaying against the same cached endpoint.
+	n := netsim.New(1)
+	l1, err := n.Listen("sim://home1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := NewServer(l1, ServerConfig{})
+	srv1.Start()
+	defer srv1.Close()
+
+	l2, err := n.Listen("sim://home2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(l2, ServerConfig{})
+	servant := &echoServant{}
+	id := ifaceID(21)
+	if err := srv2.Register(id, echoType(), servant); err != nil {
+		t.Fatal(err)
+	}
+	srv2.Start()
+	defer srv2.Close()
+
+	// The cache still claims home1 (where the interface never was, i.e. a
+	// stale snapshot); the authority knows home2.
+	staleRef := naming.InterfaceRef{ID: id, TypeName: "Echo", Endpoint: "sim://home1"}
+	loc := &cachingLocator{
+		stale: staleRef,
+		fresh: naming.InterfaceRef{ID: id, TypeName: "Echo", Endpoint: "sim://home2", Epoch: 1},
+	}
+	b, err := Bind(staleRef, BindConfig{Transport: n, Locator: loc, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	term, res, err := b.Invoke(context.Background(), "Echo", []values.Value{values.Str("x")})
+	if err != nil || term != "OK" {
+		t.Fatalf("invoke via stale cache = %q, %v, %v", term, res, err)
+	}
+	loc.mu.Lock()
+	inv := loc.invalidated
+	loc.mu.Unlock()
+	if inv == 0 {
+		t.Fatal("binding never invalidated the stale cache line")
+	}
+	if b.Ref().Endpoint != "sim://home2" {
+		t.Errorf("binding ref endpoint = %s", b.Ref().Endpoint)
+	}
+}

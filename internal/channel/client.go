@@ -368,6 +368,14 @@ func (b *Binding) invoke(ctx context.Context, op string, args []values.Value) (s
 						return "", nil, werr
 					}
 				}
+				// A lost connection is location-staleness evidence (the
+				// endpoint may be gone because the interface moved), so a
+				// caching locator must be told before the re-resolve; a bare
+				// attempt timeout is not — the endpoint answered slowly, the
+				// cached location is probably fine.
+				if errors.Is(err, ErrDisconnected) {
+					b.invalidateLocation()
+				}
 				if b.refreshLocation() {
 					relocations++
 					b.relocations.Add(1)
@@ -393,7 +401,10 @@ func (b *Binding) invoke(ctx context.Context, op string, args []values.Value) (s
 			if reply.Termination == CodeNoSuchInterface &&
 				b.cfg.Locator != nil && relocations < b.cfg.MaxRelocations {
 				// The interface is not where we thought: the classic stale
-				// location. Re-resolve and replay (tutorial Section 9.2).
+				// location. Invalidate the cached snapshot first — retrying
+				// blind against a caching locator would re-read the same
+				// stale line — then re-resolve and replay (Section 9.2).
+				b.invalidateLocation()
 				if b.refreshLocation() {
 					relocations++
 					b.relocations.Add(1)
@@ -768,6 +779,9 @@ func (b *Binding) sendOneWay(ctx context.Context, m *wire.Message) error {
 				return werr
 			}
 		}
+		if errors.Is(err, ErrDisconnected) {
+			b.invalidateLocation()
+		}
 		if b.refreshLocation() {
 			b.relocations.Add(1)
 		}
@@ -798,12 +812,17 @@ func (b *Binding) session(ctx context.Context) (*Session, error) {
 
 	s, err := b.sessions.session(ctx, ep)
 	if err != nil {
-		if !errors.Is(err, ErrClosed) && b.refreshLocation() {
-			// The endpoint may be stale; relocation transparency refreshes
-			// it for the next attempt.
-			b.relocations.Add(1)
-			if ins := b.cfg.Instruments; ins != nil {
-				ins.Relocations.Inc()
+		if !errors.Is(err, ErrClosed) {
+			// An undialable endpoint is staleness evidence too: drop the
+			// cached location so the refresh reaches the authority.
+			b.invalidateLocation()
+			if b.refreshLocation() {
+				// The endpoint may be stale; relocation transparency
+				// refreshes it for the next attempt.
+				b.relocations.Add(1)
+				if ins := b.cfg.Instruments; ins != nil {
+					ins.Relocations.Inc()
+				}
 			}
 		}
 		return nil, err
@@ -815,6 +834,14 @@ func (b *Binding) session(ctx context.Context) (*Session, error) {
 	}
 	b.mu.Unlock()
 	return s, nil
+}
+
+// invalidateLocation tells a caching locator to drop its entry for this
+// binding's interface. No-op for plain locators.
+func (b *Binding) invalidateLocation() {
+	if inv, ok := b.cfg.Locator.(LocationInvalidator); ok {
+		inv.Invalidate(b.Ref().ID)
+	}
 }
 
 // refreshLocation consults the locator and adopts a newer location if one

@@ -45,6 +45,16 @@ type Locator interface {
 	Lookup(id naming.InterfaceID) (naming.InterfaceRef, error)
 }
 
+// LocationInvalidator is the optional Locator capability a caching
+// locator exposes (*relocator.Cache implements it): drop the cached
+// location for an interface. Bindings call it on staleness evidence — a
+// server answering "no such interface", a dead endpoint — before
+// re-resolving, so the refresh reaches the authority instead of
+// re-reading the same stale cache line.
+type LocationInvalidator interface {
+	Invalidate(id naming.InterfaceID)
+}
+
 // ---------------------------------------------------------------------------
 // Built-in stages
 

@@ -1,0 +1,153 @@
+// Replicated white pages: one relocator shard served by a replica group.
+// The relocator self-hosts on the repo's own machinery — a ReplicaGroup
+// fans each update out to every replica in ticket order (with
+// MemberPolicy breakers retaining dead members behind open circuits),
+// and reads fail over across replicas. LocationGroup adapts that to the
+// relocator.Store interface, speaking the same operation vocabulary as
+// the wire servant, so a replica can be an in-process relocator (via
+// NewLocationMember) or a remote one (via a channel binding)
+// interchangeably.
+//
+// This adapter lives in coordination (not relocator) so the relocator
+// stays a leaf the coordination tests can import without a cycle.
+package coordination
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/naming"
+	"repro/internal/relocator"
+	"repro/internal/values"
+)
+
+// locationMember adapts a relocator.Store to Invoker: the group's
+// member-facing call surface is exactly the servant's operation
+// vocabulary, so in-process replicas and channel-backed replicas mix
+// freely in one group.
+type locationMember struct {
+	relocator.Servant
+}
+
+var _ Invoker = (*locationMember)(nil)
+
+// NewLocationMember wraps a relocator store as a replica-group member.
+func NewLocationMember(s relocator.Store) Invoker {
+	return &locationMember{relocator.Servant{R: s}}
+}
+
+// Close implements Invoker; the underlying store's lifecycle belongs to
+// its owner.
+func (m *locationMember) Close() error { return nil }
+
+// LocationGroup is a relocator.Store served by a replica group: updates
+// (Register, Move, Remove) run through the group's sequenced fan-out,
+// lookups through its failover read path. It satisfies channel.Locator
+// and engineering.LocationRegistry the same way a single Relocator does.
+type LocationGroup struct {
+	G *ReplicaGroup
+}
+
+var (
+	_ relocator.Store      = (*LocationGroup)(nil)
+	_ relocator.Enumerable = (*LocationGroup)(nil)
+)
+
+// NewLocationGroup wraps a replica group of relocator replicas.
+func NewLocationGroup(g *ReplicaGroup) *LocationGroup { return &LocationGroup{G: g} }
+
+func locationFailure(op string, res []values.Value) error {
+	reason := "unknown"
+	if len(res) == 1 {
+		if s, ok := res[0].AsString(); ok {
+			reason = s
+		}
+	}
+	return fmt.Errorf("coordination: replicated relocator %s failed: %s", op, reason)
+}
+
+// Register records a location on every replica (sequenced). A stale
+// registration surfaces as *relocator.StaleError, same as a local
+// relocator.
+func (g *LocationGroup) Register(ref naming.InterfaceRef) error {
+	term, res, err := g.G.Invoke(context.Background(), "Register", []values.Value{ref.ToValue()})
+	if err != nil {
+		return err
+	}
+	switch term {
+	case "OK":
+		return nil
+	case "Stale":
+		se := &relocator.StaleError{ID: ref.ID, Refused: ref.Epoch}
+		if len(res) == 2 {
+			if cur, ok := res[0].AsInt(); ok {
+				se.Current = uint64(cur)
+			}
+			if got, ok := res[1].AsInt(); ok {
+				se.Refused = uint64(got)
+			}
+		}
+		return se
+	}
+	return locationFailure("Register", res)
+}
+
+// Lookup resolves a location from any live replica.
+func (g *LocationGroup) Lookup(id naming.InterfaceID) (naming.InterfaceRef, error) {
+	term, res, err := g.G.InvokeRead(context.Background(), "Lookup", []values.Value{values.Str(id.String())})
+	if err != nil {
+		return naming.InterfaceRef{}, err
+	}
+	switch term {
+	case "OK":
+		return naming.RefFromValue(res[0])
+	case "Unknown":
+		return naming.InterfaceRef{}, fmt.Errorf("%w: %s", relocator.ErrUnknown, id)
+	}
+	return naming.InterfaceRef{}, locationFailure("Lookup", res)
+}
+
+// Move relocates an interface on every replica (sequenced).
+func (g *LocationGroup) Move(id naming.InterfaceID, to naming.Endpoint) (naming.InterfaceRef, error) {
+	term, res, err := g.G.Invoke(context.Background(), "Move", []values.Value{
+		values.Str(id.String()), values.Str(string(to)),
+	})
+	if err != nil {
+		return naming.InterfaceRef{}, err
+	}
+	switch term {
+	case "OK":
+		return naming.RefFromValue(res[0])
+	case "Unknown":
+		return naming.InterfaceRef{}, fmt.Errorf("%w: %s", relocator.ErrUnknown, id)
+	}
+	return naming.InterfaceRef{}, locationFailure("Move", res)
+}
+
+// Remove deletes a registration on every replica (sequenced; removal of
+// an unknown id is a no-op, so errors are not surfaced — matching the
+// announcement semantics of the wire operation).
+func (g *LocationGroup) Remove(id naming.InterfaceID) {
+	_, _, _ = g.G.Invoke(context.Background(), "Remove", []values.Value{values.Str(id.String())})
+}
+
+// Snapshot enumerates the registrations from any live replica.
+func (g *LocationGroup) Snapshot() ([]naming.InterfaceRef, error) {
+	term, res, err := g.G.InvokeRead(context.Background(), "Snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	if term != "OK" {
+		return nil, locationFailure("Snapshot", res)
+	}
+	seq := res[0]
+	out := make([]naming.InterfaceRef, 0, seq.Len())
+	for i := 0; i < seq.Len(); i++ {
+		ref, err := naming.RefFromValue(seq.ElemAt(i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ref)
+	}
+	return out, nil
+}

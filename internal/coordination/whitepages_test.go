@@ -1,0 +1,144 @@
+package coordination
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/naming"
+	"repro/internal/relocator"
+)
+
+func wpRef(nonce uint64, ep naming.Endpoint, epoch uint64) naming.InterfaceRef {
+	return naming.InterfaceRef{
+		ID: naming.InterfaceID{
+			Object: naming.ObjectID{
+				Cluster: naming.ClusterID{Capsule: naming.CapsuleID{Node: "a", Seq: 1}, Seq: 1},
+				Seq:     1,
+			},
+			Seq:   1,
+			Nonce: nonce,
+		},
+		TypeName: "BankTeller",
+		Endpoint: ep,
+		Epoch:    epoch,
+	}
+}
+
+func newLocationGroup(t *testing.T, n int) (*LocationGroup, []*relocator.Relocator) {
+	t.Helper()
+	g := NewReplicaGroup()
+	replicas := make([]*relocator.Relocator, n)
+	for i := 0; i < n; i++ {
+		replicas[i] = relocator.New()
+		if err := g.Add(fmt.Sprintf("r%d", i), NewLocationMember(replicas[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewLocationGroup(g), replicas
+}
+
+func TestLocationGroupReplicatesUpdates(t *testing.T) {
+	lg, replicas := newLocationGroup(t, 3)
+	in := wpRef(1, "sim://a", 0)
+	if err := lg.Register(in); err != nil {
+		t.Fatal(err)
+	}
+	// The write fanned out to every replica.
+	for i, r := range replicas {
+		got, err := r.Lookup(in.ID)
+		if err != nil || got != in {
+			t.Fatalf("replica %d = %+v, %v", i, got, err)
+		}
+	}
+	got, err := lg.Lookup(in.ID)
+	if err != nil || got != in {
+		t.Fatalf("group lookup = %+v, %v", got, err)
+	}
+	moved, err := lg.Move(in.ID, "sim://b")
+	if err != nil || moved.Endpoint != "sim://b" || moved.Epoch != 1 {
+		t.Fatalf("move = %+v, %v", moved, err)
+	}
+	for i, r := range replicas {
+		got, err := r.Lookup(in.ID)
+		if err != nil || got.Epoch != 1 {
+			t.Fatalf("replica %d after move = %+v, %v", i, got, err)
+		}
+	}
+	lg.Remove(in.ID)
+	if _, err := lg.Lookup(in.ID); !errors.Is(err, relocator.ErrUnknown) {
+		t.Fatalf("lookup after remove = %v", err)
+	}
+}
+
+func TestLocationGroupStaleSurfacesTyped(t *testing.T) {
+	lg, _ := newLocationGroup(t, 2)
+	in := wpRef(1, "sim://a", 0)
+	if err := lg.Register(in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lg.Move(in.ID, "sim://b"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registering the epoch-0 snapshot must refuse across the wire
+	// vocabulary and still satisfy errors.Is/As at the caller.
+	err := lg.Register(in)
+	if !errors.Is(err, relocator.ErrStale) {
+		t.Fatalf("stale register = %v", err)
+	}
+	var se *relocator.StaleError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %v does not carry *StaleError", err)
+	}
+	if se.Current != 1 || se.Refused != 0 {
+		t.Fatalf("stale epochs = %+v", se)
+	}
+}
+
+func TestLocationGroupSnapshotAndUnknown(t *testing.T) {
+	lg, _ := newLocationGroup(t, 2)
+	if _, err := lg.Lookup(wpRef(9, "", 0).ID); !errors.Is(err, relocator.ErrUnknown) {
+		t.Fatalf("unknown lookup = %v", err)
+	}
+	if _, err := lg.Move(wpRef(9, "", 0).ID, "sim://x"); !errors.Is(err, relocator.ErrUnknown) {
+		t.Fatalf("unknown move = %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := lg.Register(wpRef(uint64(i+1), "sim://a", 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refs, err := lg.Snapshot()
+	if err != nil || len(refs) != 5 {
+		t.Fatalf("snapshot = %d refs, %v", len(refs), err)
+	}
+}
+
+func TestLocationGroupAsShard(t *testing.T) {
+	// The replicated store slots into the sharded relocator unchanged: a
+	// shard can be a whole replica group.
+	sh := relocator.NewSharded(0)
+	lg, _ := newLocationGroup(t, 2)
+	if err := sh.AddShard("g0", lg); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddShard("w1", relocator.New()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := sh.Register(wpRef(uint64(i+1), "sim://a", 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A further ring change drains registrations in and out of the group
+	// via its Snapshot/Register surface.
+	if err := sh.AddShard("w2", relocator.New()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := sh.Lookup(wpRef(uint64(i+1), "", 0).ID); err != nil {
+			t.Fatalf("lookup %d = %v", i, err)
+		}
+	}
+}

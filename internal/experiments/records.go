@@ -1,0 +1,13 @@
+package experiments
+
+// Record is the unified machine-readable shape every experiment can
+// flatten into: one measurement, identified by experiment and scenario,
+// with numeric parameters and headline metrics. odpbench -json emits a
+// single array of these so BENCH files for any PR can be generated (and
+// gated with line-oriented tools) without per-experiment parsers.
+type Record struct {
+	Experiment string             `json:"experiment"`
+	Scenario   string             `json:"scenario"`
+	Params     map[string]float64 `json:"params,omitempty"`
+	Metrics    map[string]float64 `json:"metrics"`
+}

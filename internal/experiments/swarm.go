@@ -1,0 +1,720 @@
+// E13: the sharded-infrastructure swarm. Three measurements of the
+// sharded trader + sharded relocator + client relocation cache stack:
+//
+//   - grid: import throughput and latency against shard count, with each
+//     shard an ordinary ODP object reached over channels. Every shard
+//     node sits behind a capacity gate (a single-server queue with a
+//     fixed service time), so on any host — including a single-core CI
+//     box — throughput is bounded by shard capacity, not by how many
+//     local goroutines the scheduler happens to run: adding shards adds
+//     servers, and the measured scaling is the sharding's, not the
+//     machine's.
+//   - swarm: hundreds of thousands of client bindings (target one
+//     million across runs) fan out from a few dozen client hosts to a
+//     few dozen server nodes on the simulated network, every binding
+//     resolved through the sharded trader, located through a per-host
+//     relocation cache, attached over shared transport sessions, and
+//     exercised with one invocation. The claim under test is ODP's
+//     scale story end to end: no lookup may be lost, connections stay
+//     O(hosts×nodes) rather than O(bindings), and the cache absorbs
+//     nearly all location traffic.
+//   - blackout: per-offer availability while the ring changes. Probes
+//     import every offer continuously while a shard is added and
+//     another removed; the migration protocol (install on the new
+//     owner before withdrawing from the old, two-phase old-before-new
+//     reads) promises zero misses, and the probe log turns that promise
+//     into a measured per-offer blackout figure.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"repro/internal/channel"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/relocator"
+	"repro/internal/trader"
+	"repro/internal/typerepo"
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+// capacityGate models a shard node with a fixed service capacity: a
+// single-server queue with service time tau. Holding the mutex across
+// the sleep serialises requests, so one gated node completes at most
+// 1/tau operations per second no matter how many clients pile on — the
+// property that makes shard-count scaling measurable on a small host.
+type capacityGate struct {
+	mu    sync.Mutex
+	tau   time.Duration
+	inner channel.Handler
+}
+
+func (g *capacityGate) Invoke(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(g.tau)
+	return g.inner.Invoke(ctx, op, args)
+}
+
+func e13TypeName(i int) string { return fmt.Sprintf("SwarmSvc%02d", i) }
+
+// e13Repo registers n disjoint operational service types. Subtyping here
+// is structural, so every type carries a marker operation of its own —
+// without it the n "different" services would all substitute for each
+// other and every import would fan out to every shard.
+func e13Repo(n int) *typerepo.Repository {
+	repo := typerepo.New()
+	for i := 0; i < n; i++ {
+		must(repo.RegisterInterface(types.OpInterface(e13TypeName(i),
+			types.Op("Echo", types.Params(types.P("x", values.TString())),
+				types.Term("OK", types.P("x", values.TString()))),
+			types.Op(fmt.Sprintf("Mark%02d", i), types.Params(), types.Term("OK")),
+		)))
+	}
+	return repo
+}
+
+func e13Ref(nonce uint64, typeName string, ep naming.Endpoint) naming.InterfaceRef {
+	return naming.InterfaceRef{
+		ID:       naming.InterfaceID{Nonce: nonce},
+		TypeName: typeName,
+		Endpoint: ep,
+	}
+}
+
+// E13GridConfig parameterises the shard-count sweep.
+type E13GridConfig struct {
+	ShardCounts   []int
+	Workers       int           // concurrent importers driving the front-end
+	Tau           time.Duration // per-shard service time (capacity 1/tau)
+	Types         int           // service types spread over the ring
+	CallsBase     int           // per-cell invocation budget: base + perShard*k
+	CallsPerShard int
+}
+
+// E13GridRow is one shard-count measurement.
+type E13GridRow struct {
+	Shards     int
+	Workers    int
+	Calls      int
+	Throughput float64 // imports completed per second across the fleet
+	P50, P99   time.Duration
+}
+
+// E13Grid measures import throughput through the sharded trader for each
+// shard count, shards reached over channels and capacity-gated at 1/tau.
+func E13Grid(cfg E13GridConfig) ([]E13GridRow, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 48
+	}
+	if cfg.Tau <= 0 {
+		cfg.Tau = 800 * time.Microsecond
+	}
+	if cfg.Types < 1 {
+		cfg.Types = 64
+	}
+	if cfg.CallsBase < 1 {
+		cfg.CallsBase = 750
+	}
+	var rows []E13GridRow
+	for _, k := range cfg.ShardCounts {
+		row, err := e13GridRow(k, cfg)
+		if err != nil {
+			return rows, fmt.Errorf("e13 grid shards=%d: %w", k, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func e13GridRow(shards int, cfg E13GridConfig) (E13GridRow, error) {
+	net := netsim.New(int64(13000 + shards))
+	net.SetAcceptBacklog(4 * shards)
+	repo := e13Repo(cfg.Types)
+	fe := trader.NewSharded("fe", repo, 0)
+	type leg struct {
+		srv *channel.Server
+		rem *trader.Remote
+	}
+	var legs []leg
+	defer func() {
+		for _, l := range legs {
+			l.rem.Close()
+			l.srv.Close()
+		}
+	}()
+	for i := 0; i < shards; i++ {
+		ep := naming.Endpoint(fmt.Sprintf("sim://shard%d", i))
+		l, err := net.Listen(ep)
+		if err != nil {
+			return E13GridRow{}, err
+		}
+		srv := channel.NewServer(l, channel.ServerConfig{})
+		leaf := trader.New(fmt.Sprintf("s%d", i), repo)
+		id := naming.InterfaceID{Nonce: uint64(100 + i)}
+		err = srv.Register(id, nil, &capacityGate{tau: cfg.Tau, inner: &trader.Servant{T: leaf}})
+		if err != nil {
+			return E13GridRow{}, err
+		}
+		srv.Start()
+		b, err := channel.Bind(naming.InterfaceRef{ID: id, Endpoint: ep}, channel.BindConfig{Transport: net})
+		if err != nil {
+			return E13GridRow{}, err
+		}
+		rem := trader.NewRemote(b)
+		legs = append(legs, leg{srv, rem})
+		if err := fe.AddShard(fmt.Sprintf("s%d", i), rem); err != nil {
+			return E13GridRow{}, err
+		}
+	}
+	for i := 0; i < cfg.Types; i++ {
+		_, err := fe.Export(e13TypeName(i),
+			e13Ref(uint64(1000+i), e13TypeName(i), "sim://nowhere"),
+			values.Record(values.F("slot", values.Int(int64(i)))))
+		if err != nil {
+			return E13GridRow{}, err
+		}
+	}
+
+	calls := cfg.CallsBase + cfg.CallsPerShard*shards
+	var next atomic.Int64
+	durs := make([][]time.Duration, cfg.Workers)
+	errs := make(chan error, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if n > int64(calls) {
+					return
+				}
+				svc := e13TypeName(int(n) % cfg.Types)
+				t0 := time.Now()
+				got, err := fe.Import(trader.ImportRequest{ServiceType: svc, MaxMatches: 1})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) == 0 {
+					errs <- fmt.Errorf("import %s: no offer", svc)
+					return
+				}
+				durs[w] = append(durs[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return E13GridRow{}, err
+	}
+	var all []time.Duration
+	for _, d := range durs {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return E13GridRow{
+		Shards:     shards,
+		Workers:    cfg.Workers,
+		Calls:      calls,
+		Throughput: float64(calls) / elapsed.Seconds(),
+		P50:        all[len(all)/2],
+		P99:        all[len(all)*99/100],
+	}, nil
+}
+
+// E13SwarmConfig parameterises the binding swarm.
+type E13SwarmConfig struct {
+	Bindings int // total client bindings to establish
+	Hosts    int // client hosts (one shared session manager + cache each)
+	Nodes    int // server nodes hosting the service interfaces
+	Services int // distinct service types (spread over the nodes)
+	Shards   int // trader and relocator shard count
+}
+
+// E13SwarmReport is the swarm measurement.
+type E13SwarmReport struct {
+	Config         E13SwarmConfig
+	Bindings       int           // bindings actually established
+	LostLookups    int           // imports or location lookups that found nothing
+	Conns          uint64        // connections accepted across all server nodes
+	Dials          uint64        // dials performed across all client hosts
+	CacheHitRate   float64       // relocation-cache hits / lookups
+	HeapPerBinding uint64        // heap growth per binding, bytes (rough: both ends)
+	P50, P99       time.Duration // first-invocation latency per binding
+	Elapsed        time.Duration
+	PerSec         float64 // bindings established (incl. one invoke) per second
+}
+
+// E13Swarm establishes cfg.Bindings client bindings: each one imports its
+// service from the sharded trader, resolves the location through its
+// host's relocation cache, binds over the host's shared session manager,
+// and performs one invocation. All bindings stay open until the end, so
+// the connection and heap numbers describe the steady swarm, not churn.
+func E13Swarm(cfg E13SwarmConfig) (E13SwarmReport, error) {
+	if cfg.Hosts < 1 || cfg.Nodes < 1 || cfg.Shards < 1 {
+		return E13SwarmReport{}, fmt.Errorf("e13 swarm: bad config %+v", cfg)
+	}
+	if cfg.Services < 1 {
+		cfg.Services = 64
+	}
+	net := netsim.New(13999)
+	net.SetAcceptBacklog(4 * cfg.Hosts * cfg.Nodes)
+	repo := e13Repo(cfg.Services)
+
+	// Server nodes: each hosts the echo servants for its share of the
+	// service types.
+	servers := make([]*channel.Server, cfg.Nodes)
+	for i := range servers {
+		l, err := net.Listen(naming.Endpoint(fmt.Sprintf("sim://node%d", i)))
+		if err != nil {
+			return E13SwarmReport{}, err
+		}
+		servers[i] = channel.NewServer(l, channel.ServerConfig{})
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	// The infrastructure functions: a sharded trader and a sharded
+	// relocator (the over-channels shape is measured by the grid phase;
+	// here they are in-process so the swarm numbers isolate the binding
+	// fan-out itself).
+	fe := trader.NewSharded("swarm", repo, 0)
+	for i := 0; i < cfg.Shards; i++ {
+		if err := fe.AddShard(fmt.Sprintf("t%d", i), trader.New(fmt.Sprintf("t%d", i), repo)); err != nil {
+			return E13SwarmReport{}, err
+		}
+	}
+	wp := relocator.NewSharded(0)
+	for i := 0; i < cfg.Shards; i++ {
+		if err := wp.AddShard(fmt.Sprintf("r%d", i), relocator.New()); err != nil {
+			return E13SwarmReport{}, err
+		}
+	}
+
+	echo := channel.HandlerFunc(func(ctx context.Context, op string, args []values.Value) (string, []values.Value, error) {
+		return "OK", args, nil
+	})
+	for i := 0; i < cfg.Services; i++ {
+		node := i % cfg.Nodes
+		ref := e13Ref(uint64(2000+i), e13TypeName(i), naming.Endpoint(fmt.Sprintf("sim://node%d", node)))
+		if err := servers[node].Register(ref.ID, nil, echo); err != nil {
+			return E13SwarmReport{}, err
+		}
+		if _, err := fe.Export(e13TypeName(i), ref, values.Record(values.F("node", values.Int(int64(node))))); err != nil {
+			return E13SwarmReport{}, err
+		}
+		if err := wp.Register(ref); err != nil {
+			return E13SwarmReport{}, err
+		}
+	}
+	for _, s := range servers {
+		s.Start()
+	}
+
+	// Client hosts: one shared session manager and one relocation cache
+	// each — the cache capacity comfortably covers the service
+	// population, so after warm-up location traffic stays client-side.
+	mgrs := make([]*channel.SessionManager, cfg.Hosts)
+	caches := make([]*relocator.Cache, cfg.Hosts)
+	for h := range mgrs {
+		mgrs[h] = channel.NewSessionManager(net.From(fmt.Sprintf("client%d", h)))
+		caches[h] = relocator.NewCache(wp, 2*cfg.Services)
+	}
+	defer func() {
+		for _, m := range mgrs {
+			m.Close()
+		}
+	}()
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	// Two workers per host keep a couple of invocations in flight per
+	// connection — far below the simulator's frame window, so zero lost
+	// lookups is an assertion about the protocol, not about luck.
+	const workersPerHost = 2
+	nWorkers := cfg.Hosts * workersPerHost
+	perWorker := cfg.Bindings / nWorkers
+	bindings := make([][]*channel.Binding, nWorkers)
+	durs := make([][]time.Duration, nWorkers)
+	var lost atomic.Int64
+	errs := make(chan error, nWorkers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			host := w / workersPerHost
+			bindings[w] = make([]*channel.Binding, 0, perWorker)
+			durs[w] = make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				gi := w*perWorker + i
+				svc := e13TypeName(gi % cfg.Services)
+				t0 := time.Now()
+				offers, err := fe.Import(trader.ImportRequest{ServiceType: svc, MaxMatches: 1})
+				if err != nil || len(offers) == 0 {
+					lost.Add(1)
+					continue
+				}
+				ref, err := caches[host].Lookup(offers[0].Ref.ID)
+				if err != nil {
+					lost.Add(1)
+					continue
+				}
+				b, err := channel.Bind(ref, channel.BindConfig{
+					Sessions: mgrs[host],
+					Locator:  caches[host],
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := b.Invoke(context.Background(), "Echo", []values.Value{values.Str("x")}); err != nil {
+					errs <- err
+					return
+				}
+				bindings[w] = append(bindings[w], b)
+				durs[w] = append(durs[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return E13SwarmReport{}, err
+	}
+
+	established := 0
+	for _, bs := range bindings {
+		established += len(bs)
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	var heapPerB uint64
+	if after.HeapAlloc > before.HeapAlloc && established > 0 {
+		heapPerB = (after.HeapAlloc - before.HeapAlloc) / uint64(established)
+	}
+
+	var all []time.Duration
+	for _, d := range durs {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep := E13SwarmReport{
+		Config:         cfg,
+		Bindings:       established,
+		LostLookups:    int(lost.Load()),
+		HeapPerBinding: heapPerB,
+		Elapsed:        elapsed,
+		PerSec:         float64(established) / elapsed.Seconds(),
+	}
+	if len(all) > 0 {
+		rep.P50, rep.P99 = all[len(all)/2], all[len(all)*99/100]
+	}
+	for _, s := range servers {
+		rep.Conns += s.Stats().Sessions
+	}
+	var hits, misses uint64
+	for h := range mgrs {
+		rep.Dials += mgrs[h].Stats().Dials
+		cs := caches[h].Stats()
+		hits += cs.Hits
+		misses += cs.Misses
+	}
+	if hits+misses > 0 {
+		rep.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	for _, bs := range bindings {
+		for _, b := range bs {
+			b.Close()
+		}
+	}
+	return rep, nil
+}
+
+// E13BlackoutReport is the rebalance-availability measurement.
+type E13BlackoutReport struct {
+	Offers      int
+	Probes      uint64        // successful per-offer imports during the window
+	Misses      uint64        // probes that found nothing (the blackout count)
+	MaxBlackout time.Duration // worst gap between successive finds of one offer
+	Migrated    uint64        // offers moved live by the ring changes
+	Rebalances  uint64
+}
+
+// E13Blackout probes every offer continuously — over channels, against
+// remote shard traders — while the ring gains one shard and loses
+// another. A miss is an import of a live offer that returns nothing; the
+// migration protocol is supposed to make that impossible, and the
+// per-offer gap bounds how long any single offer went unobserved.
+func E13Blackout(offers int) (E13BlackoutReport, error) {
+	if offers < 1 {
+		offers = 64
+	}
+	const initialShards = 3
+	net := netsim.New(13777)
+	net.SetAcceptBacklog(16)
+	repo := e13Repo(offers)
+	fe := trader.NewSharded("fe", repo, 0)
+
+	var srvs []*channel.Server
+	var rems []*trader.Remote
+	defer func() {
+		for _, r := range rems {
+			r.Close()
+		}
+		for _, s := range srvs {
+			s.Close()
+		}
+	}()
+	newShardNode := func(i int) (*trader.Remote, error) {
+		ep := naming.Endpoint(fmt.Sprintf("sim://shard%d", i))
+		l, err := net.Listen(ep)
+		if err != nil {
+			return nil, err
+		}
+		srv := channel.NewServer(l, channel.ServerConfig{})
+		leaf := trader.New(fmt.Sprintf("s%d", i), repo)
+		id := naming.InterfaceID{Nonce: uint64(100 + i)}
+		if err := srv.Register(id, nil, &trader.Servant{T: leaf}); err != nil {
+			return nil, err
+		}
+		srv.Start()
+		srvs = append(srvs, srv)
+		b, err := channel.Bind(naming.InterfaceRef{ID: id, Endpoint: ep}, channel.BindConfig{Transport: net})
+		if err != nil {
+			return nil, err
+		}
+		rem := trader.NewRemote(b)
+		rems = append(rems, rem)
+		return rem, nil
+	}
+	for i := 0; i < initialShards; i++ {
+		rem, err := newShardNode(i)
+		if err != nil {
+			return E13BlackoutReport{}, err
+		}
+		if err := fe.AddShard(fmt.Sprintf("s%d", i), rem); err != nil {
+			return E13BlackoutReport{}, err
+		}
+	}
+	for i := 0; i < offers; i++ {
+		_, err := fe.Export(e13TypeName(i),
+			e13Ref(uint64(3000+i), e13TypeName(i), "sim://nowhere"),
+			values.Null())
+		if err != nil {
+			return E13BlackoutReport{}, err
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		lastSeen = make([]time.Time, offers)
+		maxGap   = make([]time.Duration, offers)
+		seen     int
+		probes   atomic.Uint64
+		misses   atomic.Uint64
+		stop     atomic.Bool
+	)
+	record := func(i int, ok bool) {
+		if !ok {
+			misses.Add(1)
+			return
+		}
+		probes.Add(1)
+		now := time.Now()
+		mu.Lock()
+		if lastSeen[i].IsZero() {
+			seen++
+		} else if gap := now.Sub(lastSeen[i]); gap > maxGap[i] {
+			maxGap[i] = gap
+		}
+		lastSeen[i] = now
+		mu.Unlock()
+	}
+	const probers = 4
+	errs := make(chan error, probers)
+	var wg sync.WaitGroup
+	for p := 0; p < probers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; !stop.Load(); i++ {
+				idx := i % offers
+				got, err := fe.Import(trader.ImportRequest{ServiceType: e13TypeName(idx), MaxMatches: 1})
+				if err != nil {
+					errs <- err
+					return
+				}
+				record(idx, len(got) == 1)
+				runtime.Gosched() // single-CPU hosts: let migration interleave
+			}
+		}(p)
+	}
+	// Wait until the probes have observed every offer once, so the gap
+	// log covers the whole population before the ring starts moving.
+	for {
+		mu.Lock()
+		warm := seen == offers
+		mu.Unlock()
+		if warm {
+			break
+		}
+		runtime.Gosched()
+	}
+	// Reset the gap log: only gaps overlapping the rebalance window count.
+	mu.Lock()
+	for i := range maxGap {
+		maxGap[i] = 0
+	}
+	mu.Unlock()
+
+	rem, err := newShardNode(initialShards)
+	if err != nil {
+		stop.Store(true)
+		wg.Wait()
+		return E13BlackoutReport{}, err
+	}
+	if err := fe.AddShard(fmt.Sprintf("s%d", initialShards), rem); err != nil {
+		stop.Store(true)
+		wg.Wait()
+		return E13BlackoutReport{}, err
+	}
+	if err := fe.RemoveShard("s0"); err != nil {
+		stop.Store(true)
+		wg.Wait()
+		return E13BlackoutReport{}, err
+	}
+	// Keep probing a little past the flips so trailing gaps close.
+	time.Sleep(20 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return E13BlackoutReport{}, err
+	}
+
+	rep := E13BlackoutReport{
+		Offers: offers,
+		Probes: probes.Load(),
+		Misses: misses.Load(),
+	}
+	mu.Lock()
+	for _, g := range maxGap {
+		if g > rep.MaxBlackout {
+			rep.MaxBlackout = g
+		}
+	}
+	mu.Unlock()
+	st := fe.ShardStats()
+	rep.Migrated, rep.Rebalances = st.Migrated, st.Rebalances
+	return rep, nil
+}
+
+// E13Report bundles the three phases for odpbench.
+type E13Report struct {
+	Grid     []E13GridRow
+	Swarm    E13SwarmReport
+	Blackout E13BlackoutReport
+}
+
+// E13 runs the full experiment (or the CI smoke slice: a 1-vs-8 grid and
+// a 100k-binding swarm instead of the 1/2/4/8/16 sweep over 600k).
+func E13(smoke bool) (E13Report, error) {
+	grid := E13GridConfig{ShardCounts: []int{1, 2, 4, 8, 16}, CallsBase: 750, CallsPerShard: 250}
+	swarm := E13SwarmConfig{Bindings: 600_000, Hosts: 16, Nodes: 32, Services: 64, Shards: 4}
+	if smoke {
+		grid.ShardCounts = []int{1, 8}
+		grid.CallsBase, grid.CallsPerShard = 600, 250
+		swarm = E13SwarmConfig{Bindings: 100_000, Hosts: 8, Nodes: 16, Services: 64, Shards: 4}
+	}
+	var rep E13Report
+	var err error
+	if rep.Grid, err = E13Grid(grid); err != nil {
+		return rep, err
+	}
+	if rep.Swarm, err = E13Swarm(swarm); err != nil {
+		return rep, err
+	}
+	if rep.Blackout, err = E13Blackout(64); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Records flattens the report into the unified benchmark-record shape.
+func (r E13Report) Records() []Record {
+	var out []Record
+	for _, g := range r.Grid {
+		out = append(out, Record{
+			Experiment: "e13",
+			Scenario:   "grid",
+			Params: map[string]float64{
+				"shards":  float64(g.Shards),
+				"workers": float64(g.Workers),
+			},
+			Metrics: map[string]float64{
+				"calls":      float64(g.Calls),
+				"throughput": g.Throughput,
+				"p50_us":     float64(g.P50.Microseconds()),
+				"p99_us":     float64(g.P99.Microseconds()),
+			},
+		})
+	}
+	s := r.Swarm
+	out = append(out, Record{
+		Experiment: "e13",
+		Scenario:   "swarm",
+		Params: map[string]float64{
+			"hosts":    float64(s.Config.Hosts),
+			"nodes":    float64(s.Config.Nodes),
+			"services": float64(s.Config.Services),
+			"shards":   float64(s.Config.Shards),
+		},
+		Metrics: map[string]float64{
+			"bindings":         float64(s.Bindings),
+			"lost_lookups":     float64(s.LostLookups),
+			"conns":            float64(s.Conns),
+			"dials":            float64(s.Dials),
+			"cache_hit_rate":   s.CacheHitRate,
+			"heap_per_binding": float64(s.HeapPerBinding),
+			"p50_us":           float64(s.P50.Microseconds()),
+			"p99_us":           float64(s.P99.Microseconds()),
+			"bindings_per_sec": s.PerSec,
+		},
+	})
+	b := r.Blackout
+	out = append(out, Record{
+		Experiment: "e13",
+		Scenario:   "rebalance-blackout",
+		Params:     map[string]float64{"offers": float64(b.Offers)},
+		Metrics: map[string]float64{
+			"probes":          float64(b.Probes),
+			"misses":          float64(b.Misses),
+			"max_blackout_us": float64(b.MaxBlackout.Microseconds()),
+			"migrated":        float64(b.Migrated),
+			"rebalances":      float64(b.Rebalances),
+		},
+	})
+	return out
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE13GridRuns exercises the gated grid harness at a tiny scale: the
+// point here is that every shard answers over channels and no import is
+// lost, not the scaling ratio (that is the CI smoke gate's job).
+func TestE13GridRuns(t *testing.T) {
+	rows, err := E13Grid(E13GridConfig{
+		ShardCounts:   []int{1, 2},
+		Workers:       8,
+		Tau:           50 * time.Microsecond,
+		Types:         16,
+		CallsBase:     100,
+		CallsPerShard: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Throughput <= 0 || r.P99 <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+}
+
+func TestE13SwarmSmall(t *testing.T) {
+	rep, err := E13Swarm(E13SwarmConfig{
+		Bindings: 4000, Hosts: 4, Nodes: 8, Services: 16, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bindings != 4000 {
+		t.Fatalf("established %d of 4000 bindings", rep.Bindings)
+	}
+	if rep.LostLookups != 0 {
+		t.Fatalf("%d lost lookups", rep.LostLookups)
+	}
+	// Each host dials at most one connection per server node; the swarm
+	// must not scale connections with bindings.
+	if rep.Conns == 0 || rep.Conns > 4*8 {
+		t.Fatalf("conns = %d, want (0, 32]", rep.Conns)
+	}
+	if rep.CacheHitRate < 0.9 {
+		t.Fatalf("cache hit rate = %.3f", rep.CacheHitRate)
+	}
+}
+
+func TestE13BlackoutZeroMisses(t *testing.T) {
+	rep, err := E13Blackout(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Misses != 0 {
+		t.Fatalf("%d probe misses during rebalance", rep.Misses)
+	}
+	if rep.Probes == 0 {
+		t.Fatal("no probes ran")
+	}
+	// 3 setup AddShards plus the measured add + remove.
+	if rep.Rebalances < 5 {
+		t.Fatalf("rebalances = %d, want >= 5", rep.Rebalances)
+	}
+	if rep.Migrated == 0 {
+		t.Fatal("ring changes migrated nothing")
+	}
+	if recs := (E13Report{Blackout: rep}).Records(); len(recs) != 2 {
+		// grid empty -> swarm + blackout records
+		t.Fatalf("records = %d", len(recs))
+	}
+}

@@ -1,0 +1,155 @@
+// Package hashring is the consistent-hash ring shared by the sharded
+// infrastructure functions. It is a leaf package (no repo imports), so
+// both the trader and the relocator can partition over it without
+// dependency cycles.
+package hashring
+
+// The ring partitions the infrastructure functions
+// (trader offer space by service type, relocator entries by interface id).
+// Members are mapped onto the ring at `replicas` virtual points each, so
+// adding or removing one member moves only ~1/n of the key space — the
+// property that makes live shard rebalancing affordable.
+//
+// A Ring is an immutable-ish value guarded by its owner: the sharded
+// trader and relocator mutate it only under their own locks, and every
+// mutation bumps the epoch so readers can tell two ring generations
+// apart (the same fencing idea the session layer uses for relocation
+// epochs).
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultRingReplicas is the virtual-node count per member when the
+// caller does not choose one. 64 keeps the load imbalance across shards
+// in the few-percent range without making ring rebuilds noticeable.
+const defaultRingReplicas = 64
+
+// Ring is a consistent-hash ring over named members. It is NOT safe for
+// concurrent mutation; owners guard it with their own lock (reads of a
+// snapshot obtained under that lock are safe).
+type Ring struct {
+	replicas int
+	members  map[string]bool
+	points   []ringPoint // sorted by hash
+	epoch    uint64
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// New returns an empty ring with the given virtual-node count per
+// member (<=0 selects the default).
+func New(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultRingReplicas
+	}
+	return &Ring{replicas: replicas, members: make(map[string]bool)}
+}
+
+// Clone returns an independent copy of the ring (same epoch). Owners use
+// it to prepare the post-rebalance ring while the old one keeps serving.
+func (r *Ring) Clone() *Ring {
+	c := &Ring{
+		replicas: r.replicas,
+		members:  make(map[string]bool, len(r.members)),
+		points:   make([]ringPoint, len(r.points)),
+		epoch:    r.epoch,
+	}
+	for m := range r.members {
+		c.members[m] = true
+	}
+	copy(c.points, r.points)
+	return c
+}
+
+// ringHash is FNV-1a with a 64-bit avalanche finalizer. Raw FNV-1a is
+// unusable for ring placement: inputs differing only in a trailing
+// character hash to values exactly one FNV-prime apart, so a member's
+// virtual points ("m#0".."m#63") — and any family of similar keys —
+// collapse into one tight cluster on the ring. The finalizer (the
+// 64-bit mix from MurmurHash3) spreads them across the whole space.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add places a member on the ring and bumps the epoch. Adding an existing
+// member is an error (the caller's membership bookkeeping is confused).
+func (r *Ring) Add(member string) error {
+	if r.members[member] {
+		return fmt.Errorf("hashring: ring member %q already present", member)
+	}
+	r.members[member] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{
+			hash:   ringHash(fmt.Sprintf("%s#%d", member, i)),
+			member: member,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	r.epoch++
+	return nil
+}
+
+// Remove takes a member off the ring and bumps the epoch.
+func (r *Ring) Remove(member string) error {
+	if !r.members[member] {
+		return fmt.Errorf("hashring: ring member %q not present", member)
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	for i := len(kept); i < len(r.points); i++ {
+		r.points[i] = ringPoint{} // clear vacated slots
+	}
+	r.points = kept
+	r.epoch++
+	return nil
+}
+
+// Owner returns the member owning key: the first virtual point at or
+// after the key's hash, wrapping. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the sorted member names.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Epoch returns the ring generation: it advances on every Add/Remove, so
+// two ring views can be ordered and cached routing decisions fenced.
+func (r *Ring) Epoch() uint64 { return r.epoch }

@@ -1,0 +1,121 @@
+package hashring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnerStableAndTotal(t *testing.T) {
+	r := New(0)
+	if got := r.Owner("anything"); got != "" {
+		t.Fatalf("empty ring Owner = %q", got)
+	}
+	for _, m := range []string{"a", "b", "c"} {
+		if err := r.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Size() != 3 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	// Every key maps to exactly one member, deterministically.
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o1, o2 := r.Owner(key), r.Owner(key)
+		if o1 != o2 || !r.members[o1] {
+			t.Fatalf("Owner(%q) unstable or unknown: %q vs %q", key, o1, o2)
+		}
+	}
+}
+
+func TestAddMovesOnlyAFraction(t *testing.T) {
+	r := New(0)
+	for _, m := range []string{"s0", "s1", "s2", "s3"} {
+		if err := r.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const keys = 2000
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.Owner(k)
+	}
+	next := r.Clone()
+	if err := next.Add("s4"); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for k, old := range before {
+		now := next.Owner(k)
+		if now != old {
+			if now != "s4" {
+				t.Fatalf("key %q moved %s -> %s, not to the new member", k, old, now)
+			}
+			moved++
+		}
+	}
+	// Consistent hashing: ~1/5 of the space moves, and only to the newcomer.
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("moved %d of %d keys on add", moved, keys)
+	}
+	// Clone left the original untouched.
+	for k, old := range before {
+		if r.Owner(k) != old {
+			t.Fatalf("original ring disturbed for %q", k)
+		}
+	}
+}
+
+func TestRemoveRedistributesToSurvivors(t *testing.T) {
+	r := New(0)
+	for _, m := range []string{"s0", "s1", "s2"} {
+		if err := r.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := make(map[string]string)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.Owner(k)
+	}
+	if err := r.Remove("s1"); err != nil {
+		t.Fatal(err)
+	}
+	for k, old := range before {
+		now := r.Owner(k)
+		if now == "s1" {
+			t.Fatalf("removed member still owns %q", k)
+		}
+		if old != "s1" && now != old {
+			t.Fatalf("key %q not owned by s1 moved %s -> %s on remove", k, old, now)
+		}
+	}
+}
+
+func TestEpochAndErrors(t *testing.T) {
+	r := New(8)
+	e0 := r.Epoch()
+	if err := r.Add("a"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != e0+1 {
+		t.Fatalf("epoch after add = %d", r.Epoch())
+	}
+	if err := r.Add("a"); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+	if err := r.Remove("ghost"); err == nil {
+		t.Fatal("removing absent member accepted")
+	}
+	c := r.Clone()
+	if err := c.Add("b"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() != r.Epoch()+1 {
+		t.Fatalf("clone epoch = %d, base = %d", c.Epoch(), r.Epoch())
+	}
+	if got := r.Members(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("base members disturbed: %v", got)
+	}
+}

@@ -97,6 +97,27 @@ type TraderInstruments struct {
 	ImportLatency *Histogram // import latency, ns
 }
 
+// ShardInstruments instrument a sharded-trader (or sharded-relocator)
+// front-end: the ring shape and the routing work per import.
+type ShardInstruments struct {
+	Shards         *Gauge     // shards currently on the ring
+	RingEpoch      *Gauge     // ring generation (bumps on flip and on settle)
+	Rebalances     *Counter   // completed ring changes
+	MigratedOffers *Counter   // offers moved live during rebalances
+	Imports        *Counter   // imports answered by the front-end
+	Matched        *Counter   // offers returned
+	ShardsPerImport *Histogram // shard queries issued per import
+	ImportLatency  *Histogram // front-end import latency, ns
+}
+
+// ShardLegInstruments instrument one shard as seen from a front-end: the
+// per-shard gauges that show whether the ring is balanced.
+type ShardLegInstruments struct {
+	Offers        *Gauge   // offers currently homed on this shard
+	RoutedExports *Counter // exports (and installs) routed here
+	RoutedImports *Counter // shard queries routed here
+}
+
 // PolicyInstruments instrument the failure-policy layer: circuit-breaker
 // state transitions and retry/backoff activity. One bundle is shared by
 // every breaker in a BreakerSet and by the bindings applying a
@@ -266,6 +287,39 @@ func (m *Management) TraderInstr(name string) *TraderInstruments {
 		Imports:       m.Registry.Counter(p + "imports"),
 		Matched:       m.Registry.Counter(p + "matched"),
 		ImportLatency: m.Registry.Histogram(p + "import_latency_ns"),
+	}
+}
+
+// TraderShards resolves a sharded front-end bundle. Metrics land under
+// trader.<name>.shards.*.
+func (m *Management) TraderShards(name string) *ShardInstruments {
+	if m == nil {
+		return nil
+	}
+	p := "trader." + name + ".shards."
+	return &ShardInstruments{
+		Shards:          m.Registry.Gauge(p + "count"),
+		RingEpoch:       m.Registry.Gauge(p + "ring_epoch"),
+		Rebalances:      m.Registry.Counter(p + "rebalances"),
+		MigratedOffers:  m.Registry.Counter(p + "migrated_offers"),
+		Imports:         m.Registry.Counter(p + "imports"),
+		Matched:         m.Registry.Counter(p + "matched"),
+		ShardsPerImport: m.Registry.Histogram(p + "shards_per_import"),
+		ImportLatency:   m.Registry.Histogram(p + "import_latency_ns"),
+	}
+}
+
+// TraderShardLeg resolves the per-shard gauges of one shard leg. Metrics
+// land under trader.<name>.shard.<shard>.*.
+func (m *Management) TraderShardLeg(name, shard string) *ShardLegInstruments {
+	if m == nil {
+		return nil
+	}
+	p := "trader." + name + ".shard." + shard + "."
+	return &ShardLegInstruments{
+		Offers:        m.Registry.Gauge(p + "offers"),
+		RoutedExports: m.Registry.Counter(p + "routed_exports"),
+		RoutedImports: m.Registry.Counter(p + "routed_imports"),
 	}
 }
 

@@ -62,6 +62,14 @@ type System struct {
 	// retry policy Env hands to every binding configured afterwards.
 	breakerCfg *policy.BreakerConfig
 	defaultPol *policy.RetryPolicy
+	// directory, when set by ShardTrader, replaces the single Trader as
+	// the trading function Deploy and ImportAndBind use (nil = s.Trader).
+	directory trader.Shard
+	// cache, when set by EnableRelocationCache, is the bounded
+	// epoch-fenced client-side relocation cache Env hands to bindings as
+	// their Locator; cacheCancel unsubscribes it from relocator events.
+	cache       *relocator.Cache
+	cacheCancel func()
 }
 
 // EnableManagement creates the system's management domain and wires it
@@ -77,6 +85,9 @@ func (s *System) EnableManagement() *mgmt.Management {
 		s.mgmt = mgmt.New()
 		s.Net.Instrument(s.mgmt.Net("sim"))
 		s.Trader.Instrument(s.mgmt.TraderInstr("trader"))
+		if st, ok := s.directory.(*trader.ShardedTrader); ok {
+			s.instrumentShardedLocked(st)
+		}
 		for host, sm := range s.sessions {
 			sm.Instrument(s.mgmt.Sessions(host))
 			if bs := sm.Breakers(); bs != nil {
@@ -110,6 +121,80 @@ func (s *System) attachBreakersLocked(host string, sm *channel.SessionManager) {
 	bs := policy.NewBreakerSet(*s.breakerCfg)
 	bs.Instrument(s.mgmt.Policy(host))
 	sm.SetBreakers(bs)
+}
+
+// Directory returns the trading function clients of this system go
+// through: the single Trader by default, or the sharded front-end once
+// ShardTrader has been called.
+func (s *System) Directory() trader.Shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.directory != nil {
+		return s.directory
+	}
+	return s.Trader
+}
+
+// ShardTrader partitions the system's trading function: shards local
+// trader objects are created ("shard0".."shardN-1"), joined to a
+// consistent-hash ring keyed by service type, and fronted by a
+// ShardedTrader that Deploy and ImportAndBind use from then on. Offers
+// already exported to the legacy single Trader stay where they are (call
+// this before deploying); new exports route to their owning shard. The
+// front-end is returned so callers can rebalance (AddShard/RemoveShard)
+// or add remote shards.
+func (s *System) ShardTrader(shards int) (*trader.ShardedTrader, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("odp: ShardTrader needs >= 1 shards, got %d", shards)
+	}
+	st := trader.NewSharded("trader", s.Types, 0)
+	for i := 0; i < shards; i++ {
+		name := fmt.Sprintf("shard%d", i)
+		if err := st.AddShard(name, trader.New(name, s.Types)); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	s.directory = st
+	if s.mgmt != nil {
+		s.instrumentShardedLocked(st)
+	}
+	s.mu.Unlock()
+	return st, nil
+}
+
+func (s *System) instrumentShardedLocked(st *trader.ShardedTrader) {
+	m := s.mgmt
+	st.Instrument(m.TraderShards("trader"))
+	st.InstrumentShards(func(shard string) *mgmt.ShardLegInstruments {
+		return m.TraderShardLeg("trader", shard)
+	})
+}
+
+// EnableRelocationCache puts a bounded, epoch-fenced location cache in
+// front of the system relocator for every binding configured through
+// Env/Bind/ImportAndBind afterwards: the hot re-bind path pays a map
+// read instead of a relocator lookup while its entry is fresh. The cache
+// subscribes to the relocator's events, so co-resident moves and
+// removals fence or invalidate entries immediately; bindings invalidate
+// entries on staleness evidence through channel.LocationInvalidator.
+// Idempotent; returns the cache.
+func (s *System) EnableRelocationCache(capacity int) *relocator.Cache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		s.cache = relocator.NewCache(s.Relocator, capacity)
+		s.cacheCancel = s.Relocator.Subscribe(s.cache.Observe)
+	}
+	return s.cache
+}
+
+// RelocationCache returns the client-side relocation cache, nil when
+// disabled.
+func (s *System) RelocationCache() *relocator.Cache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache
 }
 
 // SetDefaultPolicy installs the retry policy that Env (and so Bind and
@@ -225,7 +310,12 @@ func (s *System) Close() error {
 		managers = append(managers, sm)
 	}
 	s.sessions = map[string]*channel.SessionManager{}
+	cancel := s.cacheCancel
+	s.cacheCancel = nil
 	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
 	var first error
 	for _, sm := range managers {
 		_ = sm.Close()
@@ -300,7 +390,7 @@ func (s *System) Deploy(node *engineering.Node, tmpl core.ObjectTemplate, props 
 			return nil, err
 		}
 		dep.Refs[decl.Type.Name] = ref
-		offerID, err := s.Trader.Export(decl.Type.Name, ref, props)
+		offerID, err := s.Directory().Export(decl.Type.Name, ref, props)
 		if err != nil {
 			return nil, err
 		}
@@ -318,11 +408,15 @@ func (s *System) Deploy(node *engineering.Node, tmpl core.ObjectTemplate, props 
 func (s *System) Env(clientHost string) transparency.Env {
 	s.mu.Lock()
 	pol := s.defaultPol
+	var loc channel.Locator = s.Relocator
+	if s.cache != nil {
+		loc = s.cache
+	}
 	s.mu.Unlock()
 	return transparency.Env{
 		Transport:   s.Net.From(clientHost),
 		Sessions:    s.SessionsFor(clientHost),
-		Locator:     s.Relocator,
+		Locator:     loc,
 		Instruments: s.Mgmt().ChannelClient(clientHost),
 		Policy:      pol,
 	}
@@ -342,7 +436,7 @@ func (s *System) Bind(clientHost string, ref naming.InterfaceRef, contract core.
 // offer under the contract — the canonical ODP client path:
 // trade, then bind.
 func (s *System) ImportAndBind(clientHost, serviceType, constraintSrc string, contract core.Contract) (*channel.Binding, error) {
-	offers, err := s.Trader.Import(trader.ImportRequest{
+	offers, err := s.Directory().Import(trader.ImportRequest{
 		ServiceType: serviceType,
 		Constraint:  constraintSrc,
 		MaxMatches:  1,

@@ -1,0 +1,101 @@
+package odp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/core"
+	"repro/internal/trader"
+	"repro/internal/transactions"
+	"repro/internal/values"
+)
+
+func TestShardTraderServesDeployAndImport(t *testing.T) {
+	s := NewSystem(1)
+	defer s.Close()
+	st, err := s.ShardTrader(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards()) != 4 {
+		t.Fatalf("shards = %v", st.Shards())
+	}
+	if s.Directory() != trader.Shard(st) {
+		t.Fatal("Directory is not the sharded front-end")
+	}
+
+	node, err := s.CreateNode("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := transactions.NewCoordinator()
+	bank.RegisterBehavior(node.Behaviors(), coord, transactions.NewStore("b", nil))
+	if _, err := s.Deploy(node, bank.Template("branch-cbd"), values.Record(
+		values.F("city", values.Str("brisbane")),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	// The legacy single trader holds nothing: exports routed to shards.
+	if s.Trader.Len() != 0 {
+		t.Fatalf("legacy trader holds %d offers", s.Trader.Len())
+	}
+	if st.ShardStats().Exports == 0 {
+		t.Fatal("no exports reached the front-end")
+	}
+
+	contract := core.Contract{Require: core.TransparencySet(core.Access | core.Location)}
+	b, err := s.ImportAndBind("client", "BankTeller", "city == 'brisbane'", contract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	term, _, err := b.Invoke(context.Background(), "Balance", []values.Value{values.Str("ghost"), values.Str("x")})
+	if err != nil {
+		t.Fatalf("invoke through sharded directory: %v", err)
+	}
+	_ = term // any terminations is fine; the wire round-trip is the point
+
+	if _, err := s.ShardTrader(0); err == nil {
+		t.Fatal("ShardTrader(0) accepted")
+	}
+}
+
+func TestRelocationCacheServesBindings(t *testing.T) {
+	s := NewSystem(1)
+	defer s.Close()
+	cache := s.EnableRelocationCache(64)
+	if cache == nil || s.RelocationCache() != cache {
+		t.Fatal("cache not installed")
+	}
+	if again := s.EnableRelocationCache(8); again != cache {
+		t.Fatal("EnableRelocationCache not idempotent")
+	}
+
+	node, err := s.CreateNode("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := transactions.NewCoordinator()
+	bank.RegisterBehavior(node.Behaviors(), coord, transactions.NewStore("b", nil))
+	dep, err := s.Deploy(node, bank.Template("branch-cbd"), values.Null())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deployment registered locations; the subscription pre-warmed the
+	// cache, so the binding's locator lookup is a hit.
+	ref, _ := dep.Ref("BankManager")
+	b, err := s.Bind("client", ref, core.Contract{Require: core.TransparencySet(core.Location | core.Relocation)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if term, _, err := b.Invoke(context.Background(), "CreateAccount",
+		[]values.Value{values.Str("alice")}); err != nil || term != "OK" {
+		t.Fatalf("invoke = %q, %v", term, err)
+	}
+	stats := cache.Stats()
+	if stats.Hits == 0 {
+		t.Fatalf("no cache hits: %+v", stats)
+	}
+}

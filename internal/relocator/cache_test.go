@@ -1,0 +1,214 @@
+package relocator
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	r := New()
+	in := ref(1, "sim://a", 0)
+	if err := r.Register(in); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(r, 8)
+	for i := 0; i < 3; i++ {
+		got, err := c.Lookup(in.ID)
+		if err != nil || got != in {
+			t.Fatalf("lookup %d = %+v, %v", i, got, err)
+		}
+	}
+	stats := c.Stats()
+	if stats.Misses != 1 || stats.Hits != 2 || stats.Entries != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Source errors pass through and cache nothing.
+	if _, err := c.Lookup(ref(99, "", 0).ID); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown lookup = %v", err)
+	}
+	if c.Stats().Entries != 1 {
+		t.Fatalf("error cached: %+v", c.Stats())
+	}
+}
+
+func TestCacheCapacityBound(t *testing.T) {
+	r := New()
+	const capLimit = 16
+	c := NewCache(r, capLimit)
+	for i := 0; i < 100; i++ {
+		in := ref(uint64(i+1), "sim://a", 0)
+		if err := r.Register(in); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Lookup(in.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := c.Stats()
+	if stats.Entries > capLimit {
+		t.Fatalf("entries = %d > cap %d", stats.Entries, capLimit)
+	}
+	if stats.Evictions == 0 {
+		t.Fatal("no evictions under pressure")
+	}
+}
+
+func TestCacheInvalidateForcesRefresh(t *testing.T) {
+	r := New()
+	in := ref(1, "sim://a", 0)
+	if err := r.Register(in); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(r, 8)
+	if _, err := c.Lookup(in.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The authority moves the interface; the cache still holds the old
+	// endpoint until a staleness signal lands.
+	moved, err := r.Move(in.ID, "sim://b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Lookup(in.ID); got.Endpoint != "sim://a" {
+		t.Fatalf("expected stale cached answer, got %+v", got)
+	}
+	c.Invalidate(in.ID)
+	got, err := c.Lookup(in.ID)
+	if err != nil || got != moved {
+		t.Fatalf("post-invalidate lookup = %+v, %v", got, err)
+	}
+	if c.Stats().Invalidated != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestCacheFenceBlocksOlderEpoch(t *testing.T) {
+	r := New()
+	in := ref(1, "sim://a", 0)
+	if err := r.Register(in); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(r, 8)
+	// The binding layer learns epoch 3 exists before the authority does.
+	c.Fence(in.ID, 3)
+	got, err := c.Lookup(in.ID)
+	if err != nil || got.Epoch != 0 {
+		t.Fatalf("lookup = %+v, %v", got, err)
+	}
+	// The lagging answer was returned but must not have been cached.
+	if c.Stats().Hits != 0 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+	if _, err := c.Lookup(in.ID); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Hits != 0 || c.Stats().Misses != 2 {
+		t.Fatalf("fenced epoch served from cache: %+v", c.Stats())
+	}
+	// Once the authority catches up to the fence, caching resumes.
+	caught := in
+	caught.Epoch = 3
+	caught.Endpoint = "sim://c"
+	if err := r.Register(caught); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Lookup(in.ID); got != caught {
+		t.Fatalf("caught-up lookup = %+v", got)
+	}
+	if got, _ := c.Lookup(in.ID); got != caught {
+		t.Fatalf("cached caught-up lookup = %+v", got)
+	}
+	if c.Stats().Hits != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestCacheObserveFollowsAuthority(t *testing.T) {
+	r := New()
+	c := NewCache(r, 8)
+	cancel := r.Subscribe(c.Observe)
+	defer cancel()
+
+	in := ref(1, "sim://a", 0)
+	if err := r.Register(in); err != nil {
+		t.Fatal(err)
+	}
+	// The event stream pre-warmed the cache: first lookup is a hit.
+	if got, err := c.Lookup(in.ID); err != nil || got != in {
+		t.Fatalf("lookup = %+v, %v", got, err)
+	}
+	if c.Stats().Hits != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+	// A move refreshes the cached entry and fences the old epoch.
+	moved, err := r.Move(in.ID, "sim://b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Lookup(in.ID); got != moved {
+		t.Fatalf("post-move lookup = %+v", got)
+	}
+	// A removal drops it.
+	r.Remove(in.ID)
+	if _, err := c.Lookup(in.ID); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("post-remove lookup = %v", err)
+	}
+}
+
+// TestCacheNeverServesFencedEpoch is the -race guarantee: concurrent
+// lookups racing a relocation never read an epoch the fence has killed.
+func TestCacheNeverServesFencedEpoch(t *testing.T) {
+	r := New()
+	in := ref(1, "sim://a", 0)
+	if err := r.Register(in); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(r, 8)
+
+	var stop atomic.Bool
+	var violations atomic.Uint64
+	fence := new(atomic.Uint64) // highest epoch the fencer has announced
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				known := fence.Load()
+				got, err := c.Lookup(in.ID)
+				if err != nil {
+					continue
+				}
+				// By the time the fencer publishes epoch e, the authority
+				// already holds e and the cache fence is set — so any answer
+				// below an epoch published BEFORE the lookup began, cached or
+				// sourced, is a stale read.
+				if got.Epoch < known {
+					violations.Add(1)
+				}
+			}
+		}()
+	}
+
+	for epoch := uint64(1); epoch <= 200; epoch++ {
+		moved, err := r.Move(in.ID, "sim://b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Fence(in.ID, moved.Epoch)
+		fence.Store(moved.Epoch)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if violations.Load() != 0 {
+		t.Fatalf("%d fenced-epoch reads served", violations.Load())
+	}
+	// Settled: the cache converges on the authority's final epoch.
+	got, err := c.Lookup(in.ID)
+	if err != nil || got.Epoch != 200 {
+		t.Fatalf("settled lookup = %+v, %v", got, err)
+	}
+}

@@ -27,6 +27,23 @@ var (
 	ErrStale   = errors.New("relocator: registration is older than current epoch")
 )
 
+// StaleError is the structured form of ErrStale: it carries the epoch the
+// relocator currently holds for the interface alongside the refused one,
+// so a caller that hits errors.Is(err, ErrStale) can also recover the
+// current epoch from the chain (errors.As) instead of re-looking it up.
+type StaleError struct {
+	ID      naming.InterfaceID
+	Current uint64 // epoch the relocator holds
+	Refused uint64 // epoch the rejected registration carried
+}
+
+func (e *StaleError) Error() string {
+	return fmt.Sprintf("%v: %s has epoch %d, refusing epoch %d", ErrStale, e.ID, e.Current, e.Refused)
+}
+
+// Unwrap makes errors.Is(err, ErrStale) hold.
+func (e *StaleError) Unwrap() error { return ErrStale }
+
 // Event describes one change to the location database.
 type Event struct {
 	Ref     naming.InterfaceRef
@@ -64,7 +81,7 @@ func (r *Relocator) Register(ref naming.InterfaceRef) error {
 	r.mu.Lock()
 	if cur, ok := r.entries[ref.ID]; ok && ref.Epoch < cur.Epoch {
 		r.mu.Unlock()
-		return fmt.Errorf("%w: %s has epoch %d, refusing epoch %d", ErrStale, ref.ID, cur.Epoch, ref.Epoch)
+		return &StaleError{ID: ref.ID, Current: cur.Epoch, Refused: ref.Epoch}
 	}
 	r.entries[ref.ID] = ref
 	subs := r.snapshot()

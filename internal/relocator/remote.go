@@ -9,6 +9,7 @@ package relocator
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/channel"
@@ -23,6 +24,13 @@ func InterfaceType() *types.Interface {
 		types.Op("Register",
 			types.Params(types.P("ref", naming.RefDataType())),
 			types.Term("OK"),
+			// Stale carries the epoch the relocator currently holds, so a
+			// remote caller recovers a structured *StaleError — not just a
+			// stringified reason — and can fence its own state with it.
+			types.Term("Stale",
+				types.P("current_epoch", values.TInt()),
+				types.P("refused_epoch", values.TInt()),
+			),
 			types.Term("Error", types.P("reason", values.TString())),
 		),
 		types.Op("Lookup",
@@ -41,12 +49,21 @@ func InterfaceType() *types.Interface {
 			types.Term("Error", types.P("reason", values.TString())),
 		),
 		types.Announce("Remove", types.P("id", values.TString())),
+		// Snapshot enumerates every registration — the capability live
+		// shard migration needs to drain a relocator shard.
+		types.Op("Snapshot",
+			types.Params(),
+			types.Term("OK", types.P("refs", values.TSeq(naming.RefDataType()))),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
 	)
 }
 
-// Servant adapts a Relocator to channel.Handler.
+// Servant adapts any location Store (a local *Relocator, a replicated
+// Group, a Sharded front-end) to channel.Handler, so each can be hosted
+// as an ordinary ODP object.
 type Servant struct {
-	R *Relocator
+	R Store
 }
 
 var _ channel.Handler = (*Servant)(nil)
@@ -63,6 +80,13 @@ func (s *Servant) Invoke(_ context.Context, op string, args []values.Value) (str
 			return fail(err)
 		}
 		if err := s.R.Register(ref); err != nil {
+			var stale *StaleError
+			if errors.As(err, &stale) {
+				return "Stale", []values.Value{
+					values.Int(int64(stale.Current)),
+					values.Int(int64(stale.Refused)),
+				}, nil
+			}
 			return fail(err)
 		}
 		return "OK", nil, nil
@@ -97,6 +121,20 @@ func (s *Servant) Invoke(_ context.Context, op string, args []values.Value) (str
 		}
 		s.R.Remove(id)
 		return "", nil, nil
+	case "Snapshot":
+		en, ok := s.R.(Enumerable)
+		if !ok {
+			return fail(fmt.Errorf("relocator: store cannot enumerate"))
+		}
+		refs, err := en.Snapshot()
+		if err != nil {
+			return fail(err)
+		}
+		out := make([]values.Value, len(refs))
+		for i, ref := range refs {
+			out[i] = ref.ToValue()
+		}
+		return "OK", []values.Value{values.Seq(out...)}, nil
 	}
 	return "", nil, fmt.Errorf("relocator: no operation %q", op)
 }
@@ -114,16 +152,30 @@ func NewRemote(b *channel.Binding) *Remote { return &Remote{b: b} }
 // Close releases the underlying binding.
 func (r *Remote) Close() error { return r.b.Close() }
 
-// Register records an interface location at the remote relocator.
+// Register records an interface location at the remote relocator. A
+// stale registration surfaces as a *StaleError carrying the current
+// epoch, exactly as it would from a local relocator.
 func (r *Remote) Register(ref naming.InterfaceRef) error {
 	term, res, err := r.b.Invoke(context.Background(), "Register", []values.Value{ref.ToValue()})
 	if err != nil {
 		return err
 	}
-	if term != "OK" {
-		return remoteFailure("Register", res)
+	switch term {
+	case "OK":
+		return nil
+	case "Stale":
+		se := &StaleError{ID: ref.ID, Refused: ref.Epoch}
+		if len(res) == 2 {
+			if cur, ok := res[0].AsInt(); ok {
+				se.Current = uint64(cur)
+			}
+			if got, ok := res[1].AsInt(); ok {
+				se.Refused = uint64(got)
+			}
+		}
+		return se
 	}
-	return nil
+	return remoteFailure("Register", res)
 }
 
 // Lookup resolves an interface's current location.
@@ -162,6 +214,27 @@ func (r *Remote) Move(id naming.InterfaceID, to naming.Endpoint) (naming.Interfa
 // announcement it is).
 func (r *Remote) Remove(id naming.InterfaceID) {
 	_ = r.b.Announce(context.Background(), "Remove", []values.Value{values.Str(id.String())})
+}
+
+// Snapshot enumerates the remote relocator's registrations.
+func (r *Remote) Snapshot() ([]naming.InterfaceRef, error) {
+	term, res, err := r.b.Invoke(context.Background(), "Snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	if term != "OK" {
+		return nil, remoteFailure("Snapshot", res)
+	}
+	seq := res[0]
+	out := make([]naming.InterfaceRef, 0, seq.Len())
+	for i := 0; i < seq.Len(); i++ {
+		ref, err := naming.RefFromValue(seq.ElemAt(i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ref)
+	}
+	return out, nil
 }
 
 func remoteFailure(op string, res []values.Value) error {

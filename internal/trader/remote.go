@@ -35,6 +35,13 @@ func InterfaceType() *types.Interface {
 			types.Term("OK"),
 			types.Term("Error", types.P("reason", values.TString())),
 		),
+		// Install re-homes an existing offer under its original id — the
+		// shard-rebalance primitive (Export would mint a fresh id).
+		types.Op("Install",
+			types.Params(types.P("offer", values.TAny())),
+			types.Term("OK"),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
 		types.Op("Import",
 			types.Params(
 				types.P("service_type", values.TString()),
@@ -131,6 +138,15 @@ func (s *Servant) Invoke(_ context.Context, op string, args []values.Value) (str
 			return fail(err)
 		}
 		return "OK", nil, nil
+	case "Install":
+		o, err := offerFromValue(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.T.Install(o); err != nil {
+			return fail(err)
+		}
+		return "OK", nil, nil
 	case "Import":
 		st, _ := args[0].AsString()
 		constraint, _ := args[1].AsString()
@@ -199,6 +215,18 @@ func (r *Remote) Withdraw(offerID string) error {
 	}
 	if term != "OK" {
 		return remoteFailure("Withdraw", res)
+	}
+	return nil
+}
+
+// Install re-homes an offer (identity preserved) at the remote trader.
+func (r *Remote) Install(o Offer) error {
+	term, res, err := r.b.Invoke(context.Background(), "Install", []values.Value{offerToValue(o)})
+	if err != nil {
+		return err
+	}
+	if term != "OK" {
+		return remoteFailure("Install", res)
 	}
 	return nil
 }

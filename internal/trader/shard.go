@@ -1,0 +1,794 @@
+// Sharded trading: the offer space partitioned by consistent hashing
+// over the advertised service type. A ShardedTrader is a front-end that
+// owns no offers itself; it routes Export to the shard owning the
+// service type (PR 2's type-bucketed store means a shard holds whole
+// buckets, never split ones), and answers Import by computing the
+// subtype closure of the request over the types advertised through it,
+// mapping those candidate types to their owning shards, and fanning out
+// to just that shard set — bounded-parallel, merged and deduplicated at
+// the origin, exactly like a federated import. With T advertised types
+// spread over N shards, an exact-type import costs one shard; a closure
+// of k types costs at most min(k, N) shards — so aggregate capacity
+// grows with N instead of every import paying every shard.
+//
+// Shards are ordinary trader objects: a local *Trader, or a *Remote
+// proxy over a channel binding to a trader hosted on another node. The
+// front-end never needs to know which.
+//
+// Rebalancing is live. A ring change (AddShard/RemoveShard) first marks
+// every service type whose owner moved as "in flight" — imports for a
+// moving type query both the old and the new owner, and the origin-side
+// dedupe absorbs the window where an offer is visible on both — then
+// copies each moving bucket with Install (identity-preserving) before
+// withdrawing it from the old owner. A live offer is therefore always
+// visible on at least one queried shard: the per-offer blackout during
+// rebalance is zero by construction, which experiment E13 measures.
+package trader
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/hashring"
+	"repro/internal/mgmt"
+	"repro/internal/naming"
+	"repro/internal/typerepo"
+	"repro/internal/values"
+)
+
+// ErrNoShards reports an operation on a sharded trader with an empty ring.
+var ErrNoShards = errors.New("trader: sharded trader has no shards")
+
+// Shard is one partition of the offer space: the trading operations the
+// front-end routes to. *Trader and *Remote both satisfy it.
+type Shard interface {
+	Importer
+	Export(serviceType string, ref naming.InterfaceRef, props values.Value) (string, error)
+	Withdraw(offerID string) error
+	Install(o Offer) error
+}
+
+var (
+	_ Shard = (*Trader)(nil)
+	_ Shard = (*Remote)(nil)
+)
+
+// ShardStats counts sharded-trading activity at the front-end.
+type ShardStats struct {
+	Exports       uint64
+	Withdraws     uint64
+	Imports       uint64
+	Matched       uint64
+	ShardsQueried uint64 // shard queries issued by imports (≥ Imports)
+	Rebalances    uint64 // completed ring changes
+	Migrated      uint64 // offers moved live by rebalances
+	RingEpoch     uint64
+}
+
+// shardLeg is the per-shard routing state the front-end keeps.
+type shardLeg struct {
+	shard  Shard
+	offers atomic.Int64 // offers routed here minus withdrawn/migrated away
+	ins    atomic.Pointer[mgmt.ShardLegInstruments]
+}
+
+// ShardedTrader partitions the offer space over named shards by
+// consistent hashing of the advertised service type. It satisfies Shard
+// itself, so sharded traders nest (a front-end can be a federation link
+// target or even a shard of a bigger one).
+type ShardedTrader struct {
+	name  string
+	types *typerepo.Repository
+
+	mu     sync.RWMutex
+	ring   *hashring.Ring
+	shards map[string]*shardLeg
+	// advertised is the set of service types exported (or installed)
+	// through this front-end: the universe the import-side closure is
+	// computed over. Correct routing requires all exports to flow through
+	// the front-end; offers slipped directly into a shard are invisible
+	// to closure routing (the same contract a single trader has with its
+	// own store).
+	advertised map[string]bool
+	advGen     uint64
+	// moving maps a service type mid-rebalance to its previous owner, so
+	// imports during the copy window query both owners.
+	moving map[string]string
+	// closure memoises the advertised-type closure per requested type,
+	// invalidated by type-repository generation or advertised-set changes.
+	closure    map[string][]string
+	closureGen uint64
+	closureAdv uint64
+
+	rebalanceMu sync.Mutex // serialises ring changes end to end
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	exports   atomic.Uint64
+	withdrs   atomic.Uint64
+	imports   atomic.Uint64
+	matched   atomic.Uint64
+	queried   atomic.Uint64
+	rebals    atomic.Uint64
+	migrated  atomic.Uint64
+	insp      atomic.Pointer[mgmt.ShardInstruments]
+	legInstr  atomic.Pointer[func(shard string) *mgmt.ShardLegInstruments]
+	ringEpoch atomic.Uint64
+}
+
+var _ Shard = (*ShardedTrader)(nil)
+
+// NewSharded creates an empty sharded front-end over the type
+// repository. ringReplicas is the virtual-node count per shard (<=0
+// selects the default). Add shards with AddShard.
+func NewSharded(name string, repo *typerepo.Repository, ringReplicas int) *ShardedTrader {
+	seed := int64(7)
+	for _, c := range name {
+		seed = seed*31 + int64(c)
+	}
+	return &ShardedTrader{
+		name:       name,
+		types:      repo,
+		ring:       hashring.New(ringReplicas),
+		shards:     make(map[string]*shardLeg),
+		advertised: make(map[string]bool),
+		moving:     make(map[string]string),
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name returns the front-end's name.
+func (s *ShardedTrader) Name() string { return s.name }
+
+// Instrument mirrors front-end activity into a management bundle. Safe to
+// call at any time; nil detaches.
+func (s *ShardedTrader) Instrument(ins *mgmt.ShardInstruments) {
+	s.insp.Store(ins)
+	if ins != nil {
+		s.mu.RLock()
+		ins.Shards.Set(int64(len(s.shards)))
+		ins.RingEpoch.Set(int64(s.ring.Epoch()))
+		s.mu.RUnlock()
+	}
+}
+
+// InstrumentShards attaches a per-shard bundle provider: every current
+// and future shard leg gets a bundle keyed by its shard name (offers
+// gauge, routed-export/-import counters). nil detaches.
+func (s *ShardedTrader) InstrumentShards(provider func(shard string) *mgmt.ShardLegInstruments) {
+	if provider == nil {
+		s.legInstr.Store(nil)
+		s.mu.RLock()
+		for _, leg := range s.shards {
+			leg.ins.Store(nil)
+		}
+		s.mu.RUnlock()
+		return
+	}
+	s.legInstr.Store(&provider)
+	s.mu.RLock()
+	for name, leg := range s.shards {
+		li := provider(name)
+		leg.ins.Store(li)
+		if li != nil {
+			li.Offers.Set(leg.offers.Load())
+		}
+	}
+	s.mu.RUnlock()
+}
+
+// Shards returns the sorted shard names on the ring.
+func (s *ShardedTrader) Shards() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring.Members()
+}
+
+// RingEpoch returns the current ring generation (advances twice per
+// rebalance: once when the ring flips, once when migration completes).
+func (s *ShardedTrader) RingEpoch() uint64 { return s.ringEpoch.Load() }
+
+// Export routes the offer to the shard owning its service type. The
+// returned offer id is minted by that shard ("<shard>/<seq>"), which is
+// what lets Withdraw route by prefix.
+//
+// A ring flip racing the export could strand the offer on a shard that
+// just stopped owning the type (landing after the migration pass already
+// enumerated the bucket), so the export re-checks ownership after it
+// lands and re-routes itself if the ground moved.
+func (s *ShardedTrader) Export(serviceType string, ref naming.InterfaceRef, props values.Value) (string, error) {
+	for {
+		s.mu.RLock()
+		owner := s.ring.Owner(serviceType)
+		leg := s.shards[owner]
+		s.mu.RUnlock()
+		if leg == nil {
+			return "", ErrNoShards
+		}
+		id, err := leg.shard.Export(serviceType, ref, props)
+		if err != nil {
+			return "", err
+		}
+		if !s.settleRouted(serviceType, owner) {
+			// Ownership moved mid-export: pull the offer back from wherever
+			// it ended up (old shard, or already migrated) and try again.
+			_ = s.Withdraw(id)
+			continue
+		}
+		s.exports.Add(1)
+		leg.offers.Add(1)
+		if li := leg.ins.Load(); li != nil {
+			li.RoutedExports.Inc()
+			li.Offers.Set(leg.offers.Load())
+		}
+		return id, nil
+	}
+}
+
+// Install routes an identity-preserving insert to the owner of the
+// offer's service type (nesting support; rebalance uses shard.Install
+// directly on the target). Like Export, it re-routes itself if a ring
+// flip raced the insert.
+func (s *ShardedTrader) Install(o Offer) error {
+	for {
+		s.mu.RLock()
+		owner := s.ring.Owner(o.ServiceType)
+		leg := s.shards[owner]
+		s.mu.RUnlock()
+		if leg == nil {
+			return ErrNoShards
+		}
+		if err := leg.shard.Install(o); err != nil {
+			return err
+		}
+		if !s.settleRouted(o.ServiceType, owner) {
+			_ = s.Withdraw(o.ID)
+			continue
+		}
+		s.exports.Add(1)
+		leg.offers.Add(1)
+		if li := leg.ins.Load(); li != nil {
+			li.RoutedExports.Inc()
+			li.Offers.Set(leg.offers.Load())
+		}
+		return nil
+	}
+}
+
+// settleRouted records the advertised type and confirms the shard the
+// offer landed on still owns its service type. False means a rebalance
+// flipped ownership mid-flight and the caller must re-route.
+func (s *ShardedTrader) settleRouted(serviceType, owner string) bool {
+	s.mu.Lock()
+	if !s.advertised[serviceType] {
+		s.advertised[serviceType] = true
+		s.advGen++
+	}
+	ok := s.ring.Owner(serviceType) == owner
+	s.mu.Unlock()
+	return ok
+}
+
+// Withdraw removes an offer. Offer ids carry the minting shard's name as
+// a prefix ("<shard>/<seq>"), so the common case is one routed call; if
+// the offer has since migrated to another shard (rebalance preserves
+// ids, not homes), the front-end falls back to asking the remaining
+// shards.
+func (s *ShardedTrader) Withdraw(offerID string) error {
+	s.mu.RLock()
+	var first *shardLeg
+	var firstName string
+	if i := strings.IndexByte(offerID, '/'); i > 0 {
+		firstName = offerID[:i]
+		first = s.shards[firstName]
+	}
+	rest := make([]*shardLeg, 0, len(s.shards))
+	for name, leg := range s.shards {
+		if name != firstName {
+			rest = append(rest, leg)
+		}
+	}
+	s.mu.RUnlock()
+	if first == nil && len(rest) == 0 {
+		return ErrNoShards
+	}
+	try := func(leg *shardLeg) (bool, error) {
+		err := leg.shard.Withdraw(offerID)
+		if err == nil {
+			s.withdrs.Add(1)
+			leg.offers.Add(-1)
+			if li := leg.ins.Load(); li != nil {
+				li.Offers.Set(leg.offers.Load())
+			}
+			return true, nil
+		}
+		if isNoSuchOffer(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	// Two passes: a scan racing a live migration can read the new owner
+	// before the copy lands and the old owner after it is withdrawn. The
+	// copy is installed before the original is withdrawn, so a second scan
+	// started after the first missed is guaranteed to see it.
+	for attempt := 0; attempt < 2; attempt++ {
+		if first != nil {
+			done, err := try(first)
+			if done || err != nil {
+				return err
+			}
+		}
+		for _, leg := range rest {
+			done, err := try(leg)
+			if done || err != nil {
+				return err
+			}
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrNoSuchOffer, offerID)
+}
+
+// isNoSuchOffer recognises ErrNoSuchOffer locally and through a remote
+// shard's stringified failure reason.
+func isNoSuchOffer(err error) bool {
+	return errors.Is(err, ErrNoSuchOffer) || strings.Contains(err.Error(), "no such offer")
+}
+
+// Import finds matching offers across the shard set. The request's
+// subtype closure over the advertised types picks the candidate shards;
+// they are queried bounded-parallel, merged with origin-side dedupe (an
+// offer mid-migration may answer from two shards), ordered by the
+// preference, and truncated to MaxMatches.
+func (s *ShardedTrader) Import(req ImportRequest) ([]Offer, error) {
+	res, err := s.ImportEx(req)
+	return res.Offers, err
+}
+
+// ImportEx is Import plus degradation metadata: LinksQueried counts the
+// shards consulted, LinksFailed the shards that errored (their offers
+// may be missing — Degraded).
+func (s *ShardedTrader) ImportEx(req ImportRequest) (ImportResult, error) {
+	if req.ServiceType == "" {
+		return ImportResult{}, fmt.Errorf("%w: empty service type", ErrBadRequest)
+	}
+	if req.MaxMatches < 0 || req.MaxHops < 0 {
+		return ImportResult{}, fmt.Errorf("%w: negative bounds", ErrBadRequest)
+	}
+	if _, err := constraint.Parse(req.Constraint); err != nil {
+		return ImportResult{}, err
+	}
+	var prefExpr *constraint.Expr
+	if req.Preference.Kind == PrefMax || req.Preference.Kind == PrefMin {
+		var err error
+		prefExpr, err = constraint.Parse(req.Preference.Expr)
+		if err != nil {
+			return ImportResult{}, err
+		}
+	}
+	if _, err := s.types.LookupInterface(req.ServiceType); err != nil {
+		return ImportResult{}, fmt.Errorf("%w: %q", ErrTypeUnknown, req.ServiceType)
+	}
+
+	s.imports.Add(1)
+	ins := s.insp.Load()
+	var start time.Time
+	if ins != nil {
+		ins.Imports.Inc()
+		start = time.Now()
+	}
+
+	epoch := s.ringEpoch.Load()
+	oldLegs, curLegs := s.targetShards(req.ServiceType)
+	legs := len(oldLegs) + len(curLegs)
+	if legs == 0 {
+		// Nothing advertised substitutes for the request: an empty match,
+		// not an error (same as a single trader with no matching bucket).
+		if ins != nil {
+			ins.ShardsPerImport.Observe(0)
+			ins.ImportLatency.ObserveDuration(time.Since(start))
+		}
+		return ImportResult{}, nil
+	}
+	s.queried.Add(uint64(legs))
+	if ins != nil {
+		ins.ShardsPerImport.Observe(uint64(legs))
+	}
+
+	// Each shard collects everything it has (no truncation, no shard-side
+	// ordering): the origin merges, orders, truncates — the same split a
+	// federated import uses.
+	sub := req
+	sub.MaxMatches = 0
+	sub.Preference = Preference{}
+
+	// Previous owners of in-flight buckets are queried strictly BEFORE the
+	// current owners. Migration installs the copy on the new owner before
+	// withdrawing the original, so this ordering makes a miss impossible:
+	// if the old owner has already given the bucket up by the time it is
+	// read, the copy was on the new owner before the (later) read of it
+	// started. Reading in the other order is the classic double-read race.
+	//
+	// The leg snapshot itself can also be overtaken — a ring that flips
+	// after targetShards ran routes the import at shards that may donate
+	// their buckets before the reads land — so the import revalidates the
+	// ring epoch afterwards and re-runs under the new routing if it moved.
+	var res ImportResult
+	var matches []Offer
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			// The epoch is sampled before the routing snapshot, so a flip
+			// between the two is caught by the revalidation below.
+			epoch = s.ringEpoch.Load()
+			oldLegs, curLegs = s.targetShards(req.ServiceType)
+		}
+		res = ImportResult{}
+		matches = matches[:0]
+		seen := make(map[string]bool)
+		for _, phase := range [][]*shardLeg{oldLegs, curLegs} {
+			if len(phase) == 0 {
+				continue
+			}
+			results, errs := s.queryLegs(phase, sub)
+			res.LinksQueried += len(phase)
+			for i := range phase {
+				if errs[i] != nil {
+					res.LinksFailed++
+					continue
+				}
+				for _, o := range results[i] {
+					if !seen[o.ID] {
+						seen[o.ID] = true
+						matches = append(matches, o)
+					}
+				}
+			}
+		}
+		res.Degraded = res.LinksFailed > 0
+		if s.ringEpoch.Load() == epoch || attempt >= 3 {
+			break
+		}
+	}
+
+	if err := orderOffers(matches, req.Preference, prefExpr, &s.rngMu, s.rng); err != nil {
+		return ImportResult{}, err
+	}
+	if req.MaxMatches > 0 && len(matches) > req.MaxMatches {
+		matches = matches[:req.MaxMatches]
+	}
+	s.matched.Add(uint64(len(matches)))
+	if ins != nil {
+		ins.Matched.Add(uint64(len(matches)))
+		ins.ImportLatency.ObserveDuration(time.Since(start))
+	}
+	res.Offers = matches
+	return res, nil
+}
+
+// queryLegs fans the sub-request out over the legs, bounded-parallel
+// with the caller as one of the workers, and returns per-leg results.
+func (s *ShardedTrader) queryLegs(legs []*shardLeg, sub ImportRequest) ([][]Offer, []error) {
+	results := make([][]Offer, len(legs))
+	errs := make([]error, len(legs))
+	if len(legs) == 1 {
+		results[0], errs[0] = legs[0].shard.Import(sub)
+		if li := legs[0].ins.Load(); li != nil {
+			li.RoutedImports.Inc()
+		}
+		return results, errs
+	}
+	workers := len(legs)
+	if workers > maxLinkFanout {
+		workers = maxLinkFanout
+	}
+	var cursor atomic.Int64
+	work := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(legs) {
+				return
+			}
+			results[i], errs[i] = legs[i].shard.Import(sub)
+			if li := legs[i].ins.Load(); li != nil {
+				li.RoutedImports.Inc()
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	return results, errs
+}
+
+// targetShards maps a requested service type to the legs that must be
+// queried, split into the previous owners of types mid-rebalance (read
+// first) and the current owners of every advertised candidate type (read
+// after — see ImportEx for why the order matters). A leg appears in at
+// most one slice; within one rebalance window the donating and receiving
+// shard sets are disjoint, so a leg in the old slice is never the new
+// owner of another moving type.
+func (s *ShardedTrader) targetShards(serviceType string) (oldLegs, curLegs []*shardLeg) {
+	cands := s.candidateTypes(serviceType)
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make(map[string]bool, 2)
+	add := func(name string, old bool) {
+		leg := s.shards[name]
+		if leg == nil || names[name] {
+			return
+		}
+		names[name] = true
+		if old {
+			oldLegs = append(oldLegs, leg)
+		} else {
+			curLegs = append(curLegs, leg)
+		}
+	}
+	for _, ct := range cands {
+		if old, inFlight := s.moving[ct]; inFlight {
+			add(old, true)
+		}
+	}
+	for _, ct := range cands {
+		add(s.ring.Owner(ct), false)
+	}
+	return oldLegs, curLegs
+}
+
+// candidateTypes computes the subtype closure of the request over the
+// advertised set, memoised against (type-repo generation, advertised-set
+// generation). Ring changes do not invalidate it — the closure is about
+// types, not owners.
+func (s *ShardedTrader) candidateTypes(serviceType string) []string {
+	gen := s.types.Gen()
+	s.mu.RLock()
+	if s.closure != nil && s.closureGen == gen && s.closureAdv == s.advGen {
+		if cands, ok := s.closure[serviceType]; ok {
+			s.mu.RUnlock()
+			return cands
+		}
+	}
+	adv := make([]string, 0, len(s.advertised))
+	for t := range s.advertised {
+		adv = append(adv, t)
+	}
+	advGen := s.advGen
+	s.mu.RUnlock()
+
+	sort.Strings(adv)
+	cands := make([]string, 0, 1)
+	for _, at := range adv {
+		if at == serviceType {
+			cands = append(cands, at)
+			continue
+		}
+		if ok, err := s.types.IsSubtype(at, serviceType); err == nil && ok {
+			cands = append(cands, at)
+		}
+	}
+
+	s.mu.Lock()
+	if s.closure == nil || s.closureGen != gen || s.closureAdv != advGen {
+		s.closure = make(map[string][]string)
+		s.closureGen = gen
+		s.closureAdv = advGen
+	}
+	s.closure[serviceType] = cands
+	s.mu.Unlock()
+	return cands
+}
+
+// AddShard joins a shard to the ring and live-migrates every bucket
+// whose ownership moved to it. Lookups keep flowing throughout: moving
+// types are double-queried (old + new owner) until their copy completes.
+// The shard name should match the underlying trader's name so withdraw
+// prefix-routing stays exact (mismatches still work via the fallback).
+func (s *ShardedTrader) AddShard(name string, shard Shard) error {
+	s.rebalanceMu.Lock()
+	defer s.rebalanceMu.Unlock()
+
+	s.mu.Lock()
+	if _, dup := s.shards[name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("trader: shard %q already present", name)
+	}
+	next := s.ring.Clone()
+	if err := next.Add(name); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	// Service types whose owner changes under the new ring enter the
+	// double-query window before the ring flips, so no import observes
+	// the new routing without the old owner as fallback.
+	var moves []migration
+	for t := range s.advertised {
+		oldOwner := s.ring.Owner(t)
+		newOwner := next.Owner(t)
+		if oldOwner != newOwner && oldOwner != "" {
+			s.moving[t] = oldOwner
+			moves = append(moves, migration{serviceType: t, from: oldOwner, to: newOwner})
+		}
+	}
+	leg := &shardLeg{shard: shard}
+	if p := s.legInstr.Load(); p != nil {
+		leg.ins.Store((*p)(name))
+	}
+	s.shards[name] = leg
+	s.ring = next
+	s.ringEpoch.Store(next.Epoch())
+	s.mu.Unlock()
+	s.publishRing()
+
+	err := s.migrate(moves)
+	s.finishRebalance(moves)
+	return err
+}
+
+// RemoveShard drains a shard off the ring, live-migrating its buckets to
+// their new owners, then drops it. The shard object itself is not
+// closed; the caller owns its lifecycle.
+func (s *ShardedTrader) RemoveShard(name string) error {
+	s.rebalanceMu.Lock()
+	defer s.rebalanceMu.Unlock()
+
+	s.mu.Lock()
+	if _, ok := s.shards[name]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("trader: no shard %q", name)
+	}
+	if len(s.shards) == 1 {
+		s.mu.Unlock()
+		return fmt.Errorf("trader: cannot remove last shard %q", name)
+	}
+	next := s.ring.Clone()
+	if err := next.Remove(name); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	var moves []migration
+	for t := range s.advertised {
+		oldOwner := s.ring.Owner(t)
+		newOwner := next.Owner(t)
+		if oldOwner != newOwner && oldOwner != "" {
+			s.moving[t] = oldOwner
+			moves = append(moves, migration{serviceType: t, from: oldOwner, to: newOwner})
+		}
+	}
+	// The ring flips now, but the departing shard stays in s.shards until
+	// its buckets are copied: imports for moving types keep reaching it
+	// through the moving map.
+	s.ring = next
+	s.ringEpoch.Store(next.Epoch())
+	s.mu.Unlock()
+	s.publishRing()
+
+	err := s.migrate(moves)
+	s.finishRebalance(moves)
+
+	s.mu.Lock()
+	delete(s.shards, name)
+	s.mu.Unlock()
+	s.publishRing()
+	return err
+}
+
+type migration struct {
+	serviceType string
+	from, to    string
+}
+
+// migrate copies each moving bucket to its new owner (Install preserves
+// offer ids) and only then withdraws from the old — an offer is always
+// importable from at least one double-queried owner.
+func (s *ShardedTrader) migrate(moves []migration) error {
+	var firstErr error
+	for _, m := range moves {
+		s.mu.RLock()
+		fromLeg := s.shards[m.from]
+		toLeg := s.shards[m.to]
+		s.mu.RUnlock()
+		if fromLeg == nil || toLeg == nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("trader: migration %s: shard missing (%s -> %s)", m.serviceType, m.from, m.to)
+			}
+			continue
+		}
+		// Enumerate the bucket through the import interface (works for
+		// remote shards too); the exact-type filter drops subtype offers
+		// that live in other buckets.
+		batch, err := fromLeg.shard.Import(ImportRequest{ServiceType: m.serviceType})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("trader: migrating %s off %s: %w", m.serviceType, m.from, err)
+			}
+			continue
+		}
+		for _, o := range batch {
+			if o.ServiceType != m.serviceType {
+				continue
+			}
+			if err := toLeg.shard.Install(o); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("trader: installing %s on %s: %w", o.ID, m.to, err)
+				}
+				continue
+			}
+			toLeg.offers.Add(1)
+			if err := fromLeg.shard.Withdraw(o.ID); err != nil && !isNoSuchOffer(err) {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("trader: withdrawing migrated %s from %s: %w", o.ID, m.from, err)
+				}
+			}
+			fromLeg.offers.Add(-1)
+			s.migrated.Add(1)
+			if ins := s.insp.Load(); ins != nil {
+				ins.MigratedOffers.Inc()
+			}
+		}
+		if li := fromLeg.ins.Load(); li != nil {
+			li.Offers.Set(fromLeg.offers.Load())
+		}
+		if li := toLeg.ins.Load(); li != nil {
+			li.Offers.Set(toLeg.offers.Load())
+		}
+	}
+	return firstErr
+}
+
+// finishRebalance closes the double-query window and bumps the ring
+// epoch again so observers can tell "flipped" from "settled".
+func (s *ShardedTrader) finishRebalance(moves []migration) {
+	s.mu.Lock()
+	for _, m := range moves {
+		delete(s.moving, m.serviceType)
+	}
+	s.mu.Unlock()
+	s.rebals.Add(1)
+	if ins := s.insp.Load(); ins != nil {
+		ins.Rebalances.Inc()
+	}
+	s.publishRing()
+}
+
+// publishRing refreshes the ring-shaped gauges.
+func (s *ShardedTrader) publishRing() {
+	ins := s.insp.Load()
+	if ins == nil {
+		return
+	}
+	s.mu.RLock()
+	ins.Shards.Set(int64(len(s.shards)))
+	ins.RingEpoch.Set(int64(s.ring.Epoch()))
+	s.mu.RUnlock()
+}
+
+// ShardStats returns a snapshot of front-end counters.
+func (s *ShardedTrader) ShardStats() ShardStats {
+	return ShardStats{
+		Exports:       s.exports.Load(),
+		Withdraws:     s.withdrs.Load(),
+		Imports:       s.imports.Load(),
+		Matched:       s.matched.Load(),
+		ShardsQueried: s.queried.Load(),
+		Rebalances:    s.rebals.Load(),
+		Migrated:      s.migrated.Load(),
+		RingEpoch:     s.ringEpoch.Load(),
+	}
+}

@@ -231,15 +231,54 @@ func (t *Trader) Export(serviceType string, ref naming.InterfaceRef, props value
 	return id, nil
 }
 
-// Withdraw removes an offer.
-func (t *Trader) Withdraw(offerID string) error {
-	t.mu.Lock()
-	e, ok := t.offers[offerID]
-	if !ok {
-		t.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrNoSuchOffer, offerID)
+// Install inserts an offer under its existing identity. Where Export
+// mints a fresh "<trader>/<seq>" id, Install preserves the one the offer
+// was born with — the operation shard rebalancing needs, so an offer
+// migrated between shard traders keeps the id clients hold. Installing an
+// id that is already present replaces that offer (migration retries are
+// idempotent). The same type checks as Export apply.
+func (t *Trader) Install(o Offer) error {
+	if o.ID == "" {
+		return fmt.Errorf("%w: install needs an offer id", ErrBadRequest)
 	}
-	delete(t.offers, offerID)
+	if o.Properties.IsNull() {
+		o.Properties = values.Record()
+	}
+	if o.Properties.Kind() != values.KindRecord {
+		return fmt.Errorf("%w: got %v", ErrBadProps, o.Properties.Kind())
+	}
+	if _, err := t.types.LookupInterface(o.ServiceType); err != nil {
+		return fmt.Errorf("%w: %q", ErrTypeUnknown, o.ServiceType)
+	}
+	if o.Ref.TypeName != o.ServiceType {
+		ok, err := t.types.IsSubtype(o.Ref.TypeName, o.ServiceType)
+		if err != nil {
+			return fmt.Errorf("%w: %q", ErrTypeUnknown, o.Ref.TypeName)
+		}
+		if !ok {
+			return fmt.Errorf("%w: %q as %q", ErrTypeMismatch, o.Ref.TypeName, o.ServiceType)
+		}
+	}
+	t.mu.Lock()
+	if old, ok := t.offers[o.ID]; ok {
+		t.removeLocked(old)
+	}
+	t.nextID++
+	e := &entry{offer: &Offer{ID: o.ID, ServiceType: o.ServiceType, Ref: o.Ref, Properties: o.Properties}, seq: t.nextID}
+	t.offers[o.ID] = e
+	if _, known := t.buckets[o.ServiceType]; !known {
+		t.closure = nil
+	}
+	t.buckets[o.ServiceType] = append(t.buckets[o.ServiceType], e)
+	t.mu.Unlock()
+	t.exports.Add(1)
+	return nil
+}
+
+// removeLocked unlinks an entry from the offer map and its bucket. Caller
+// holds t.mu.
+func (t *Trader) removeLocked(e *entry) {
+	delete(t.offers, e.offer.ID)
 	bucket := t.buckets[e.offer.ServiceType]
 	for i, be := range bucket {
 		if be == e {
@@ -249,6 +288,17 @@ func (t *Trader) Withdraw(offerID string) error {
 			break
 		}
 	}
+}
+
+// Withdraw removes an offer.
+func (t *Trader) Withdraw(offerID string) error {
+	t.mu.Lock()
+	e, ok := t.offers[offerID]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoSuchOffer, offerID)
+	}
+	t.removeLocked(e)
 	t.mu.Unlock()
 	t.withdrs.Add(1)
 	return nil
@@ -597,16 +647,23 @@ func (s bySeq) Swap(i, j int) {
 }
 
 func (t *Trader) orderMatches(matches []Offer, pref Preference, prefExpr *constraint.Expr) error {
+	return orderOffers(matches, pref, prefExpr, &t.rngMu, t.rng)
+}
+
+// orderOffers applies a preference ordering in place. Shared by the local
+// trader and the sharded front-end (which merges matches from several
+// shards and must re-order at the origin).
+func orderOffers(matches []Offer, pref Preference, prefExpr *constraint.Expr, rngMu *sync.Mutex, rng *rand.Rand) error {
 	switch pref.Kind {
 	case PrefFirst:
 		// already in export order (local first, then federation arrivals)
 		return nil
 	case PrefRandom:
-		t.rngMu.Lock()
-		t.rng.Shuffle(len(matches), func(i, j int) {
+		rngMu.Lock()
+		rng.Shuffle(len(matches), func(i, j int) {
 			matches[i], matches[j] = matches[j], matches[i]
 		})
-		t.rngMu.Unlock()
+		rngMu.Unlock()
 		return nil
 	case PrefMax, PrefMin:
 		type scored struct {

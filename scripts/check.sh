@@ -24,7 +24,8 @@ go build ./...
 echo "== race detector (hot-path and fan-out packages) =="
 go test -race ./internal/wire/ ./internal/channel/ ./internal/netsim/ \
 	./internal/transactions/ ./internal/coordination/ ./internal/trader/ \
-	./internal/mgmt/ ./internal/relocator/ ./internal/policy/
+	./internal/mgmt/ ./internal/relocator/ ./internal/policy/ \
+	./internal/hashring/ ./internal/odp/
 
 echo "== E11 chaos smoke (policy-on availability + recovery + no leaked goroutines) =="
 # A short chaos run under the race detector: TestE11ChaosSmoke asserts
@@ -102,6 +103,46 @@ for e12_attempt in 1 2 3; do
 done
 if [ "$e12_ok" != "1" ]; then
 	echo "E12 pipelining gate failed: batched < 2x unpipelined in 3 runs"
+	exit 1
+fi
+
+echo "== E13 sharding smoke (8-shard >= 3x single-shard; 100k-binding swarm, 0 lost lookups) =="
+# The sharded trader must actually scale: with every shard node behind
+# the same fixed-capacity gate, 8 shards have to deliver at least 3x the
+# import throughput of 1 (the gate makes this a property of the routing,
+# not of the host's core count, but wall-clock is still noisy on shared
+# hosts — best of three). The swarm and blackout slices are deterministic
+# protocol properties and must hold on every run: >=100k bindings
+# established with zero lost lookups, and zero probe misses while the
+# ring gains and loses a shard mid-lookup.
+e13_ok=0
+for e13_attempt in 1 2 3; do
+	go run ./cmd/odpbench -only e13smoke -json > /tmp/check_e13.json
+	if awk '
+		/"scenario"/     { scen = $2; gsub(/[",]/, "", scen) }
+		/"shards"/       { shards = $2 + 0 }
+		/"throughput"/   { if (scen == "grid") thr[shards] = $2 + 0 }
+		/"bindings"/     { if (scen == "swarm") bindings = $2 + 0 }
+		/"lost_lookups"/ { lost = $2 + 0 }
+		/"misses"/       { if (scen == "rebalance-blackout") misses = $2 + 0 }
+		/"probes"/       { probes = $2 + 0 }
+		END {
+			if (thr[1] == 0 || thr[8] == 0) { print "e13: grid rows missing from JSON"; exit 1 }
+			printf "e13: 8 shards %.0f imports/s vs 1 shard %.0f: %.2fx; swarm %d bindings, %d lost; blackout %d probes, %d misses\n", \
+				thr[8], thr[1], thr[8] / thr[1], bindings, lost, probes, misses
+			if (bindings < 100000) { print "e13: swarm fell short of 100k bindings"; exit 1 }
+			if (lost != 0)         { print "e13: swarm lost lookups"; exit 1 }
+			if (probes == 0)       { print "e13: no blackout probes ran"; exit 1 }
+			if (misses != 0)       { print "e13: rebalance blackout misses"; exit 1 }
+			exit !(thr[8] >= 3 * thr[1])
+		}' /tmp/check_e13.json; then
+		e13_ok=1
+		break
+	fi
+	echo "e13 attempt $e13_attempt below 3x; retrying"
+done
+if [ "$e13_ok" != "1" ]; then
+	echo "E13 sharding gate failed: 8 shards < 3x single shard in 3 runs"
 	exit 1
 fi
 
