@@ -14,6 +14,8 @@
 //	odpbench -only e12smoke -json  # the CI cell (tcp, 64x8) as JSON
 //	odpbench -only e13  # sharded trader/relocator swarm (full grid)
 //	odpbench -only e13smoke -json  # the CI slice (1-vs-8 grid, 100k swarm)
+//	odpbench -only e14  # streaming credit-flow isolation (sim + tcp)
+//	odpbench -only e14smoke -json  # the CI slice (fewer elements)
 //	odpbench -json      # any section: unified []Record instead of tables
 //
 // With -json every section emits the unified experiments.Record shape
@@ -60,7 +62,7 @@ func (e *emitter) flush() {
 
 func main() {
 	iters := flag.Int("iters", 2000, "samples per scenario")
-	only := flag.String("only", "", "run only the named section (supported: e10, e11, e12, e12smoke, e13, e13smoke)")
+	only := flag.String("only", "", "run only the named section (supported: e10, e11, e12, e12smoke, e13, e13smoke, e14, e14smoke)")
 	dur := flag.Duration("dur", 6*time.Second, "per-mode wall-clock duration of the e11 chaos run")
 	asJSON := flag.Bool("json", false, "emit machine-readable records instead of tables")
 	flag.Parse()
@@ -74,6 +76,11 @@ func main() {
 	}
 	if *only == "e13" || *only == "e13smoke" {
 		runE13(em, *only == "e13smoke")
+		em.flush()
+		return
+	}
+	if *only == "e14" || *only == "e14smoke" {
+		runE14(em, *only == "e14smoke")
 		em.flush()
 		return
 	}
@@ -183,7 +190,34 @@ func main() {
 	runE11(em, *dur)
 	runE12(false, false, *iters)
 	runE13(em, true)
+	runE14(em, true)
 	em.flush()
+}
+
+// runE14 prints (or records) the streaming credit-flow grid: fast-stream
+// throughput, fast-send tail latency and the slow stream's memory ceiling
+// with and without one slow consumer among 64 multiplexed streams.
+func runE14(em *emitter, smoke bool) {
+	rep, err := experiments.E14(smoke)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "e14: %v\n", err)
+		os.Exit(1)
+	}
+	em.add(rep.Records()...)
+	if em.json {
+		return
+	}
+	section(em, "E14 Streaming flow control: one slow consumer among 64 credit-windowed streams")
+	fmt.Printf("  %-20s %12s %10s %10s %9s %9s %8s %8s %8s\n",
+		"scenario/transport", "fast el/s", "send p50", "send p99",
+		"slow del", "slow maxq", "maxbuf", "gaps", "typeerr")
+	for _, r := range rep.Rows {
+		fmt.Printf("  %-20s %12.0f %10v %10v %9d %9d %8d %8d %8d\n",
+			r.Scenario+"/"+r.Transport, r.FastThroughput,
+			r.SendP50.Round(time.Microsecond), r.SendP99.Round(time.Microsecond),
+			r.SlowDelivered, r.SlowMaxQueued, r.MaxBuffered, r.SeqGaps, r.FlowTypeErrors)
+	}
+	fmt.Println()
 }
 
 // runE13 prints (or records) the sharded-infrastructure swarm: import

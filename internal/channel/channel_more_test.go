@@ -215,6 +215,9 @@ func TestFlowToNonReceiverCountsError(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, func() bool { return srv.Stats().Errors >= 3 })
+	// The satellite counter: the mistyped element and the flow-to-non-
+	// receiver are type errors, not just anonymous Errors.
+	waitFor(t, func() bool { return srv.Stats().FlowTypeErrors >= 2 })
 }
 
 func TestInvokeContextCancelled(t *testing.T) {

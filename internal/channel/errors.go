@@ -44,6 +44,13 @@ var (
 // still distinguishes the local-race case from a broken wire.
 var ErrSessionClosing = fmt.Errorf("%w: session closing, frame not sent", ErrDisconnected)
 
+// ErrStreamClosed reports that a flow stream's session died (or the stream
+// was torn down) with the interaction unsent. It wraps ErrDisconnected so
+// the retry/relocation machinery classifies it as the connection loss it
+// is, while errors.Is(err, ErrStreamClosed) lets stream producers
+// distinguish "this stream is gone, reopen it" from transient send errors.
+var ErrStreamClosed = fmt.Errorf("channel: stream closed: %w", ErrDisconnected)
+
 // ErrTooManyInFlight reports that an Invoke was refused because the binding
 // already had BindConfig.MaxInFlight interrogations outstanding and the
 // binding is configured to fail fast rather than queue. It is not a

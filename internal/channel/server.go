@@ -93,6 +93,17 @@ type ServerStats struct {
 	Errors    uint64
 	Replays   uint64
 	BadFrames uint64
+	// FlowTypeErrors counts inbound flow traffic (FlowMsg and FlowBatch)
+	// rejected by the server stub's type machinery: unknown flow name,
+	// element failing the flow's element type, a servant that cannot
+	// receive flows, or a malformed element count. Historically these were
+	// folded into Errors and silently dropped; the dedicated counter lets
+	// chaos runs assert it stayed zero.
+	FlowTypeErrors uint64
+	// FlowBatches counts FlowBatch frames accepted (open/elems/close) and
+	// CreditGrants counts credit grants sent back to producers.
+	FlowBatches  uint64
+	CreditGrants uint64
 	// Sessions counts connections accepted over the server's lifetime.
 	// Each accepted conn is one inbound session carrying any number of
 	// bindings, so with session-sharing clients this stays O(peer nodes)
@@ -123,14 +134,17 @@ type Server struct {
 	tasks    chan task
 	workerWG sync.WaitGroup
 
-	calls     atomic.Uint64
-	oneWays   atomic.Uint64
-	flows     atomic.Uint64
-	signals   atomic.Uint64
-	errCount  atomic.Uint64
-	replays   atomic.Uint64
-	badFrames atomic.Uint64
-	sessions  atomic.Uint64
+	calls          atomic.Uint64
+	oneWays        atomic.Uint64
+	flows          atomic.Uint64
+	signals        atomic.Uint64
+	errCount       atomic.Uint64
+	replays        atomic.Uint64
+	badFrames      atomic.Uint64
+	sessions       atomic.Uint64
+	flowTypeErrors atomic.Uint64
+	flowBatches    atomic.Uint64
+	creditGrants   atomic.Uint64
 }
 
 // NewServer wraps a listener. Call Start to begin accepting.
@@ -276,14 +290,17 @@ func (s *Server) dispatch(t task) {
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Calls:     s.calls.Load(),
-		OneWays:   s.oneWays.Load(),
-		Flows:     s.flows.Load(),
-		Signals:   s.signals.Load(),
-		Errors:    s.errCount.Load(),
-		Replays:   s.replays.Load(),
-		BadFrames: s.badFrames.Load(),
-		Sessions:  s.sessions.Load(),
+		Calls:          s.calls.Load(),
+		OneWays:        s.oneWays.Load(),
+		Flows:          s.flows.Load(),
+		Signals:        s.signals.Load(),
+		Errors:         s.errCount.Load(),
+		Replays:        s.replays.Load(),
+		BadFrames:      s.badFrames.Load(),
+		Sessions:       s.sessions.Load(),
+		FlowTypeErrors: s.flowTypeErrors.Load(),
+		FlowBatches:    s.flowBatches.Load(),
+		CreditGrants:   s.creditGrants.Load(),
 	}
 }
 
@@ -321,7 +338,23 @@ func (s *Server) serveConn(conn netsim.Conn) {
 	// The conn is one inbound session: the distinct binding ids seen on it
 	// are its multiplexed bindings. Only this read loop touches the set.
 	bindings := make(map[uint64]struct{})
+	// Open flow streams carried by this conn, keyed by (binding, stream).
+	// Only the read loop touches the map; the grant closures inside escape
+	// to consumer goroutines but go through the thread-safe reply writer.
+	streams := make(map[pendKey]*streamState)
 	defer func() {
+		// Streams die with their connection: tell each receiver so blocked
+		// consumers wake with the disconnection instead of waiting for an
+		// end-of-stream that cannot arrive.
+		for key, st := range streams {
+			st.recv.StreamBatch(StreamBatch{
+				Phase:   StreamClose,
+				Binding: key.binding,
+				Stream:  key.correl,
+				Flow:    st.flow,
+				Err:     ErrDisconnected,
+			})
+		}
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -401,6 +434,14 @@ func (s *Server) serveConn(conn netsim.Conn) {
 		case wire.FlowMsg:
 			s.flows.Add(1)
 			s.handleFlow(m)
+			wire.PutMessage(m)
+		case wire.FlowBatch:
+			// Handled inline on the read loop, never the worker pool: wire
+			// order on the conn IS per-flow FIFO order, and the credit
+			// window guarantees the receiver's bounded buffer can absorb
+			// the batch without blocking, so inline delivery is safe.
+			s.flowBatches.Add(1)
+			s.handleFlowBatch(dest, streams, m)
 			wire.PutMessage(m)
 		case wire.SignalMsg:
 			s.signals.Add(1)
@@ -519,20 +560,36 @@ func (s *Server) handleOneWay(m *wire.Message) {
 	}
 }
 
+// flowTypeError records one flow interaction the server stub rejected on
+// type grounds. It still counts toward Errors (the historical behaviour)
+// but also the dedicated FlowTypeErrors counter and mgmt metric, so a
+// chaos run can assert no element was silently dropped for type reasons.
+func (s *Server) flowTypeError() {
+	s.errCount.Add(1)
+	s.flowTypeErrors.Add(1)
+	if ins := s.cfg.Instruments; ins != nil {
+		ins.FlowTypeErrors.Inc()
+	}
+}
+
 func (s *Server) handleFlow(m *wire.Message) {
 	e, ok := s.lookup(m.Target)
-	if !ok || len(m.Args) != 1 {
-		s.errCount.Add(1)
+	if !ok {
+		s.errCount.Add(1) // unknown interface: a routing miss, not a type error
+		return
+	}
+	if len(m.Args) != 1 {
+		s.flowTypeError()
 		return
 	}
 	if e.typ != nil {
 		f, ok := e.typ.Flow(m.Operation)
 		if !ok {
-			s.errCount.Add(1)
+			s.flowTypeError()
 			return
 		}
 		if err := f.Elem.Check(m.Args[0]); err != nil {
-			s.errCount.Add(1)
+			s.flowTypeError()
 			return
 		}
 	}
@@ -540,7 +597,138 @@ func (s *Server) handleFlow(m *wire.Message) {
 		fr.Flow(m.Operation, m.Args[0])
 		return
 	}
-	s.errCount.Add(1)
+	s.flowTypeError()
+}
+
+// streamState is the read loop's record of one open flow stream on a
+// connection.
+type streamState struct {
+	flow     string
+	recv     StreamReceiver
+	elemType *values.DataType // nil when the servant is untyped
+	grant    func(cumElems, cumBytes uint64)
+}
+
+// handleFlowBatch processes one FlowBatch frame inline on the conn's read
+// loop: opens record the stream and hand the receiver its grant function,
+// element batches are type-checked (mistyped elements are dropped but
+// reported, so the consumer can still credit them back — the producer
+// already debited its window for them), and end-of-stream tears the
+// record down.
+func (s *Server) handleFlowBatch(dest replyDest, streams map[pendKey]*streamState, m *wire.Message) {
+	key := pendKey{m.BindingID, m.Correlation}
+	switch m.Termination {
+	case wire.StreamOpenMark:
+		e, ok := s.lookup(m.Target)
+		if !ok {
+			s.errCount.Add(1)
+			return
+		}
+		recv, ok := e.handler.(StreamReceiver)
+		if !ok {
+			s.flowTypeError()
+			return
+		}
+		var elemType *values.DataType
+		if e.typ != nil {
+			f, ok := e.typ.Flow(m.Operation)
+			if !ok {
+				s.flowTypeError()
+				return
+			}
+			elemType = f.Elem
+		}
+		// The grant closure captures the conn's reply writer (thread-safe),
+		// the stream's wire coordinates and the producer's codec, so the
+		// consumer can grant from any goroutine for the conn's lifetime.
+		binding, stream, codecID := m.BindingID, m.Correlation, m.Codec
+		grant := func(cumElems, cumBytes uint64) {
+			s.sendGrant(dest, binding, stream, codecID, cumElems, cumBytes)
+		}
+		st := &streamState{flow: m.Operation, recv: recv, elemType: elemType, grant: grant}
+		streams[key] = st
+		recv.StreamBatch(StreamBatch{
+			Phase:   StreamOpen,
+			Binding: binding,
+			Stream:  stream,
+			Flow:    m.Operation,
+			Grant:   grant,
+		})
+	case wire.StreamEOSMark:
+		st, ok := streams[key]
+		if !ok {
+			return // close of an unopened (or refused) stream: nothing to do
+		}
+		delete(streams, key)
+		st.recv.StreamBatch(StreamBatch{
+			Phase:   StreamClose,
+			Binding: key.binding,
+			Stream:  key.correl,
+			Flow:    st.flow,
+			Seq:     m.Seq,
+		})
+	default:
+		st, ok := streams[key]
+		if !ok {
+			// Elements for a stream the server never opened (refused open,
+			// or a protocol bug): there is no receiver to credit them, so
+			// they are dropped and counted.
+			s.errCount.Add(1)
+			return
+		}
+		elems := m.Args
+		var dropped, droppedBytes uint64
+		if st.elemType != nil {
+			kept := elems[:0]
+			for _, v := range elems {
+				if err := st.elemType.Check(v); err != nil {
+					dropped++
+					droppedBytes += uint64(wire.ValueSizeHint(v))
+					s.flowTypeError()
+					continue
+				}
+				kept = append(kept, v)
+			}
+			elems = kept
+		}
+		st.recv.StreamBatch(StreamBatch{
+			Phase:        StreamElems,
+			Binding:      key.binding,
+			Stream:       key.correl,
+			Flow:         st.flow,
+			Seq:          m.Seq,
+			Elems:        elems,
+			DroppedElems: dropped,
+			DroppedBytes: droppedBytes,
+			Grant:        st.grant,
+		})
+	}
+}
+
+// sendGrant transmits one credit grant on a connection's reply path. The
+// grant is a bare header — stream id in Correlation, cumulative element
+// credit in Seq, cumulative byte credit in Epoch — encoded with the
+// producer's own codec.
+func (s *Server) sendGrant(dest replyDest, binding, stream uint64, codecID wire.CodecID, cumElems, cumBytes uint64) {
+	s.creditGrants.Add(1)
+	m := wire.GetMessage()
+	m.Kind = wire.CreditGrant
+	m.BindingID = binding
+	m.Correlation = stream
+	m.Seq = cumElems
+	m.Epoch = cumBytes
+	codec, err := wire.ByID(codecID)
+	if err != nil {
+		codec = wire.Canonical
+	}
+	frame, err := m.EncodeAppend(wire.GetFrame(m.SizeHint()), codec)
+	wire.PutMessage(m)
+	if err != nil {
+		s.errCount.Add(1)
+		wire.PutFrame(frame)
+		return
+	}
+	dest.put(frame, true)
 }
 
 func (s *Server) handleSignal(m *wire.Message) {

@@ -361,6 +361,7 @@ type Session struct {
 
 	mu       sync.Mutex
 	pending  map[pendKey]chan *wire.Message
+	grants   map[pendKey]*grantSink
 	closed   bool
 	graceful bool
 
@@ -377,6 +378,7 @@ func newSession(m *SessionManager, ep naming.Endpoint, conn netsim.Conn) *Sessio
 		ep:      ep,
 		conn:    conn,
 		pending: make(map[pendKey]chan *wire.Message),
+		grants:  make(map[pendKey]*grantSink),
 	}
 	if !m.cfg.Unbatched {
 		var bi batchInstruments
@@ -420,6 +422,37 @@ func release(ch chan *wire.Message) {
 	default:
 	}
 	waiterPool.Put(ch)
+}
+
+// grantSink is the session-side delivery point for one flow stream's
+// credit grants: the read loop routes inbound CreditGrant frames keyed by
+// (binding, stream id) to onGrant, and session death fires onDead once so
+// a producer blocked at zero credit wakes with ErrStreamClosed instead of
+// hanging on a session that will never grant again. Both callbacks run on
+// the session's read-loop goroutine and must not block.
+type grantSink struct {
+	onGrant func(cumElems, cumBytes uint64)
+	onDead  func(err error)
+}
+
+// registerGrants claims the grant demux slot for one flow stream.
+func (s *Session) registerGrants(binding, stream uint64, sink *grantSink) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrStreamClosed
+	}
+	s.grants[pendKey{binding, stream}] = sink
+	s.mu.Unlock()
+	return nil
+}
+
+// unregisterGrants drops a stream's grant slot (stream close). After it
+// returns no callback will fire for the stream again.
+func (s *Session) unregisterGrants(binding, stream uint64) {
+	s.mu.Lock()
+	delete(s.grants, pendKey{binding, stream})
+	s.mu.Unlock()
 }
 
 // register claims the demux slot for one interrogation. The returned
@@ -549,6 +582,18 @@ func (s *Session) readLoop() {
 			} else {
 				wire.PutMessage(m) // late or unsolicited; nobody will read it
 			}
+		case wire.CreditGrant:
+			// The streaming back-channel: route the grant to its stream's
+			// sink. Grants for unknown streams (late, or the stream closed)
+			// are dropped — cumulative credit makes the next grant subsume
+			// them.
+			s.mu.Lock()
+			g := s.grants[pendKey{m.BindingID, m.Correlation}]
+			s.mu.Unlock()
+			if g != nil {
+				g.onGrant(m.Seq, m.Epoch)
+			}
+			wire.PutMessage(m)
 		default:
 			// Client ends do not accept requests.
 		}
@@ -557,6 +602,8 @@ func (s *Session) readLoop() {
 	s.closed = true
 	stranded := s.pending
 	s.pending = nil
+	strandedGrants := s.grants
+	s.grants = nil
 	graceful := s.graceful
 	s.mu.Unlock()
 	// Account the death before waking anyone: a caller that observes
@@ -567,6 +614,14 @@ func (s *Session) readLoop() {
 	// (channels are pooled, so they are never closed).
 	for _, ch := range stranded {
 		ch <- nil
+	}
+	// Streams die with their session: wake every producer blocked on
+	// credit so it observes ErrStreamClosed rather than waiting for a
+	// grant that can never arrive.
+	for _, g := range strandedGrants {
+		if g.onDead != nil {
+			g.onDead(ErrStreamClosed)
+		}
 	}
 	if s.q != nil {
 		s.q.close() // conn is dead; the sender drains by failing fast

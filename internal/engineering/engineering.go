@@ -36,6 +36,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/naming"
 	"repro/internal/netsim"
+	"repro/internal/types"
 )
 
 // Engineering error sentinels.
@@ -244,6 +245,38 @@ func (n *Node) Bind(ref naming.InterfaceRef, cfg channel.BindConfig) (*channel.B
 		cfg.Sessions = n.sessions
 	}
 	return channel.Bind(ref, cfg)
+}
+
+// RegisterServant installs a standalone servant on the node's channel
+// endpoint, outside the capsule/cluster machinery: an infrastructure-side
+// interface (e.g. a stream consumer end) that needs a routable reference
+// but no object lifecycle. The reference is minted under a synthetic
+// object id (capsule/cluster/object all zero — real objects never collide
+// because the nonce disambiguates) and registered with the location
+// registry so relocation-aware clients can find it.
+func (n *Node) RegisterServant(it *types.Interface, h channel.Handler) (naming.InterfaceRef, error) {
+	if it != nil {
+		if err := it.Validate(); err != nil {
+			return naming.InterfaceRef{}, err
+		}
+	}
+	id := naming.InterfaceID{
+		Object: naming.ObjectID{Cluster: naming.ClusterID{Capsule: naming.CapsuleID{Node: n.cfg.ID}}},
+		Nonce:  n.nonce(),
+	}
+	var typeName string
+	if it != nil {
+		typeName = it.Name
+	}
+	ref := naming.InterfaceRef{ID: id, TypeName: typeName, Endpoint: n.endpoint}
+	if err := n.server.Register(id, it, h); err != nil {
+		return naming.InterfaceRef{}, err
+	}
+	if err := n.registerLocation(ref); err != nil {
+		n.server.Unregister(id)
+		return naming.InterfaceRef{}, err
+	}
+	return ref, nil
 }
 
 // nonce draws a fresh interface nonce.

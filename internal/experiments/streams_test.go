@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE14CellSmoke runs a small one-slow cell on the simulated network and
+// checks the deterministic properties: the slow stream's consumer queue is
+// bounded by its window, no FIFO gaps, no type errors, and the fast fleet
+// actually finished.
+func TestE14CellSmoke(t *testing.T) {
+	cfg := E14Config{
+		Transport: "sim",
+		Streams:   8,
+		Elems:     100,
+		Window:    16,
+		SlowOne:   true,
+		SlowDelay: time.Millisecond,
+	}
+	row, err := E14Cell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Scenario != "one-slow" || row.Transport != "sim" {
+		t.Fatalf("row identity: %+v", row)
+	}
+	if row.FastThroughput <= 0 {
+		t.Fatalf("fast throughput %v", row.FastThroughput)
+	}
+	if row.SlowMaxQueued > uint64(cfg.Window) {
+		t.Fatalf("slow stream queued %d > window %d", row.SlowMaxQueued, cfg.Window)
+	}
+	if row.SeqGaps != 0 {
+		t.Fatalf("seq gaps: %d", row.SeqGaps)
+	}
+	if row.FlowTypeErrors != 0 {
+		t.Fatalf("flow type errors: %d", row.FlowTypeErrors)
+	}
+	if row.SlowDelivered == 0 {
+		t.Fatal("slow stream delivered nothing; credit loop never opened")
+	}
+
+	recs := (E14Report{Rows: []E14Row{row}}).Records()
+	if len(recs) != 1 || recs[0].Experiment != "e14" || recs[0].Scenario != "one-slow/sim" {
+		t.Fatalf("records: %+v", recs)
+	}
+	if recs[0].Metrics["slow_max_queued"] != float64(row.SlowMaxQueued) {
+		t.Fatalf("record metrics: %+v", recs[0].Metrics)
+	}
+}

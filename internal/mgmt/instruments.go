@@ -37,6 +37,7 @@ type ChannelServerInstruments struct {
 	Dispatches      *Counter   // calls dispatched to servants
 	Errors          *Counter   // error replies sent
 	BadFrames       *Counter   // undecodable inbound frames
+	FlowTypeErrors  *Counter   // flow traffic rejected by the server stub's type checks
 	DispatchLatency *Histogram // servant execution latency, ns
 
 	SessionsOpen       *Gauge     // live inbound sessions (accepted conns)
@@ -68,6 +69,22 @@ type SessionInstruments struct {
 	FramesPerWrite *Histogram // frames per transport write
 	BatchBytes     *Histogram // bytes per transport write
 	SendQueueDepth *Gauge     // frames queued awaiting the sender
+}
+
+// StreamInstruments instrument one end of the streaming data plane: a
+// producer's credit window and stall behaviour, or a consumer's delivery
+// rate and queue ceiling. One bundle per stream family (producer and
+// consumer ends resolve distinct names, so their gauges never collide).
+type StreamInstruments struct {
+	ElementsSent *Counter   // elements handed to the wire (producer end)
+	ElementsRecv *Counter   // elements delivered to the application (consumer end)
+	Batches      *Counter   // flow-batch frames sent or delivered
+	CreditElems  *Gauge     // credit remaining, elements (producer: granted-used; consumer: granted-consumed)
+	CreditBytes  *Gauge     // credit remaining, bytes
+	Stalls       *Counter   // producer sends that blocked at zero credit
+	StallNs      *Histogram // time spent blocked per stall, ns
+	ElemsPerSec  *Histogram // consumer delivery rate sampled per grant cycle
+	QueuedElems  *Gauge     // consumer elements buffered awaiting Recv
 }
 
 // GroupInstruments instrument a replica group (coordination).
@@ -217,6 +234,7 @@ func (m *Management) ChannelServer(name string) *ChannelServerInstruments {
 		Dispatches:         m.Registry.Counter(p + "dispatches"),
 		Errors:             m.Registry.Counter(p + "errors"),
 		BadFrames:          m.Registry.Counter(p + "bad_frames"),
+		FlowTypeErrors:     m.Registry.Counter(p + "flow_type_errors"),
 		DispatchLatency:    m.Registry.Histogram(p + "dispatch_latency_ns"),
 		SessionsOpen:        m.Registry.Gauge(p + "sessions_open"),
 		SessionsTotal:       m.Registry.Counter(p + "sessions_total"),
@@ -244,6 +262,26 @@ func (m *Management) Sessions(name string) *SessionInstruments {
 		FramesPerWrite:  m.Registry.Histogram(p + "frames_per_write"),
 		BatchBytes:      m.Registry.Histogram(p + "batch_bytes"),
 		SendQueueDepth:  m.Registry.Gauge(p + "send_queue_depth"),
+	}
+}
+
+// Stream resolves a streaming bundle named name (e.g. "<flow>.producer"
+// or "<flow>.consumer"). Metrics land under stream.<name>.*.
+func (m *Management) Stream(name string) *StreamInstruments {
+	if m == nil {
+		return nil
+	}
+	p := "stream." + name + "."
+	return &StreamInstruments{
+		ElementsSent: m.Registry.Counter(p + "elements_sent"),
+		ElementsRecv: m.Registry.Counter(p + "elements_recv"),
+		Batches:      m.Registry.Counter(p + "batches"),
+		CreditElems:  m.Registry.Gauge(p + "credit_elems"),
+		CreditBytes:  m.Registry.Gauge(p + "credit_bytes"),
+		Stalls:       m.Registry.Counter(p + "stalls"),
+		StallNs:      m.Registry.Histogram(p + "stall_ns"),
+		ElemsPerSec:  m.Registry.Histogram(p + "elements_per_sec"),
+		QueuedElems:  m.Registry.Gauge(p + "queued_elems"),
 	}
 }
 

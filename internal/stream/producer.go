@@ -1,0 +1,239 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/channel"
+	"repro/internal/mgmt"
+	"repro/internal/values"
+	"repro/internal/wire"
+)
+
+// ProducerConfig configures the producing end of one flow stream.
+type ProducerConfig struct {
+	// MaxBatch bounds elements per FlowBatch frame (default 64). The pump
+	// batches adaptively: a slow wire grows batches toward this bound, an
+	// idle one sends singletons immediately — the same shape as the
+	// session sender's frame batching, one level up.
+	MaxBatch int
+	// Buffer is the hand-off queue between Send and the pump goroutine,
+	// in elements (default 256). Together with the credit window it is
+	// the producer's whole memory ceiling: Send blocks when it is full.
+	Buffer int
+	// FailFast makes Send return ErrNoCredit when the window is empty
+	// instead of blocking (load shedding for sources that cannot pause).
+	FailFast bool
+	// Instruments enables mgmt metrics for this producer. Nil disables.
+	Instruments *mgmt.StreamInstruments
+}
+
+// ProducerStats is a snapshot of one producer's counters.
+type ProducerStats struct {
+	Sent        uint64 // elements handed to the wire
+	Batches     uint64 // FlowBatch frames sent
+	Stalls      uint64 // Sends that blocked (or failed fast) at zero credit
+	StallNs     uint64 // total time blocked awaiting credit
+	MaxBuffered uint64 // high-water mark of elements buffered locally
+	CreditElems uint64 // window currently open, elements
+	CreditBytes uint64 // window currently open, bytes
+}
+
+// Producer is the producing end of one flow stream: the computational
+// object writes elements with Send, and the engineering machinery below
+// batches them onto the session data plane as credit admits them. Send is
+// safe for concurrent use, but elements are sequenced by arrival at the
+// gate — a single writing goroutine is the usual discipline and the one
+// that makes per-flow FIFO meaningful end to end.
+type Producer struct {
+	fs   *channel.FlowStream
+	gate *creditGate
+	cfg  ProducerConfig
+
+	mu     sync.RWMutex // held shared by Send, exclusively by Close
+	pump   chan values.Value
+	closed bool
+
+	done    chan struct{}
+	sent    atomic.Uint64
+	batches atomic.Uint64
+	maxBuf  atomic.Uint64
+
+	errMu sync.Mutex
+	err   error // sticky wire failure
+}
+
+// Open opens a credit-managed stream on the named flow of a bound stream
+// interface. The producer holds zero credit until the consumer's initial
+// grant arrives; the first Send blocks for it (the open round-trip is the
+// stream's only latency cost — after it, credit pipelines with data).
+func Open(ctx context.Context, b *channel.Binding, flow string, cfg ProducerConfig) (*Producer, error) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 256
+	}
+	gate := newCreditGate()
+	ins := cfg.Instruments
+	onGrant := func(cumElems, cumBytes uint64) {
+		gate.grant(cumElems, cumBytes)
+		if ins != nil {
+			e, by := gate.remaining()
+			ins.CreditElems.Set(int64(e))
+			ins.CreditBytes.Set(int64(by))
+		}
+	}
+	fs, err := b.OpenFlowStream(ctx, flow, onGrant, gate.fail)
+	if err != nil {
+		return nil, err
+	}
+	p := &Producer{
+		fs:   fs,
+		gate: gate,
+		cfg:  cfg,
+		pump: make(chan values.Value, cfg.Buffer),
+		done: make(chan struct{}),
+	}
+	go p.run()
+	return p, nil
+}
+
+// Send writes one element to the stream. It blocks while the credit
+// window is exhausted (the consumer is behind) or the local buffer is
+// full — that blocking IS the backpressure; memory never grows past
+// Buffer + the batch in flight. With FailFast it returns ErrNoCredit
+// instead of blocking on credit. A dead stream returns an error chain
+// matching both channel.ErrStreamClosed and channel.ErrDisconnected.
+func (p *Producer) Send(ctx context.Context, v values.Value) error {
+	if err := p.stickyErr(); err != nil {
+		return err
+	}
+	bytes := uint64(wire.ValueSizeHint(v))
+	stallNs, err := p.gate.acquire(ctx, bytes, p.cfg.FailFast)
+	if ins := p.cfg.Instruments; ins != nil && stallNs > 0 {
+		ins.Stalls.Inc()
+		ins.StallNs.Observe(stallNs)
+	}
+	if err != nil {
+		return err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return fmt.Errorf("%w: flow %q: producer closed", channel.ErrStreamClosed, p.fs.Flow())
+	}
+	// Holding the read lock across the channel send keeps Close from
+	// closing the pump under us; the pump goroutine drains independently,
+	// so a full buffer clears without Close's write lock.
+	select {
+	case p.pump <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close ends the stream: buffered elements drain, the end-of-stream
+// marker is sent, and the pump exits. Safe to call concurrently with
+// Send; later Sends fail with ErrStreamClosed.
+func (p *Producer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return p.stickyErr()
+	}
+	p.closed = true
+	close(p.pump)
+	p.mu.Unlock()
+	<-p.done
+	return p.stickyErr()
+}
+
+// Stats snapshots the producer's counters.
+func (p *Producer) Stats() ProducerStats {
+	stalls, stallNs := p.gate.stallStats()
+	ce, cb := p.gate.remaining()
+	return ProducerStats{
+		Sent:        p.sent.Load(),
+		Batches:     p.batches.Load(),
+		Stalls:      stalls,
+		StallNs:     stallNs,
+		MaxBuffered: p.maxBuf.Load(),
+		CreditElems: ce,
+		CreditBytes: cb,
+	}
+}
+
+// Err returns the sticky wire failure, if the stream has died.
+func (p *Producer) Err() error { return p.stickyErr() }
+
+func (p *Producer) stickyErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
+}
+
+func (p *Producer) fail(err error) {
+	p.errMu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.errMu.Unlock()
+	p.gate.fail(err)
+}
+
+// run is the pump: the single goroutine that owns the wire end, so
+// elements from concurrent Senders serialise into per-flow FIFO order. It
+// batches adaptively — everything already buffered (up to MaxBatch) goes
+// out in one frame — and after a wire failure it keeps draining so no
+// Sender stays blocked on a full buffer.
+func (p *Producer) run() {
+	defer close(p.done)
+	ins := p.cfg.Instruments
+	scratch := make([]values.Value, 0, p.cfg.MaxBatch)
+	open := true
+	for open {
+		v, ok := <-p.pump
+		if !ok {
+			break
+		}
+		batch := append(scratch[:0], v)
+	fill:
+		for len(batch) < p.cfg.MaxBatch {
+			select {
+			case v2, ok2 := <-p.pump:
+				if !ok2 {
+					open = false
+					break fill
+				}
+				batch = append(batch, v2)
+			default:
+				break fill
+			}
+		}
+		if buffered := uint64(len(batch) + len(p.pump)); buffered > p.maxBuf.Load() {
+			p.maxBuf.Store(buffered)
+		}
+		if p.stickyErr() != nil {
+			continue // draining a dead stream: discard
+		}
+		if err := p.fs.SendBatch(batch); err != nil {
+			p.fail(err)
+			continue
+		}
+		p.sent.Add(uint64(len(batch)))
+		p.batches.Add(1)
+		if ins != nil {
+			ins.ElementsSent.Add(uint64(len(batch)))
+			ins.Batches.Inc()
+		}
+	}
+	if err := p.fs.Close(); err != nil && p.stickyErr() == nil {
+		// EOS did not go out: the consumer learns from conn teardown.
+		p.fail(err)
+	}
+}

@@ -1,0 +1,83 @@
+package types
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/values"
+)
+
+func TestComplement(t *testing.T) {
+	av := StreamInterface("AV",
+		FlowOf("video", Producer, values.TBytes()),
+		FlowOf("control", Consumer, values.TInt()))
+	mirror := Complement(av)
+	if mirror == av {
+		t.Fatal("Complement returned the receiver")
+	}
+	if f, _ := mirror.Flow("video"); f.Direction != Consumer {
+		t.Fatalf("video direction = %v", f.Direction)
+	}
+	if f, _ := mirror.Flow("control"); f.Direction != Producer {
+		t.Fatalf("control direction = %v", f.Direction)
+	}
+	// The original is untouched.
+	if f, _ := av.Flow("video"); f.Direction != Producer {
+		t.Fatal("Complement mutated its argument")
+	}
+	// Complement is an involution up to naming.
+	back := Complement(mirror)
+	for _, f := range av.Flows {
+		bf, ok := back.Flow(f.Name)
+		if !ok || bf.Direction != f.Direction {
+			t.Fatalf("double complement changed flow %s", f.Name)
+		}
+	}
+	// Non-stream interfaces pass through unchanged.
+	op := OpInterface("Ops")
+	if Complement(op) != op {
+		t.Fatal("Complement of operational interface should be identity")
+	}
+	if Complement(nil) != nil {
+		t.Fatal("Complement(nil) should be nil")
+	}
+}
+
+func TestFlowCausality(t *testing.T) {
+	wide := values.TInt()
+	prod := StreamInterface("Feed", FlowOf("ticks", Producer, wide))
+	cons := Complement(prod)
+
+	if err := FlowCausality(prod, cons, "ticks"); err != nil {
+		t.Fatalf("well-formed binding rejected: %v", err)
+	}
+	// Missing flow.
+	if err := FlowCausality(prod, cons, "nope"); !errors.Is(err, ErrBadInterface) {
+		t.Fatalf("missing flow: %v", err)
+	}
+	// Producer end declares the flow Consumer: causality violated.
+	if err := FlowCausality(cons, cons, "ticks"); !errors.Is(err, ErrBadInterface) {
+		t.Fatalf("consumer-as-producer: %v", err)
+	}
+	// Consumer end declares the flow Producer: two emitters, no absorber.
+	if err := FlowCausality(prod, prod, "ticks"); !errors.Is(err, ErrBadInterface) {
+		t.Fatalf("producer-as-consumer: %v", err)
+	}
+	// Non-stream ends.
+	op := OpInterface("Ops")
+	if err := FlowCausality(op, cons, "ticks"); !errors.Is(err, ErrBadInterface) {
+		t.Fatalf("operational producer: %v", err)
+	}
+	if err := FlowCausality(prod, op, "ticks"); !errors.Is(err, ErrBadInterface) {
+		t.Fatalf("operational consumer: %v", err)
+	}
+	if err := FlowCausality(nil, cons, "ticks"); !errors.Is(err, ErrBadInterface) {
+		t.Fatalf("nil producer: %v", err)
+	}
+	// Element-type mismatch: producing records into an int-consuming flow.
+	recElem := values.TRecord("R", values.FT("x", values.TInt()))
+	prodRec := StreamInterface("FeedRec", FlowOf("ticks", Producer, recElem))
+	if err := FlowCausality(prodRec, cons, "ticks"); !errors.Is(err, ErrBadInterface) {
+		t.Fatalf("element mismatch: %v", err)
+	}
+}

@@ -442,3 +442,63 @@ func IsSubtype(sub, super *Interface) bool { return Subtype(sub, super) == nil }
 
 // Equal reports whether two interface types are mutually substitutable.
 func Equal(a, b *Interface) bool { return IsSubtype(a, b) && IsSubtype(b, a) }
+
+// Complement returns the causal mirror of a stream interface: the type of
+// the peer that would bind to it, with every flow's direction flipped
+// (what one end produces the other consumes). Non-stream interfaces are
+// returned unchanged; the receiver is never mutated.
+func Complement(it *Interface) *Interface {
+	if it == nil || it.Kind != Stream {
+		return it
+	}
+	out := &Interface{Name: it.Name + "~", Kind: Stream, Flows: make([]Flow, len(it.Flows))}
+	copy(out.Flows, it.Flows)
+	for i := range out.Flows {
+		switch out.Flows[i].Direction {
+		case Producer:
+			out.Flows[i].Direction = Consumer
+		case Consumer:
+			out.Flows[i].Direction = Producer
+		}
+	}
+	return out
+}
+
+// FlowCausality checks that a stream binding on the named flow is causally
+// well-formed: the producer's interface declares the flow as Producer (it
+// emits), the consumer's declares it as Consumer (it absorbs), and every
+// element the producer may emit is acceptable to the consumer (producer
+// element type assignable to the consumer's — the covariance direction of
+// the stream subtype rule, applied across the binding rather than down a
+// type hierarchy). Either interface may be the same type at both ends; the
+// check is then that the flow is declared with complementary readings.
+func FlowCausality(producer, consumer *Interface, flow string) error {
+	if producer == nil || consumer == nil {
+		return fmt.Errorf("%w: nil interface", ErrBadInterface)
+	}
+	if producer.Kind != Stream {
+		return fmt.Errorf("%w: %s: producer end is %v, not stream", ErrBadInterface, producer.Name, producer.Kind)
+	}
+	if consumer.Kind != Stream {
+		return fmt.Errorf("%w: %s: consumer end is %v, not stream", ErrBadInterface, consumer.Name, consumer.Kind)
+	}
+	pf, ok := producer.Flow(flow)
+	if !ok {
+		return fmt.Errorf("%w: %s has no flow %q", ErrBadInterface, producer.Name, flow)
+	}
+	cf, ok := consumer.Flow(flow)
+	if !ok {
+		return fmt.Errorf("%w: %s has no flow %q", ErrBadInterface, consumer.Name, flow)
+	}
+	if pf.Direction != Producer {
+		return fmt.Errorf("%w: flow %s.%s is declared %v at the producing end", ErrBadInterface, producer.Name, flow, pf.Direction)
+	}
+	if cf.Direction != Consumer {
+		return fmt.Errorf("%w: flow %s.%s is declared %v at the consuming end", ErrBadInterface, consumer.Name, flow, cf.Direction)
+	}
+	if !pf.Elem.AssignableTo(cf.Elem) {
+		return fmt.Errorf("%w: flow %q: produced element type %s not assignable to consumed %s",
+			ErrBadInterface, flow, pf.Elem, cf.Elem)
+	}
+	return nil
+}

@@ -55,6 +55,29 @@ const (
 	ErrReply
 	Probe
 	ProbeAck
+	// CreditGrant is the streaming back-channel: the consumer end grants
+	// transmission credit to the producer of one flow stream. It reuses
+	// existing header fields instead of a payload so a grant costs a bare
+	// header: Correlation carries the stream id, Seq the cumulative element
+	// credit and Epoch the cumulative byte credit (both monotone totals
+	// since stream open, so a lost or reordered grant is subsumed by the
+	// next one). Args is empty.
+	CreditGrant
+	// FlowBatch carries a batch of stream elements for one flow, plus the
+	// stream's open/close markers. Operation names the flow, Correlation
+	// carries the stream id, Seq the cumulative element count before this
+	// batch (the per-flow FIFO position), and Args the elements.
+	// Termination distinguishes the markers: StreamOpenMark opens the
+	// stream (no elements; the consumer answers with the initial
+	// CreditGrant), StreamEOSMark closes it, and "" is an ordinary
+	// element batch.
+	FlowBatch
+)
+
+// FlowBatch termination markers (see the FlowBatch kind).
+const (
+	StreamOpenMark = "STREAM_OPEN"
+	StreamEOSMark  = "STREAM_EOS"
 )
 
 // String returns the name of the message kind.
@@ -76,6 +99,10 @@ func (k MsgKind) String() string {
 		return "probe"
 	case ProbeAck:
 		return "probeack"
+	case CreditGrant:
+		return "creditgrant"
+	case FlowBatch:
+		return "flowbatch"
 	}
 	return fmt.Sprintf("msgkind(%d)", int(k))
 }
@@ -315,6 +342,13 @@ func (m *Message) readExtensions(data []byte, off int) (int, error) {
 	}
 	return off, nil
 }
+
+// ValueSizeHint exposes the per-value size bound to the streaming layer:
+// byte-denominated credit windows debit and grant the same deterministic
+// measure on both ends of a flow stream, so producer and consumer
+// accounting can never drift even though neither sees the other's
+// encoded frames.
+func ValueSizeHint(v values.Value) int { return valueSizeHint(v) }
 
 // valueSizeHint returns an upper bound on the encoded size of v under
 // either codec (the canonical codec's 4-byte padding and wide booleans are

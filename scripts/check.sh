@@ -25,7 +25,7 @@ echo "== race detector (hot-path and fan-out packages) =="
 go test -race ./internal/wire/ ./internal/channel/ ./internal/netsim/ \
 	./internal/transactions/ ./internal/coordination/ ./internal/trader/ \
 	./internal/mgmt/ ./internal/relocator/ ./internal/policy/ \
-	./internal/hashring/ ./internal/odp/
+	./internal/hashring/ ./internal/odp/ ./internal/stream/
 
 echo "== E11 chaos smoke (policy-on availability + recovery + no leaked goroutines) =="
 # A short chaos run under the race detector: TestE11ChaosSmoke asserts
@@ -143,6 +143,46 @@ for e13_attempt in 1 2 3; do
 done
 if [ "$e13_ok" != "1" ]; then
 	echo "E13 sharding gate failed: 8 shards < 3x single shard in 3 runs"
+	exit 1
+fi
+
+echo "== E14 streaming smoke (slow-consumer isolation >= 0.8x; memory ceiling = window) =="
+# One slow consumer among 64 credit-windowed streams on one session must
+# not drag its siblings down: the one-slow scenario has to keep at least
+# 80% of the all-fast fast-stream throughput on loopback TCP (wall-clock,
+# so best of three), and — deterministically, every run — the slow
+# stream's consumer queue must never exceed its credit window and no
+# element may be dropped on type grounds or delivered out of order.
+e14_ok=0
+for e14_attempt in 1 2 3; do
+	go run ./cmd/odpbench -only e14smoke -json > /tmp/check_e14.json
+	if awk '
+		/"scenario"/        { scen = $2; gsub(/[",]/, "", scen) }
+		/"window"/          { window = $2 + 0 }
+		/"fast_throughput"/ { thr[scen] = $2 + 0 }
+		/"slow_max_queued"/ { maxq[scen] = $2 + 0 }
+		/"seq_gaps"/        { gaps += $2 + 0 }
+		/"flow_type_errors"/ { typeerr += $2 + 0 }
+		END {
+			if (thr["all-fast/tcp"] == 0 || thr["one-slow/tcp"] == 0) {
+				print "e14: tcp rows missing from JSON"; exit 1
+			}
+			ratio = thr["one-slow/tcp"] / thr["all-fast/tcp"]
+			printf "e14: one-slow %.0f el/s vs all-fast %.0f el/s: %.2fx; slow maxq %d/%d window\n", \
+				thr["one-slow/tcp"], thr["all-fast/tcp"], ratio, maxq["one-slow/tcp"], window
+			if (maxq["one-slow/tcp"] > window) { print "e14: slow stream queued past its window"; exit 1 }
+			if (maxq["one-slow/sim"] > window) { print "e14: slow stream queued past its window (sim)"; exit 1 }
+			if (gaps != 0)    { print "e14: FIFO sequence gaps"; exit 1 }
+			if (typeerr != 0) { print "e14: flow type errors"; exit 1 }
+			exit !(ratio >= 0.8)
+		}' /tmp/check_e14.json; then
+		e14_ok=1
+		break
+	fi
+	echo "e14 attempt $e14_attempt below 0.8x; retrying"
+done
+if [ "$e14_ok" != "1" ]; then
+	echo "E14 streaming gate failed: one slow consumer dragged siblings below 0.8x in 3 runs"
 	exit 1
 fi
 
