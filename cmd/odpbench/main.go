@@ -16,6 +16,8 @@
 //	odpbench -only e13smoke -json  # the CI slice (1-vs-8 grid, 100k swarm)
 //	odpbench -only e14  # streaming credit-flow isolation (sim + tcp)
 //	odpbench -only e14smoke -json  # the CI slice (fewer elements)
+//	odpbench -only e15  # de-singletoned control plane: replicated types, sharded bus, 1M swarm
+//	odpbench -only e15smoke -json  # the CI slice (same 1M swarm, fewer samples elsewhere)
 //	odpbench -json      # any section: unified []Record instead of tables
 //
 // With -json every section emits the unified experiments.Record shape
@@ -62,7 +64,7 @@ func (e *emitter) flush() {
 
 func main() {
 	iters := flag.Int("iters", 2000, "samples per scenario")
-	only := flag.String("only", "", "run only the named section (supported: e10, e11, e12, e12smoke, e13, e13smoke, e14, e14smoke)")
+	only := flag.String("only", "", "run only the named section (supported: e10, e11, e12, e12smoke, e13, e13smoke, e14, e14smoke, e15, e15smoke)")
 	dur := flag.Duration("dur", 6*time.Second, "per-mode wall-clock duration of the e11 chaos run")
 	asJSON := flag.Bool("json", false, "emit machine-readable records instead of tables")
 	flag.Parse()
@@ -81,6 +83,11 @@ func main() {
 	}
 	if *only == "e14" || *only == "e14smoke" {
 		runE14(em, *only == "e14smoke")
+		em.flush()
+		return
+	}
+	if *only == "e15" || *only == "e15smoke" {
+		runE15(em, *only == "e15smoke")
 		em.flush()
 		return
 	}
@@ -191,7 +198,53 @@ func main() {
 	runE12(false, false, *iters)
 	runE13(em, true)
 	runE14(em, true)
+	runE15(em, true)
 	em.flush()
+}
+
+// runE15 prints (or records) the de-singletoned control plane: trader
+// import throughput against a capacity-gated type-repository authority,
+// singleton vs replicated read front-end; bus publish throughput with
+// gated broker shards; the million-binding swarm over the replicated
+// repository; and the crash-storm rebalance with one replica-group
+// trader shard losing a member mid-flight.
+func runE15(em *emitter, smoke bool) {
+	rep, err := experiments.E15(smoke)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "e15: %v\n", err)
+		os.Exit(1)
+	}
+	em.add(rep.Records()...)
+	if em.json {
+		return
+	}
+	section(em, "E15 De-singletoned control plane: replicated typerepo, sharded bus, 1M swarm, crash storm")
+	fmt.Printf("  %-28s %8s %12s %12s %12s\n", "typerepo (gated authority)", "calls", "imports/sec", "auth reads", "repl reads")
+	for _, t := range rep.TypeRepo {
+		fmt.Printf("  %-28s %8d %12.0f %12d %12d\n",
+			fmt.Sprintf("%s replicas=%d", t.Mode, t.Replicas),
+			t.Calls, t.Throughput, t.AuthorityReads, t.ReplicaReads)
+	}
+	fmt.Printf("  %-28s %8s %12s\n", "bus (gated brokers)", "events", "pubs/sec")
+	for _, b := range rep.Bus {
+		fmt.Printf("  %-28s %8d %12.0f\n",
+			fmt.Sprintf("%s shards=%d", b.Mode, b.Shards), b.Events, b.Throughput)
+	}
+	s := rep.Swarm
+	fmt.Printf("  swarm: %d bindings over %d hosts x %d nodes (%d shards, %d type replicas):\n",
+		s.Bindings, s.Config.Hosts, s.Config.Nodes, s.Config.Shards, s.Config.TypeReplicas)
+	fmt.Printf("         %d lost lookups, %d conns, %d dials, cache hit rate %.4f,\n",
+		s.LostLookups, s.Conns, s.Dials, s.CacheHitRate)
+	fmt.Printf("         %d heapB/binding, p50 %v p99 %v, %.0f bindings/sec (%v total)\n",
+		s.HeapPerBinding, s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.PerSec, s.Elapsed.Round(time.Millisecond))
+	c := rep.Crash
+	fmt.Printf("  crash storm: %d offers probed through add+remove rebalance with a replica-member\n", c.Offers)
+	fmt.Printf("               crash (%d chaos events): %d probes, %d misses, worst per-offer gap %v,\n",
+		c.CrashEvents, c.Probes, c.Misses, c.MaxBlackout.Round(time.Microsecond))
+	fmt.Printf("               %d offers migrated live, replicated shard down to %d member(s)\n",
+		c.Migrated, c.GroupSize)
+	fmt.Println()
 }
 
 // runE14 prints (or records) the streaming credit-flow grid: fast-stream

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/mgmt"
 	"repro/internal/values"
 )
 
@@ -28,9 +29,20 @@ type Event struct {
 type Filter func(Event) bool
 
 // Bus is the event-notification function: typed publish/subscribe with
-// per-subscriber filters. Delivery is synchronous and in publication
-// order, so tests and coordinated functions (e.g. relocation watchers)
-// see a deterministic sequence. A Bus is safe for concurrent use.
+// per-subscriber filters. A Bus is safe for concurrent use.
+//
+// Two delivery modes exist. Subscribe registers an inline subscriber:
+// delivery is synchronous and in publication order, so tests and
+// coordinated functions (e.g. relocation watchers) see a deterministic
+// sequence — but a slow inline subscriber holds up its publisher.
+// SubscribeQueued registers a bounded-queue subscriber: Publish enqueues
+// (never blocks) and a dedicated drain goroutine invokes the callback, so
+// one slow subscriber can no longer stall publishers bus-wide. Events are
+// enqueued while the bus lock that assigned their sequence number is
+// still held, so each queued subscriber observes events in strictly
+// ascending Seq order — the same order an inline subscriber would see —
+// and a full queue drops the new event (counted in QueueStats) rather
+// than blocking or reordering.
 type Bus struct {
 	mu      sync.Mutex
 	nextSub int
@@ -39,6 +51,10 @@ type Bus struct {
 
 	published atomic.Uint64
 	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	stalls    atomic.Uint64
+	queued    atomic.Int64
+	ins       atomic.Pointer[mgmt.BusInstruments]
 }
 
 type subscription struct {
@@ -46,6 +62,10 @@ type subscription struct {
 	topic  string // "" matches every topic
 	filter Filter
 	fn     func(Event)
+
+	// Queued-mode fields; q == nil means inline synchronous delivery.
+	q    chan Event
+	done chan struct{} // closed when the drain goroutine exits
 }
 
 // NewBus returns an empty bus.
@@ -68,34 +88,126 @@ func (b *Bus) Subscribe(topic string, filter Filter, fn func(Event)) (cancel fun
 	}
 }
 
-// Publish delivers an event to every matching subscriber and returns the
-// number of deliveries.
-func (b *Bus) Publish(topic string, payload values.Value) int {
-	b.mu.Lock()
-	b.nextSeq++
-	ev := Event{Topic: topic, Payload: payload, Seq: b.nextSeq}
-	matching := make([]*subscription, 0, len(b.subs))
-	for _, s := range b.subs {
-		if s.topic == "" || s.topic == topic {
-			matching = append(matching, s)
-		}
+// SubscribeQueued registers fn behind a bounded delivery queue of the
+// given capacity (minimum 1). Publish enqueues without blocking; a
+// dedicated goroutine drains the queue and invokes fn, so a slow fn
+// delays only this subscriber. When the queue is full the new event is
+// dropped for this subscriber and counted in QueueStats().Dropped. The
+// filter runs in the drain goroutine, off the publisher's path.
+//
+// Per-subscriber order: events arrive in strictly ascending Seq order
+// (enqueueing happens under the same lock that assigns Seq), with gaps
+// only where events were dropped or filtered.
+//
+// The returned cancel stops the subscription and blocks until every
+// already-queued event has been delivered and the drain goroutine has
+// exited, so callers can tear down without leaking goroutines.
+func (b *Bus) SubscribeQueued(topic string, filter Filter, capacity int, fn func(Event)) (cancel func()) {
+	if capacity < 1 {
+		capacity = 1
 	}
-	sort.Slice(matching, func(i, j int) bool { return matching[i].id < matching[j].id })
+	s := &subscription{
+		topic:  topic,
+		filter: filter,
+		fn:     fn,
+		q:      make(chan Event, capacity),
+		done:   make(chan struct{}),
+	}
+	go b.drain(s)
+	b.mu.Lock()
+	s.id = b.nextSub
+	b.nextSub++
+	b.subs[s.id] = s
 	b.mu.Unlock()
-	b.published.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			b.mu.Lock()
+			delete(b.subs, s.id)
+			b.mu.Unlock()
+			// No publisher can reach s.q any more (enqueues happen under
+			// b.mu, and the subscription is gone), so closing it is safe
+			// and lets the drain goroutine finish the backlog and exit.
+			close(s.q)
+			<-s.done
+		})
+	}
+}
 
-	n := 0
-	for _, s := range matching {
+// drain is the per-queued-subscriber delivery loop.
+func (b *Bus) drain(s *subscription) {
+	defer close(s.done)
+	for ev := range s.q {
+		b.queued.Add(-1)
+		if ins := b.ins.Load(); ins != nil {
+			ins.QueueDepth.Add(-1)
+		}
 		if s.filter != nil && !s.filter(ev) {
 			continue
 		}
 		s.fn(ev)
-		n++
+		b.delivered.Add(1)
+	}
+}
+
+// Publish delivers an event to every matching subscriber and returns the
+// number of deliveries (for a queued subscriber, a successful enqueue
+// counts as a delivery; the callback runs asynchronously). Inline
+// subscribers are called synchronously in subscription order; queued
+// subscribers are enqueued under the sequencing lock, so each queue
+// receives events in Seq order, and a full queue drops the event rather
+// than stalling the publisher.
+func (b *Bus) Publish(topic string, payload values.Value) int {
+	b.mu.Lock()
+	b.nextSeq++
+	ev := Event{Topic: topic, Payload: payload, Seq: b.nextSeq}
+	var inline []*subscription
+	n, stalled := 0, false
+	for _, s := range b.subs {
+		if s.topic != "" && s.topic != topic {
+			continue
+		}
+		if s.q == nil {
+			inline = append(inline, s)
+			continue
+		}
+		select {
+		case s.q <- ev:
+			b.queued.Add(1)
+			if ins := b.ins.Load(); ins != nil {
+				ins.QueueDepth.Add(1)
+			}
+			n++
+		default:
+			b.dropped.Add(1)
+			stalled = true
+			if ins := b.ins.Load(); ins != nil {
+				ins.Dropped.Inc()
+			}
+		}
+	}
+	sort.Slice(inline, func(i, j int) bool { return inline[i].id < inline[j].id })
+	b.mu.Unlock()
+	b.published.Add(1)
+	if stalled {
+		b.stalls.Add(1)
+	}
+	if ins := b.ins.Load(); ins != nil {
+		ins.Published.Inc()
+	}
+
+	ni := 0
+	for _, s := range inline {
+		if s.filter != nil && !s.filter(ev) {
+			continue
+		}
+		s.fn(ev)
+		ni++
 	}
 	// Atomic counters spare Publish a second lock round trip for the
 	// delivery count (and keep Stats race-free against publishers).
-	b.delivered.Add(uint64(n))
-	return n
+	b.delivered.Add(uint64(ni))
+	return n + ni
 }
 
 // PublishSync is Publish that fails when no subscriber received the event.
@@ -109,4 +221,33 @@ func (b *Bus) PublishSync(topic string, payload values.Value) error {
 // Stats returns (events published, deliveries made).
 func (b *Bus) Stats() (published, delivered uint64) {
 	return b.published.Load(), b.delivered.Load()
+}
+
+// BusStats is the full counter snapshot, including the bounded-queue
+// accounting: Dropped counts events discarded at full subscriber queues,
+// Stalls counts publishes that found at least one queue full, and Queued
+// is the number of events currently sitting in subscriber queues.
+type BusStats struct {
+	Published uint64
+	Delivered uint64
+	Dropped   uint64
+	Stalls    uint64
+	Queued    int64
+}
+
+// QueueStats returns the full counter snapshot.
+func (b *Bus) QueueStats() BusStats {
+	return BusStats{
+		Published: b.published.Load(),
+		Delivered: b.delivered.Load(),
+		Dropped:   b.dropped.Load(),
+		Stalls:    b.stalls.Load(),
+		Queued:    b.queued.Load(),
+	}
+}
+
+// Instrument attaches (or detaches, with nil) a management bundle: a
+// queue-depth gauge plus published/dropped counters.
+func (b *Bus) Instrument(ins *mgmt.BusInstruments) {
+	b.ins.Store(ins)
 }

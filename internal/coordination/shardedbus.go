@@ -1,0 +1,162 @@
+// The sharded event bus: the Section 8.2 notification function as a
+// scaled front-end rather than a process-wide singleton. Topics are
+// routed to independent Bus shards over the same consistent-hash ring the
+// trader and relocator shard with, so publishers on unrelated topics stop
+// contending on one sequencing lock, while every shard keeps the plain
+// Bus semantics (per-shard total order, inline and bounded-queue
+// subscribers).
+package coordination
+
+import (
+	"fmt"
+
+	"repro/internal/hashring"
+	"repro/internal/mgmt"
+	"repro/internal/values"
+)
+
+// EventBus is the notification surface shared by the singleton *Bus and
+// the topic-sharded *ShardedBus, so call sites (odp.System, QoS
+// monitors, relocation watchers) can hold either without caring which.
+type EventBus interface {
+	Subscribe(topic string, filter Filter, fn func(Event)) (cancel func())
+	SubscribeQueued(topic string, filter Filter, capacity int, fn func(Event)) (cancel func())
+	Publish(topic string, payload values.Value) int
+	PublishSync(topic string, payload values.Value) error
+	Stats() (published, delivered uint64)
+	QueueStats() BusStats
+}
+
+var (
+	_ EventBus = (*Bus)(nil)
+	_ EventBus = (*ShardedBus)(nil)
+)
+
+// ShardedBus routes each topic to one of several Bus shards by
+// consistent hash. Routing depends only on the ring's membership, not on
+// the order members joined or on the ring epoch, so a topic observed on
+// shard b2 stays on b2 for the life of the bus.
+//
+// Ordering: Seq numbers and total order are per shard. Events on one
+// topic (one shard) are totally ordered; a wildcard ("" topic)
+// subscriber is fanned out to every shard and sees each shard's events
+// in that shard's Seq order, with no ordering defined across shards.
+//
+// A ShardedBus is safe for concurrent use; its membership is fixed at
+// construction (the ring is never mutated afterwards, which is what
+// makes lock-free routing reads sound).
+type ShardedBus struct {
+	ring   *hashring.Ring
+	shards map[string]*Bus
+	names  []string
+}
+
+// NewShardedBus returns a bus with n topic shards (n < 1 is treated as
+// 1), named b0..b<n-1> on a 64-virtual-point ring.
+func NewShardedBus(n int) *ShardedBus {
+	if n < 1 {
+		n = 1
+	}
+	sb := &ShardedBus{
+		ring:   hashring.New(64),
+		shards: make(map[string]*Bus, n),
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("b%d", i)
+		sb.ring.Add(name)
+		sb.shards[name] = NewBus()
+		sb.names = append(sb.names, name)
+	}
+	return sb
+}
+
+// ShardFor reports which shard the topic routes to (exported so tests
+// and operators can check placement).
+func (sb *ShardedBus) ShardFor(topic string) string { return sb.ring.Owner(topic) }
+
+// ShardNames returns the shard names in b0..bN order.
+func (sb *ShardedBus) ShardNames() []string { return append([]string(nil), sb.names...) }
+
+// Publish routes the event to the topic's shard and delivers there.
+func (sb *ShardedBus) Publish(topic string, payload values.Value) int {
+	return sb.shards[sb.ring.Owner(topic)].Publish(topic, payload)
+}
+
+// PublishSync is Publish that fails when no subscriber received the event.
+func (sb *ShardedBus) PublishSync(topic string, payload values.Value) error {
+	if sb.Publish(topic, payload) == 0 {
+		return ErrNoSubscriber
+	}
+	return nil
+}
+
+// Subscribe registers an inline subscriber. A named topic subscribes on
+// that topic's shard only; the wildcard "" subscribes on every shard
+// (events arrive per-shard ordered, interleaving across shards
+// unspecified). The returned cancel covers every underlying
+// subscription.
+func (sb *ShardedBus) Subscribe(topic string, filter Filter, fn func(Event)) (cancel func()) {
+	if topic != "" {
+		return sb.shards[sb.ring.Owner(topic)].Subscribe(topic, filter, fn)
+	}
+	cancels := make([]func(), 0, len(sb.names))
+	for _, name := range sb.names {
+		cancels = append(cancels, sb.shards[name].Subscribe(topic, filter, fn))
+	}
+	return func() {
+		for _, c := range cancels {
+			c()
+		}
+	}
+}
+
+// SubscribeQueued registers a bounded-queue subscriber with the same
+// topic routing as Subscribe; a wildcard subscriber gets one queue (and
+// one drain goroutine) per shard, each of the given capacity, so a slow
+// wildcard consumer still cannot couple the shards to each other.
+func (sb *ShardedBus) SubscribeQueued(topic string, filter Filter, capacity int, fn func(Event)) (cancel func()) {
+	if topic != "" {
+		return sb.shards[sb.ring.Owner(topic)].SubscribeQueued(topic, filter, capacity, fn)
+	}
+	cancels := make([]func(), 0, len(sb.names))
+	for _, name := range sb.names {
+		cancels = append(cancels, sb.shards[name].SubscribeQueued(topic, filter, capacity, fn))
+	}
+	return func() {
+		for _, c := range cancels {
+			c()
+		}
+	}
+}
+
+// Stats sums (published, delivered) across shards.
+func (sb *ShardedBus) Stats() (published, delivered uint64) {
+	for _, name := range sb.names {
+		p, d := sb.shards[name].Stats()
+		published += p
+		delivered += d
+	}
+	return published, delivered
+}
+
+// QueueStats sums the full counter snapshot across shards.
+func (sb *ShardedBus) QueueStats() BusStats {
+	var out BusStats
+	for _, name := range sb.names {
+		s := sb.shards[name].QueueStats()
+		out.Published += s.Published
+		out.Delivered += s.Delivered
+		out.Dropped += s.Dropped
+		out.Stalls += s.Stalls
+		out.Queued += s.Queued
+	}
+	return out
+}
+
+// Instrument resolves one mgmt bundle per shard (bus.<shard>.*) from m;
+// a nil m detaches.
+func (sb *ShardedBus) Instrument(m *mgmt.Management) {
+	for _, name := range sb.names {
+		sb.shards[name].Instrument(m.Bus(name))
+	}
+}

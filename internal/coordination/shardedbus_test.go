@@ -1,0 +1,325 @@
+package coordination
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/hashring"
+	"repro/internal/mgmt"
+	"repro/internal/values"
+)
+
+// Bounded-queue delivery preserves per-subscriber publication order even
+// with racing publishers: events are enqueued under the lock that
+// assigns their Seq, so the queue is drained in strictly ascending Seq
+// order.
+func TestQueuedSubscriberPreservesOrder(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	var seqs []uint64
+	cancel := b.SubscribeQueued("tick", nil, 2048, func(ev Event) {
+		mu.Lock()
+		seqs = append(seqs, ev.Seq)
+		mu.Unlock()
+	})
+
+	const publishers, per = 4, 100
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Publish("tick", values.Int(int64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	cancel() // blocks until the backlog is drained
+
+	if len(seqs) != publishers*per {
+		t.Fatalf("delivered %d events, want %d", len(seqs), publishers*per)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("delivery out of order at %d: seq %d after %d", i, seqs[i], seqs[i-1])
+		}
+	}
+	if st := b.QueueStats(); st.Dropped != 0 || st.Queued != 0 {
+		t.Fatalf("unexpected queue stats: %+v", st)
+	}
+}
+
+// A full bounded queue drops new events for that subscriber (counted)
+// instead of stalling the publisher, and the drops are visible in both
+// QueueStats and the mgmt gauges.
+func TestQueuedSubscriberDropsWhenFull(t *testing.T) {
+	b := NewBus()
+	m := mgmt.New()
+	b.Instrument(m.Bus("b0"))
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var delivered int
+	var mu sync.Mutex
+	cancel := b.SubscribeQueued("tick", nil, 1, func(ev Event) {
+		mu.Lock()
+		delivered++
+		first := delivered == 1
+		mu.Unlock()
+		if first {
+			close(entered)
+			<-release
+		}
+	})
+
+	b.Publish("tick", values.Int(0))
+	<-entered // the drain goroutine is now wedged inside the callback
+	b.Publish("tick", values.Int(1))
+	// The queue (capacity 1) now holds event 1; everything below drops.
+	const extra = 8
+	for i := 0; i < extra; i++ {
+		if got := b.Publish("tick", values.Int(int64(2+i))); got != 0 {
+			t.Fatalf("full-queue Publish reported %d deliveries, want 0", got)
+		}
+	}
+	st := b.QueueStats()
+	if st.Dropped != extra {
+		t.Fatalf("Dropped = %d, want %d", st.Dropped, extra)
+	}
+	if st.Stalls != extra {
+		t.Fatalf("Stalls = %d, want %d", st.Stalls, extra)
+	}
+	if got := m.Registry.Gauge("bus.b0.queue_depth").Load(); got != 1 {
+		t.Fatalf("bus.b0.queue_depth = %d while one event queued, want 1", got)
+	}
+	close(release)
+	cancel()
+	mu.Lock()
+	got := delivered
+	mu.Unlock()
+	if got != 2 {
+		t.Fatalf("delivered %d events, want 2 (wedged + queued)", got)
+	}
+	if got := m.Registry.Gauge("bus.b0.queue_depth").Load(); got != 0 {
+		t.Fatalf("bus.b0.queue_depth = %d after drain, want 0", got)
+	}
+	if got := m.Registry.Counter("bus.b0.dropped").Load(); got != extra {
+		t.Fatalf("bus.b0.dropped = %d, want %d", got, extra)
+	}
+}
+
+// A slow queued subscriber must not stall publishers or other
+// subscribers: while one consumer is wedged, publishes keep completing
+// and an inline subscriber keeps receiving.
+func TestSlowQueuedSubscriberDoesNotStallBus(t *testing.T) {
+	b := NewBus()
+	wedged := make(chan struct{})
+	release := make(chan struct{})
+	cancelSlow := b.SubscribeQueued("tick", nil, 1, func(Event) {
+		select {
+		case <-wedged:
+		default:
+			close(wedged)
+		}
+		<-release
+	})
+	var fast int
+	cancelFast := b.Subscribe("tick", nil, func(Event) { fast++ })
+
+	for i := 0; i < 100; i++ {
+		b.Publish("tick", values.Int(int64(i)))
+	}
+	if fast != 100 {
+		t.Fatalf("inline subscriber received %d events, want 100", fast)
+	}
+	close(release)
+	cancelSlow()
+	cancelFast()
+	if st := b.QueueStats(); st.Dropped == 0 {
+		t.Fatalf("expected drops at the wedged subscriber, got %+v", st)
+	}
+}
+
+// Topic routing is a pure function of the ring's membership: the same
+// topic lands on the same shard regardless of the order members joined
+// or how many epochs the ring has been through.
+func TestShardedBusRoutingStableAcrossEpochs(t *testing.T) {
+	sb := NewShardedBus(4)
+	topics := make([]string, 64)
+	for i := range topics {
+		topics[i] = fmt.Sprintf("topic-%d", i)
+	}
+
+	// A second front-end with identical membership routes identically.
+	sb2 := NewShardedBus(4)
+	for _, topic := range topics {
+		if a, b := sb.ShardFor(topic), sb2.ShardFor(topic); a != b {
+			t.Fatalf("routing differs between identical buses: %s -> %s vs %s", topic, a, b)
+		}
+	}
+
+	// A ring that reached the same membership through extra epochs
+	// (members added in reverse, a transient member added and removed)
+	// owns every topic identically.
+	ring := hashring.New(64)
+	for i := 3; i >= 0; i-- {
+		ring.Add(fmt.Sprintf("b%d", i))
+	}
+	ring.Add("transient")
+	ring.Remove("transient")
+	if ring.Epoch() < 6 {
+		t.Fatalf("ring epochs did not advance: %d", ring.Epoch())
+	}
+	for _, topic := range topics {
+		if a, b := sb.ShardFor(topic), ring.Owner(topic); a != b {
+			t.Fatalf("routing depends on ring history: %s -> %s vs %s", topic, a, b)
+		}
+	}
+
+	// And the mapping actually spreads topics over multiple shards.
+	used := map[string]bool{}
+	for _, topic := range topics {
+		used[sb.ShardFor(topic)] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("64 topics all routed to one shard: %v", used)
+	}
+}
+
+// Publishing and topic subscription agree on placement: a subscriber on
+// a topic receives every event published on it, with per-topic total
+// order (the topic's shard assigns Seq).
+func TestShardedBusTopicDelivery(t *testing.T) {
+	sb := NewShardedBus(4)
+	var mu sync.Mutex
+	got := map[string][]uint64{}
+	var cancels []func()
+	topics := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for _, topic := range topics {
+		topic := topic
+		cancels = append(cancels, sb.Subscribe(topic, nil, func(ev Event) {
+			mu.Lock()
+			got[topic] = append(got[topic], ev.Seq)
+			mu.Unlock()
+		}))
+	}
+	const per = 20
+	for i := 0; i < per; i++ {
+		for _, topic := range topics {
+			if err := sb.PublishSync(topic, values.Int(int64(i))); err != nil {
+				t.Fatalf("PublishSync(%s): %v", topic, err)
+			}
+		}
+	}
+	for _, c := range cancels {
+		c()
+	}
+	for _, topic := range topics {
+		seqs := got[topic]
+		if len(seqs) != per {
+			t.Fatalf("topic %s: received %d events, want %d", topic, len(seqs), per)
+		}
+		for i := 1; i < len(seqs); i++ {
+			if seqs[i] <= seqs[i-1] {
+				t.Fatalf("topic %s: seq order violated: %v", topic, seqs)
+			}
+		}
+	}
+	pub, del := sb.Stats()
+	if pub != uint64(per*len(topics)) || del != uint64(per*len(topics)) {
+		t.Fatalf("Stats = (%d, %d), want (%d, %d)", pub, del, per*len(topics), per*len(topics))
+	}
+}
+
+// A wildcard ("" topic) subscriber is fanned out to every shard: it
+// receives every event exactly once, and within each shard the Seq
+// numbers it observes are monotonic (cross-shard interleaving is
+// unspecified).
+func TestShardedBusWildcardSeesAllShards(t *testing.T) {
+	sb := NewShardedBus(4)
+	type rec struct {
+		shard string
+		seq   uint64
+		topic string
+	}
+	var mu sync.Mutex
+	var events []rec
+	cancel := sb.Subscribe("", nil, func(ev Event) {
+		mu.Lock()
+		events = append(events, rec{shard: sb.ShardFor(ev.Topic), seq: ev.Seq, topic: ev.Topic})
+		mu.Unlock()
+	})
+
+	topics := make([]string, 32)
+	shardsHit := map[string]bool{}
+	for i := range topics {
+		topics[i] = fmt.Sprintf("topic-%d", i)
+		shardsHit[sb.ShardFor(topics[i])] = true
+	}
+	if len(shardsHit) != 4 {
+		t.Fatalf("test topics cover %d shards, want 4", len(shardsHit))
+	}
+	const per = 10
+	for i := 0; i < per; i++ {
+		for _, topic := range topics {
+			sb.Publish(topic, values.Int(int64(i)))
+		}
+	}
+	cancel()
+
+	if len(events) != per*len(topics) {
+		t.Fatalf("wildcard received %d events, want %d", len(events), per*len(topics))
+	}
+	lastSeq := map[string]uint64{}
+	for _, e := range events {
+		if e.seq <= lastSeq[e.shard] {
+			t.Fatalf("per-shard seq not monotonic on %s: %d after %d", e.shard, e.seq, lastSeq[e.shard])
+		}
+		lastSeq[e.shard] = e.seq
+	}
+
+	// A queued wildcard subscriber gets one bounded queue per shard.
+	var n int
+	var nmu sync.Mutex
+	qcancel := sb.SubscribeQueued("", nil, 64, func(Event) {
+		nmu.Lock()
+		n++
+		nmu.Unlock()
+	})
+	for _, topic := range topics {
+		sb.Publish(topic, values.Int(0))
+	}
+	qcancel()
+	if n != len(topics) {
+		t.Fatalf("queued wildcard received %d events, want %d", n, len(topics))
+	}
+}
+
+// The sharded front-end aggregates queue stats and resolves one mgmt
+// bundle per shard.
+func TestShardedBusStatsAndInstruments(t *testing.T) {
+	sb := NewShardedBus(2)
+	m := mgmt.New()
+	sb.Instrument(m)
+	var seen int
+	cancel := sb.Subscribe("", nil, func(Event) { seen++ })
+	sb.Publish("a", values.Int(1))
+	sb.Publish("b", values.Int(2))
+	cancel()
+	if seen != 2 {
+		t.Fatalf("wildcard saw %d events, want 2", seen)
+	}
+	st := sb.QueueStats()
+	if st.Published != 2 {
+		t.Fatalf("QueueStats.Published = %d, want 2", st.Published)
+	}
+	var published uint64
+	for _, name := range sb.ShardNames() {
+		published += m.Registry.Counter("bus." + name + ".published").Load()
+	}
+	if published != 2 {
+		t.Fatalf("per-shard published counters sum to %d, want 2", published)
+	}
+}

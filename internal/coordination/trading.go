@@ -1,0 +1,139 @@
+// Replicated trading: one trader shard served by a replica group, the
+// same construction whitepages.go applies to the relocator. A
+// ReplicaGroup fans Export/Withdraw/Install out to every trader replica
+// in ticket order, and Import reads fail over across replicas — so a
+// shard of the sharded trader survives the crash of a replica member
+// mid-rebalance, which is exactly the storm E15 drives.
+//
+// Determinism requirement: replicas must mint identical offer ids for
+// the sequenced Export stream, or the group detects divergence. Trader
+// ids are minted from a per-trader counter and the trader's name, so
+// building every member with trader.New(<same name>, repo) satisfies
+// this — the group's total order does the rest.
+//
+// The adapter lives in coordination (not trader) so the trader stays a
+// leaf package, mirroring the whitepages layering.
+package coordination
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/naming"
+	"repro/internal/trader"
+	"repro/internal/values"
+)
+
+// tradingMember adapts a *Trader to Invoker via the trader servant's
+// operation vocabulary, so in-process replicas and channel-backed remote
+// traders mix freely in one group.
+type tradingMember struct {
+	trader.Servant
+}
+
+var _ Invoker = (*tradingMember)(nil)
+
+// NewTradingMember wraps a trader as a replica-group member.
+func NewTradingMember(t *trader.Trader) Invoker {
+	return &tradingMember{trader.Servant{T: t}}
+}
+
+// Close implements Invoker; the trader's lifecycle belongs to its owner.
+func (m *tradingMember) Close() error { return nil }
+
+// TradingGroup is a trader.Shard served by a replica group: updates
+// (Export, Withdraw, Install) run through the group's sequenced fan-out,
+// Import through its failover read path. It slots into
+// trader.ShardedTrader.AddShard like a plain *Trader.
+type TradingGroup struct {
+	G *ReplicaGroup
+}
+
+var _ trader.Shard = (*TradingGroup)(nil)
+
+// NewTradingGroup wraps a replica group of trader replicas.
+func NewTradingGroup(g *ReplicaGroup) *TradingGroup { return &TradingGroup{G: g} }
+
+func tradingFailure(op string, res []values.Value) error {
+	reason := "unknown"
+	if len(res) == 1 {
+		if s, ok := res[0].AsString(); ok {
+			reason = s
+		}
+	}
+	return fmt.Errorf("coordination: replicated trader %s failed: %s", op, reason)
+}
+
+// Export advertises the service on every replica (sequenced) and returns
+// the offer id the replicas agreed on.
+func (g *TradingGroup) Export(serviceType string, ref naming.InterfaceRef, props values.Value) (string, error) {
+	if props.IsNull() {
+		props = values.Record()
+	}
+	term, res, err := g.G.Invoke(context.Background(), "Export", []values.Value{
+		values.Str(serviceType),
+		ref.ToValue(),
+		values.Any(values.TypeOf(props), props),
+	})
+	if err != nil {
+		return "", err
+	}
+	if term != "OK" {
+		return "", tradingFailure("Export", res)
+	}
+	id, _ := res[0].AsString()
+	return id, nil
+}
+
+// Withdraw removes the offer on every replica (sequenced).
+func (g *TradingGroup) Withdraw(offerID string) error {
+	term, res, err := g.G.Invoke(context.Background(), "Withdraw", []values.Value{values.Str(offerID)})
+	if err != nil {
+		return err
+	}
+	if term != "OK" {
+		return tradingFailure("Withdraw", res)
+	}
+	return nil
+}
+
+// Install re-homes an offer (identity preserved) on every replica — the
+// rebalance path, so a migrating shard lands replicated.
+func (g *TradingGroup) Install(o trader.Offer) error {
+	term, res, err := g.G.Invoke(context.Background(), "Install", []values.Value{trader.OfferToValue(o)})
+	if err != nil {
+		return err
+	}
+	if term != "OK" {
+		return tradingFailure("Install", res)
+	}
+	return nil
+}
+
+// Import queries any live replica, failing over past dead members.
+func (g *TradingGroup) Import(req trader.ImportRequest) ([]trader.Offer, error) {
+	term, res, err := g.G.InvokeRead(context.Background(), "Import", []values.Value{
+		values.Str(req.ServiceType),
+		values.Str(req.Constraint),
+		values.Int(int64(req.Preference.Kind)),
+		values.Str(req.Preference.Expr),
+		values.Int(int64(req.MaxMatches)),
+		values.Int(int64(req.MaxHops)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if term != "OK" {
+		return nil, tradingFailure("Import", res)
+	}
+	seq := res[0]
+	out := make([]trader.Offer, 0, seq.Len())
+	for i := 0; i < seq.Len(); i++ {
+		o, err := trader.OfferFromValue(seq.ElemAt(i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+// Replicated type repository: the Section 8.3.1 authority store served
+// by a replica group. TypeGroup adapts a ReplicaGroup of repository
+// members to the typerepo.Repository interface, so registrations run
+// through the group's ticket-ordered fan-out (every member applies the
+// same write stream in the same order) and reads fail over across
+// members. It is the intended authority behind typerepo.NewReplicated:
+// hot reads come from the front-end's gen-fenced local replicas, and the
+// rare writes funnel through the group's total order.
+//
+// As with whitepages.go and trading.go, the adapter lives in
+// coordination so typerepo stays a leaf package.
+package coordination
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/typerepo"
+	"repro/internal/values"
+)
+
+// typeMember adapts a typerepo.Repository to Invoker via the repository
+// servant vocabulary.
+type typeMember struct {
+	typerepo.Servant
+}
+
+var _ Invoker = (*typeMember)(nil)
+
+// NewTypeMember wraps a repository as a replica-group member.
+func NewTypeMember(r typerepo.Repository) Invoker {
+	return &typeMember{typerepo.Servant{R: r}}
+}
+
+// Close implements Invoker; the repository's lifecycle belongs to its owner.
+func (m *typeMember) Close() error { return nil }
+
+// TypeGroup is a typerepo.Repository served by a replica group.
+type TypeGroup struct {
+	G *ReplicaGroup
+}
+
+var _ typerepo.Repository = (*TypeGroup)(nil)
+
+// NewTypeGroup wraps a replica group of repository members.
+func NewTypeGroup(g *ReplicaGroup) *TypeGroup { return &TypeGroup{G: g} }
+
+// typeErr rehydrates the sentinel conditions the servant encodes in its
+// terminations, so errors.Is works across the group boundary.
+func typeErr(op, term string, res []values.Value) error {
+	reason := "unknown"
+	if len(res) == 1 {
+		if s, ok := res[0].AsString(); ok {
+			reason = s
+		}
+	}
+	switch term {
+	case "NotFound":
+		return fmt.Errorf("%w: %s", typerepo.ErrNotFound, reason)
+	case "Conflict":
+		return fmt.Errorf("%w: %s", typerepo.ErrConflict, reason)
+	}
+	return fmt.Errorf("coordination: replicated typerepo %s failed: %s", op, reason)
+}
+
+func (g *TypeGroup) write(op string, args []values.Value) error {
+	term, res, err := g.G.Invoke(context.Background(), op, args)
+	if err != nil {
+		return err
+	}
+	if term != "OK" {
+		return typeErr(op, term, res)
+	}
+	return nil
+}
+
+func (g *TypeGroup) read(op string, args []values.Value) ([]values.Value, error) {
+	term, res, err := g.G.InvokeRead(context.Background(), op, args)
+	if err != nil {
+		return nil, err
+	}
+	if term != "OK" {
+		return nil, typeErr(op, term, res)
+	}
+	return res, nil
+}
+
+func strsFrom(v values.Value) []string {
+	out := make([]string, 0, v.Len())
+	for i := 0; i < v.Len(); i++ {
+		s, _ := v.ElemAt(i).AsString()
+		out = append(out, s)
+	}
+	return out
+}
+
+// RegisterInterface registers it on every member (sequenced).
+func (g *TypeGroup) RegisterInterface(it *types.Interface) error {
+	if it == nil {
+		return fmt.Errorf("%w: nil interface", typerepo.ErrBadType)
+	}
+	return g.write("RegisterInterface", []values.Value{it.ToValue()})
+}
+
+// RegisterData registers a named data type on every member (sequenced).
+func (g *TypeGroup) RegisterData(name string, dt *values.DataType) error {
+	if dt == nil {
+		return fmt.Errorf("%w: nil data type", typerepo.ErrBadType)
+	}
+	return g.write("RegisterData", []values.Value{values.Str(name), types.DataTypeToValue(dt)})
+}
+
+// DeclareSubtype records a declared edge on every member (sequenced).
+func (g *TypeGroup) DeclareSubtype(sub, super string) error {
+	return g.write("DeclareSubtype", []values.Value{values.Str(sub), values.Str(super)})
+}
+
+// Relate records a relationship on every member (sequenced).
+func (g *TypeGroup) Relate(relation, from, to string) error {
+	return g.write("Relate", []values.Value{values.Str(relation), values.Str(from), values.Str(to)})
+}
+
+// LookupInterface resolves an interface type from any live member.
+func (g *TypeGroup) LookupInterface(name string) (*types.Interface, error) {
+	res, err := g.read("LookupInterface", []values.Value{values.Str(name)})
+	if err != nil {
+		return nil, err
+	}
+	return types.InterfaceFromValue(res[0])
+}
+
+// LookupData resolves a data type from any live member.
+func (g *TypeGroup) LookupData(name string) (*values.DataType, error) {
+	res, err := g.read("LookupData", []values.Value{values.Str(name)})
+	if err != nil {
+		return nil, err
+	}
+	return types.DataTypeFromValue(res[0])
+}
+
+// IsSubtype asks any live member for the substitutability verdict.
+func (g *TypeGroup) IsSubtype(sub, super string) (bool, error) {
+	res, err := g.read("IsSubtype", []values.Value{values.Str(sub), values.Str(super)})
+	if err != nil {
+		return false, err
+	}
+	ok, _ := res[0].AsBool()
+	return ok, nil
+}
+
+// Interfaces enumerates the registered interface names from any member.
+func (g *TypeGroup) Interfaces() []string {
+	res, err := g.read("Interfaces", nil)
+	if err != nil {
+		return nil
+	}
+	return strsFrom(res[0])
+}
+
+// Supertypes enumerates structural supertypes from any member.
+func (g *TypeGroup) Supertypes(name string) ([]string, error) {
+	res, err := g.read("Supertypes", []values.Value{values.Str(name)})
+	if err != nil {
+		return nil, err
+	}
+	return strsFrom(res[0]), nil
+}
+
+// Subtypes enumerates structural subtypes from any member.
+func (g *TypeGroup) Subtypes(name string) ([]string, error) {
+	res, err := g.read("Subtypes", []values.Value{values.Str(name)})
+	if err != nil {
+		return nil, err
+	}
+	return strsFrom(res[0]), nil
+}
+
+// DeclaredSupertypes enumerates declared supertypes from any member.
+func (g *TypeGroup) DeclaredSupertypes(name string) []string {
+	res, err := g.read("DeclaredSupertypes", []values.Value{values.Str(name)})
+	if err != nil {
+		return nil
+	}
+	return strsFrom(res[0])
+}
+
+// Related enumerates relationship targets from any member.
+func (g *TypeGroup) Related(relation, from string) []string {
+	res, err := g.read("Related", []values.Value{values.Str(relation), values.Str(from)})
+	if err != nil {
+		return nil
+	}
+	return strsFrom(res[0])
+}
+
+// Gen reads the generation fence from any live member. Members apply the
+// same sequenced write stream, so their generations agree once the
+// group's Invoke has returned — which is exactly when a front-end's next
+// read consults the fence.
+func (g *TypeGroup) Gen() uint64 {
+	res, err := g.read("Gen", nil)
+	if err != nil || len(res) != 1 {
+		return 0
+	}
+	n, _ := res[0].AsInt()
+	return uint64(n)
+}

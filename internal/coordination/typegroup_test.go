@@ -1,0 +1,203 @@
+package coordination
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/trader"
+	"repro/internal/typerepo"
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+func tellerType() *types.Interface {
+	return types.OpInterface("BankTeller",
+		types.Op("Deposit",
+			types.Params(types.P("a", values.TString()), types.P("d", values.TInt())),
+			types.Term("OK", types.P("new_balance", values.TInt())),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
+	)
+}
+
+func managerType() *types.Interface {
+	return types.Extend("BankManager", tellerType(),
+		types.Op("CreateAccount",
+			types.Params(types.P("c", values.TString())),
+			types.Term("OK", types.P("a", values.TString())),
+			types.Term("Error", types.P("reason", values.TString())),
+		),
+	)
+}
+
+func newTypeGroup(t *testing.T, n int) (*TypeGroup, []*typerepo.Local) {
+	t.Helper()
+	g := NewReplicaGroup()
+	members := make([]*typerepo.Local, n)
+	for i := 0; i < n; i++ {
+		members[i] = typerepo.New()
+		if err := g.Add(fmt.Sprintf("t%d", i), NewTypeMember(members[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewTypeGroup(g), members
+}
+
+func TestTypeGroupReplicatesRegistrations(t *testing.T) {
+	tg, members := newTypeGroup(t, 3)
+	if err := tg.RegisterInterface(tellerType()); err != nil {
+		t.Fatalf("RegisterInterface: %v", err)
+	}
+	if err := tg.RegisterInterface(managerType()); err != nil {
+		t.Fatalf("RegisterInterface: %v", err)
+	}
+	if err := tg.DeclareSubtype("BankManager", "BankTeller"); err != nil {
+		t.Fatalf("DeclareSubtype: %v", err)
+	}
+	// The sequenced writes reached every member identically.
+	for i, m := range members {
+		ok, err := m.IsSubtype("BankManager", "BankTeller")
+		if err != nil || !ok {
+			t.Fatalf("member %d: IsSubtype = %v, %v", i, ok, err)
+		}
+		if m.Gen() != members[0].Gen() {
+			t.Fatalf("member %d gen %d != member 0 gen %d", i, m.Gen(), members[0].Gen())
+		}
+	}
+	// Group reads resolve through the failover path.
+	if it, err := tg.LookupInterface("BankManager"); err != nil || it.Name != "BankManager" {
+		t.Fatalf("group LookupInterface = %v, %v", it, err)
+	}
+	ok, err := tg.IsSubtype("BankManager", "BankTeller")
+	if err != nil || !ok {
+		t.Fatalf("group IsSubtype = %v, %v", ok, err)
+	}
+	if got := tg.DeclaredSupertypes("BankManager"); len(got) != 1 || got[0] != "BankTeller" {
+		t.Fatalf("group DeclaredSupertypes = %v", got)
+	}
+	if tg.Gen() != members[0].Gen() {
+		t.Fatalf("group gen %d != member gen %d", tg.Gen(), members[0].Gen())
+	}
+	// Sentinel conditions survive the group boundary.
+	if _, err := tg.LookupInterface("NoSuch"); !errors.Is(err, typerepo.ErrNotFound) {
+		t.Fatalf("LookupInterface(NoSuch) = %v, want ErrNotFound", err)
+	}
+	conflicting := types.OpInterface("BankTeller",
+		types.Op("Different", types.Params(), types.Term("OK")),
+	)
+	if err := tg.RegisterInterface(conflicting); !errors.Is(err, typerepo.ErrConflict) {
+		t.Fatalf("conflicting registration = %v, want ErrConflict", err)
+	}
+}
+
+// A TypeGroup is the intended authority behind the replicated read
+// front-end: writes run ReplicaGroup-ordered across the member stores,
+// reads come from the front-end's gen-fenced local replicas.
+func TestTypeGroupBehindReplicatedFrontEnd(t *testing.T) {
+	tg, members := newTypeGroup(t, 2)
+	rep := typerepo.NewReplicated(tg, 2)
+	if err := rep.RegisterInterface(tellerType()); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := rep.RegisterInterface(managerType()); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	ok, err := rep.IsSubtype("BankManager", "BankTeller")
+	if err != nil || !ok {
+		t.Fatalf("replicated IsSubtype over group authority = %v, %v", ok, err)
+	}
+	for i, m := range members {
+		if got := len(m.Interfaces()); got != 2 {
+			t.Fatalf("member %d holds %d interfaces, want 2", i, got)
+		}
+	}
+}
+
+func newTradingGroup(t *testing.T, n int) (*TradingGroup, []*trader.Trader, *typerepo.Local) {
+	t.Helper()
+	repo := typerepo.New()
+	if err := repo.RegisterInterface(tellerType()); err != nil {
+		t.Fatal(err)
+	}
+	g := NewReplicaGroup()
+	members := make([]*trader.Trader, n)
+	for i := 0; i < n; i++ {
+		// Same trader name on every member: offer ids are minted from the
+		// name and a local counter, so the sequenced update stream yields
+		// identical ids on every replica (no divergence).
+		members[i] = trader.New("tg", repo)
+		if err := g.Add(fmt.Sprintf("m%d", i), NewTradingMember(members[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewTradingGroup(g), members, repo
+}
+
+func TestTradingGroupReplicatesOffers(t *testing.T) {
+	tg, members, _ := newTradingGroup(t, 3)
+	ref := wpRef(7, "sim://a", 0)
+	ref.TypeName = "BankTeller"
+	id, err := tg.Export("BankTeller", ref, values.Record())
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	// Every member holds the offer under the agreed id.
+	for i, m := range members {
+		offers, err := m.Import(trader.ImportRequest{ServiceType: "BankTeller"})
+		if err != nil || len(offers) != 1 || offers[i%1].ID != id {
+			t.Fatalf("member %d: offers = %+v, %v", i, offers, err)
+		}
+	}
+	// Group import reads from any live member.
+	offers, err := tg.Import(trader.ImportRequest{ServiceType: "BankTeller"})
+	if err != nil || len(offers) != 1 || offers[0].ID != id {
+		t.Fatalf("group Import = %+v, %v", offers, err)
+	}
+	// A member crash is masked: drop one member, reads and writes continue.
+	if err := tg.G.Remove("m1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tg.Import(trader.ImportRequest{ServiceType: "BankTeller"}); err != nil {
+		t.Fatalf("Import after member loss: %v", err)
+	}
+	if err := tg.Withdraw(id); err != nil {
+		t.Fatalf("Withdraw after member loss: %v", err)
+	}
+	offers, err = tg.Import(trader.ImportRequest{ServiceType: "BankTeller"})
+	if err != nil || len(offers) != 0 {
+		t.Fatalf("offers after withdraw = %+v, %v", offers, err)
+	}
+}
+
+// A TradingGroup slots into the sharded trader as one shard, and a
+// rebalance migration (Install preserving offer identity) replicates
+// onto every member.
+func TestTradingGroupAsShard(t *testing.T) {
+	tg, members, repo := newTradingGroup(t, 2)
+	fe := trader.NewSharded("fe", repo, 0)
+	if err := fe.AddShard("plain", trader.New("plain", repo)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.AddShard("replicated", tg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		ref := wpRef(uint64(100+i), "sim://a", 0)
+		ref.TypeName = "BankTeller"
+		if _, err := fe.Export("BankTeller", ref, values.Record()); err != nil {
+			t.Fatalf("Export %d: %v", i, err)
+		}
+	}
+	offers, err := fe.Import(trader.ImportRequest{ServiceType: "BankTeller", MaxMatches: 16})
+	if err != nil || len(offers) == 0 {
+		t.Fatalf("front-end Import = %d offers, %v", len(offers), err)
+	}
+	// If BankTeller routed to the replicated shard, both members hold it.
+	if got, _ := members[0].Import(trader.ImportRequest{ServiceType: "BankTeller", MaxMatches: 32}); len(got) > 0 {
+		other, _ := members[1].Import(trader.ImportRequest{ServiceType: "BankTeller", MaxMatches: 32})
+		if len(other) != len(got) {
+			t.Fatalf("members diverge: %d vs %d offers", len(got), len(other))
+		}
+	}
+}

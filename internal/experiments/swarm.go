@@ -70,7 +70,7 @@ func e13TypeName(i int) string { return fmt.Sprintf("SwarmSvc%02d", i) }
 // is structural, so every type carries a marker operation of its own —
 // without it the n "different" services would all substitute for each
 // other and every import would fan out to every shard.
-func e13Repo(n int) *typerepo.Repository {
+func e13Repo(n int) typerepo.Repository {
 	repo := typerepo.New()
 	for i := 0; i < n; i++ {
 		must(repo.RegisterInterface(types.OpInterface(e13TypeName(i),
@@ -242,6 +242,12 @@ type E13SwarmConfig struct {
 	Nodes    int // server nodes hosting the service interfaces
 	Services int // distinct service types (spread over the nodes)
 	Shards   int // trader and relocator shard count
+
+	// TypeReplicas, when positive, fronts the type repository with that
+	// many gen-fenced read replicas (typerepo.NewReplicated) — the E15
+	// configuration, where the million-binding swarm's subtype and lookup
+	// traffic is served replica-local instead of from one shared store.
+	TypeReplicas int
 }
 
 // E13SwarmReport is the swarm measurement.
@@ -273,6 +279,9 @@ func E13Swarm(cfg E13SwarmConfig) (E13SwarmReport, error) {
 	net := netsim.New(13999)
 	net.SetAcceptBacklog(4 * cfg.Hosts * cfg.Nodes)
 	repo := e13Repo(cfg.Services)
+	if cfg.TypeReplicas > 0 {
+		repo = typerepo.NewReplicated(repo, cfg.TypeReplicas)
+	}
 
 	// Server nodes: each hosts the echo servants for its share of the
 	// service types.

@@ -157,6 +157,14 @@ type NetInstruments struct {
 	Partitioned *Counter // drops caused specifically by a partition
 }
 
+// BusInstruments instrument one event-bus shard: the depth of its bounded
+// subscriber queues plus publish/drop counters.
+type BusInstruments struct {
+	QueueDepth *Gauge   // events sitting in bounded subscriber queues
+	Published  *Counter // events published on this shard
+	Dropped    *Counter // events dropped at full subscriber queues
+}
+
 // ---------------------------------------------------------------------------
 // Management: the per-node (or per-system) aggregate
 
@@ -395,6 +403,21 @@ func (m *Management) Net(name string) *NetInstruments {
 		Delivered:   m.Registry.Counter(p + "delivered"),
 		Dropped:     m.Registry.Counter(p + "dropped"),
 		Partitioned: m.Registry.Counter(p + "partitioned"),
+	}
+}
+
+// Bus resolves an event-bus shard bundle. Metric names follow the
+// bus.<shard>.* convention ("bus.b3.queue_depth", "bus.b3.dropped"); a
+// sharded bus resolves one bundle per shard.
+func (m *Management) Bus(shard string) *BusInstruments {
+	if m == nil {
+		return nil
+	}
+	p := "bus." + shard + "."
+	return &BusInstruments{
+		QueueDepth: m.Registry.Gauge(p + "queue_depth"),
+		Published:  m.Registry.Counter(p + "published"),
+		Dropped:    m.Registry.Counter(p + "dropped"),
 	}
 }
 

@@ -40,14 +40,37 @@ var (
 	ErrNoOffers   = errors.New("odp: no matching offers")
 )
 
+// Bus topics the facade publishes on. Together with mgmt.ViolationTopic
+// (QoS violations, published by monitors handed the system bus) these
+// are the control-plane event streams a sharded bus spreads across
+// shards.
+const (
+	// TopicDeployed announces each successful Deploy.
+	TopicDeployed = "odp.deployed"
+	// TopicRelocated carries every relocator registration, move and
+	// removal, bridged from the relocator's callback interface: a record
+	// {ref, removed}. Relocation watchers (the client-side cache among
+	// them) subscribe here instead of holding a private callback.
+	TopicRelocated = "odp.relocated"
+	// TopicBreaker carries circuit-breaker transitions: a record
+	// {host, endpoint, state} published when a breaker trips open or
+	// re-closes.
+	TopicBreaker = "policy.breaker"
+)
+
 // System is one ODP system: a simulated network, the shared
 // infrastructure objects, and the nodes deployed into it.
 type System struct {
 	Net       *netsim.Network
 	Relocator *relocator.Relocator
-	Types     *typerepo.Repository
+	Types     typerepo.Repository
 	Trader    *trader.Trader
-	Bus       *coordination.Bus
+	// Bus is the system event bus: a singleton coordination.Bus by
+	// default, or a topic-sharded front-end once ShardBus has been
+	// called. Reconfigure (ShardBus) during setup, before concurrent
+	// publishers exist; holders should re-read the field (or use the
+	// accessor on System) rather than caching it across a ShardBus call.
+	Bus coordination.EventBus
 
 	mu    sync.Mutex
 	nodes map[string]*engineering.Node
@@ -67,9 +90,19 @@ type System struct {
 	directory trader.Shard
 	// cache, when set by EnableRelocationCache, is the bounded
 	// epoch-fenced client-side relocation cache Env hands to bindings as
-	// their Locator; cacheCancel unsubscribes it from relocator events.
+	// their Locator; cacheCancel unsubscribes it from the bus.
 	cache       *relocator.Cache
 	cacheCancel func()
+	// bridgeCancel unsubscribes the relocator -> bus event bridge.
+	bridgeCancel func()
+}
+
+// bus returns the current event bus under the lock, so publishers racing
+// a ShardBus reconfiguration read a coherent value.
+func (s *System) bus() coordination.EventBus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Bus
 }
 
 // EnableManagement creates the system's management domain and wires it
@@ -85,6 +118,12 @@ func (s *System) EnableManagement() *mgmt.Management {
 		s.mgmt = mgmt.New()
 		s.Net.Instrument(s.mgmt.Net("sim"))
 		s.Trader.Instrument(s.mgmt.TraderInstr("trader"))
+		switch b := s.Bus.(type) {
+		case *coordination.ShardedBus:
+			b.Instrument(s.mgmt)
+		case *coordination.Bus:
+			b.Instrument(s.mgmt.Bus("bus"))
+		}
 		if st, ok := s.directory.(*trader.ShardedTrader); ok {
 			s.instrumentShardedLocked(st)
 		}
@@ -118,7 +157,20 @@ func (s *System) attachBreakersLocked(host string, sm *channel.SessionManager) {
 	if s.breakerCfg == nil || sm.Breakers() != nil {
 		return
 	}
-	bs := policy.NewBreakerSet(*s.breakerCfg)
+	cfg := *s.breakerCfg
+	if cfg.OnTransition == nil {
+		// Publish breaker transitions on the system bus, keyed by the
+		// client host whose set tripped. The hook runs outside breaker
+		// locks; slow consumers should subscribe with a bounded queue.
+		cfg.OnTransition = func(key string, to policy.State) {
+			s.bus().Publish(TopicBreaker, values.Record(
+				values.F("host", values.Str(host)),
+				values.F("endpoint", values.Str(key)),
+				values.F("state", values.Str(to.String())),
+			))
+		}
+	}
+	bs := policy.NewBreakerSet(cfg)
 	bs.Instrument(s.mgmt.Policy(host))
 	sm.SetBreakers(bs)
 }
@@ -183,8 +235,21 @@ func (s *System) EnableRelocationCache(capacity int) *relocator.Cache {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cache == nil {
-		s.cache = relocator.NewCache(s.Relocator, capacity)
-		s.cacheCancel = s.Relocator.Subscribe(s.cache.Observe)
+		cache := relocator.NewCache(s.Relocator, capacity)
+		s.cache = cache
+		// The cache is a relocation watcher: it observes the bus bridge
+		// (TopicRelocated) rather than holding a private relocator
+		// callback, so it follows the bus when the bus is sharded. Bus
+		// delivery for inline subscribers is synchronous and per-topic
+		// ordered — the same guarantee the direct subscription gave, which
+		// the cache's epoch fencing relies on.
+		s.cacheCancel = s.Bus.Subscribe(TopicRelocated, nil, func(ev coordination.Event) {
+			rev, err := relocationFromValue(ev.Payload)
+			if err != nil {
+				return
+			}
+			cache.Observe(rev)
+		})
 	}
 	return s.cache
 }
@@ -217,7 +282,7 @@ func (s *System) Mgmt() *mgmt.Management {
 // NewSystem creates a system over a seeded simulated network.
 func NewSystem(seed int64) *System {
 	repo := typerepo.New()
-	return &System{
+	s := &System{
 		Net:       netsim.New(seed),
 		Relocator: relocator.New(),
 		Types:     repo,
@@ -226,6 +291,76 @@ func NewSystem(seed int64) *System {
 		nodes:     make(map[string]*engineering.Node),
 		sessions:  make(map[string]*channel.SessionManager),
 	}
+	// Bridge the relocator's callback interface onto the event bus, so
+	// every relocation watcher in the system shares one subscription
+	// surface (and follows the bus when it is sharded).
+	s.bridgeCancel = s.Relocator.Subscribe(func(ev relocator.Event) {
+		s.bus().Publish(TopicRelocated, relocationToValue(ev))
+	})
+	return s
+}
+
+// relocationToValue encodes a relocator event for the bus.
+func relocationToValue(ev relocator.Event) values.Value {
+	return values.Record(
+		values.F("ref", ev.Ref.ToValue()),
+		values.F("removed", values.Bool(ev.Removed)),
+	)
+}
+
+// relocationFromValue decodes an event published on TopicRelocated.
+func relocationFromValue(v values.Value) (relocator.Event, error) {
+	var ev relocator.Event
+	refV, ok := v.FieldByName("ref")
+	if !ok {
+		return ev, fmt.Errorf("odp: relocation event missing ref")
+	}
+	ref, err := naming.RefFromValue(refV)
+	if err != nil {
+		return ev, err
+	}
+	ev.Ref = ref
+	if remV, ok := v.FieldByName("removed"); ok {
+		ev.Removed, _ = remV.AsBool()
+	}
+	return ev, nil
+}
+
+// ShardBus replaces the system event bus with a topic-sharded front-end
+// of the given shard count and returns it. Call during setup, before
+// subscribers attach: subscriptions made on the previous bus are not
+// migrated. The relocator bridge and Deploy announcements follow the
+// new bus automatically, as do breaker transition events.
+func (s *System) ShardBus(shards int) (*coordination.ShardedBus, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("odp: ShardBus needs >= 1 shards, got %d", shards)
+	}
+	sb := coordination.NewShardedBus(shards)
+	s.mu.Lock()
+	s.Bus = sb
+	if s.mgmt != nil {
+		sb.Instrument(s.mgmt)
+	}
+	s.mu.Unlock()
+	return sb, nil
+}
+
+// ReplicateTypes puts a read-mostly replication front-end with n
+// replicas in front of the type repository: lookups and substitutability
+// checks made through s.Types are served from gen-fenced local replicas,
+// registrations keep funnelling to the former repository (now the
+// authority). Call before ShardTrader and Deploy so traders built
+// afterwards read through the front-end. Idempotent; returns the
+// front-end.
+func (s *System) ReplicateTypes(replicas int) *typerepo.Replicated {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rep, ok := s.Types.(*typerepo.Replicated); ok {
+		return rep
+	}
+	rep := typerepo.NewReplicated(s.Types, replicas)
+	s.Types = rep
+	return rep
 }
 
 // SessionsFor returns the client host's shared session manager, creating
@@ -312,9 +447,14 @@ func (s *System) Close() error {
 	s.sessions = map[string]*channel.SessionManager{}
 	cancel := s.cacheCancel
 	s.cacheCancel = nil
+	bridge := s.bridgeCancel
+	s.bridgeCancel = nil
 	s.mu.Unlock()
 	if cancel != nil {
 		cancel()
+	}
+	if bridge != nil {
+		bridge()
 	}
 	var first error
 	for _, sm := range managers {
@@ -396,7 +536,7 @@ func (s *System) Deploy(node *engineering.Node, tmpl core.ObjectTemplate, props 
 		}
 		dep.Offers[decl.Type.Name] = offerID
 	}
-	s.Bus.Publish("odp.deployed", values.Record(
+	s.bus().Publish(TopicDeployed, values.Record(
 		values.F("template", values.Str(tmpl.Name)),
 		values.F("node", values.Str(string(node.ID()))),
 	))

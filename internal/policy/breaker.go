@@ -47,6 +47,14 @@ type BreakerConfig struct {
 	// ConsecutiveFailures opens the breaker regardless of rate after
 	// this many back-to-back failures. Default 5; negative disables.
 	ConsecutiveFailures int
+	// OnTransition, when set, is called after a breaker trips Open or
+	// re-closes (the implicit Open -> HalfOpen probe admission is not a
+	// transition in this sense). key is the breaker's key within its set
+	// ("" for a breaker minted directly). The hook runs outside the
+	// breaker's lock, on the goroutine whose Record caused the
+	// transition — odp uses it to publish breaker events on the system
+	// event bus.
+	OnTransition func(key string, to State)
 	// OpenFor is the cooling-off period before an open breaker admits a
 	// half-open probe. Default 1s.
 	OpenFor time.Duration
@@ -92,6 +100,7 @@ type BreakerStats struct {
 type Breaker struct {
 	cfg BreakerConfig
 	ins *instrRef
+	key string // the breaker's key within its set; "" when standalone
 
 	mu       sync.Mutex
 	state    State
@@ -201,7 +210,8 @@ func (b *Breaker) ReturnProbe() {
 
 // Record reports the outcome of an allowed call. In half-open state the
 // probe's outcome closes (success) or re-opens (failure) the breaker; in
-// closed state outcomes feed the failure window.
+// closed state outcomes feed the failure window. A state transition
+// fires cfg.OnTransition after the lock is released.
 func (b *Breaker) Record(success bool) {
 	if success {
 		b.succ.Add(1)
@@ -209,14 +219,18 @@ func (b *Breaker) Record(success bool) {
 		b.fails.Add(1)
 	}
 	now := b.cfg.Clock()
+	var fired State
+	transitioned := false
 	b.mu.Lock()
 	switch b.state {
 	case HalfOpen:
 		b.probing = false
 		if success {
 			b.toClosedLocked()
+			fired, transitioned = Closed, true
 		} else {
 			b.toOpenLocked(now)
+			fired, transitioned = Open, true
 		}
 	case Open:
 		// A straggler from before the trip; the window restarts on close.
@@ -225,8 +239,7 @@ func (b *Breaker) Record(success bool) {
 		if success {
 			b.curOK++
 			b.consec = 0
-			b.mu.Unlock()
-			return
+			break
 		}
 		b.curFail++
 		b.consec++
@@ -235,9 +248,13 @@ func (b *Breaker) Record(success bool) {
 		if (b.cfg.ConsecutiveFailures > 0 && b.consec >= b.cfg.ConsecutiveFailures) ||
 			(total >= b.cfg.MinSamples && float64(fails)/float64(total) >= b.cfg.FailureRate) {
 			b.toOpenLocked(now)
+			fired, transitioned = Open, true
 		}
 	}
 	b.mu.Unlock()
+	if transitioned && b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(b.key, fired)
+	}
 }
 
 // toOpenLocked trips the breaker; callers hold b.mu.
@@ -336,6 +353,7 @@ func (s *BreakerSet) For(key string) *Breaker {
 	if b == nil {
 		b = NewBreaker(s.cfg)
 		b.ins = s.ins
+		b.key = key
 		s.m[key] = b
 	}
 	s.mu.Unlock()

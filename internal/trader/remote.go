@@ -103,6 +103,14 @@ func offerFromValue(v values.Value) (Offer, error) {
 	return o, nil
 }
 
+// OfferToValue encodes an offer in the wire representation the trader
+// servant speaks, for callers (such as a replica-group adapter) that
+// invoke the servant vocabulary directly rather than over a binding.
+func OfferToValue(o Offer) values.Value { return offerToValue(o) }
+
+// OfferFromValue decodes an offer encoded by OfferToValue.
+func OfferFromValue(v values.Value) (Offer, error) { return offerFromValue(v) }
+
 // Servant adapts a Trader to channel.Handler so it can be registered as
 // an interface of an engineering object.
 type Servant struct {

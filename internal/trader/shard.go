@@ -85,7 +85,7 @@ type shardLeg struct {
 // target or even a shard of a bigger one).
 type ShardedTrader struct {
 	name  string
-	types *typerepo.Repository
+	types typerepo.Repository
 
 	mu     sync.RWMutex
 	ring   *hashring.Ring
@@ -129,7 +129,7 @@ var _ Shard = (*ShardedTrader)(nil)
 // NewSharded creates an empty sharded front-end over the type
 // repository. ringReplicas is the virtual-node count per shard (<=0
 // selects the default). Add shards with AddShard.
-func NewSharded(name string, repo *typerepo.Repository, ringReplicas int) *ShardedTrader {
+func NewSharded(name string, repo typerepo.Repository, ringReplicas int) *ShardedTrader {
 	seed := int64(7)
 	for _, c := range name {
 		seed = seed*31 + int64(c)

@@ -133,7 +133,7 @@ type entry struct {
 // hop-bounded federation.
 type Trader struct {
 	name  string
-	types *typerepo.Repository
+	types typerepo.Repository
 
 	mu      sync.RWMutex
 	offers  map[string]*entry   // offer id -> entry
@@ -171,7 +171,7 @@ func (t *Trader) Instrument(ins *mgmt.TraderInstruments) {
 
 // New creates a trader backed by a type repository. The name prefixes
 // offer identifiers and must be unique within a federation.
-func New(name string, repo *typerepo.Repository) *Trader {
+func New(name string, repo typerepo.Repository) *Trader {
 	seed := int64(1)
 	for _, c := range name {
 		seed = seed*31 + int64(c)

@@ -34,7 +34,7 @@ func printerT() *types.Interface {
 	return types.OpInterface("Printer", types.Announce("Print", types.P("doc", values.TBytes())))
 }
 
-func repoWithBank(t *testing.T) *typerepo.Repository {
+func repoWithBank(t *testing.T) typerepo.Repository {
 	t.Helper()
 	repo := typerepo.New()
 	for _, it := range []*types.Interface{tellerT(), managerT(), printerT()} {

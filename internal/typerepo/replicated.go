@@ -1,0 +1,206 @@
+// Replicated is the read-mostly replication front-end over a Repository
+// authority. The tutorial's type repository (Section 8.3.1) is consulted
+// on every trading match and every bind-time causality check, and at
+// swarm scale those reads all contended on one sync.RWMutex. Replication
+// transparency says the fix must not change the call-site contract, so
+// Replicated implements the same Repository interface: writes funnel to
+// the authority (which may itself be a coordination.ReplicaGroup-ordered
+// fleet), and reads are served from per-replica copies fenced by the
+// authority's generation counter — the same invalidation protocol the
+// trader uses for its subtype-closure memo.
+package typerepo
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/types"
+	"repro/internal/values"
+)
+
+// Replicated serves Repository reads from gen-versioned local replicas
+// and delegates writes to the authority. It is safe for concurrent use.
+//
+// Freshness contract: every mutation bumps the authority's generation
+// while the authority's write lock is held, and a replica only marks its
+// copy current after confirming the generation did not move during the
+// copy. A read therefore never serves a memo from before a completed
+// write: once RegisterInterface (or DeclareSubtype, ...) has returned,
+// every subsequent read on any replica observes the new fact.
+type Replicated struct {
+	authority Repository
+	replicas  []*replica
+	next      atomic.Uint64 // round-robin replica pick
+
+	reads   atomic.Uint64 // reads served from a replica copy
+	resyncs atomic.Uint64 // full copy rebuilds
+	misses  atomic.Uint64 // reads that found their replica stale
+}
+
+// replica is one gen-fenced copy of the authority's interface universe
+// and declared hierarchy. local is swapped wholesale on resync so readers
+// never observe a half-built copy; synced holds authorityGen+1 (0 means
+// "never synced", which is distinct from a fresh authority's gen 0).
+type replica struct {
+	mu     sync.Mutex // serialises resyncs of this replica
+	synced atomic.Uint64
+	local  atomic.Pointer[Local]
+}
+
+// NewReplicated wraps authority with n read replicas (n < 1 is treated
+// as 1 — the front-end degenerates to a single fenced cache). Intended
+// use is one replica per host or per trader shard, so hot IsSubtype and
+// lookup reads touch only host-local state.
+func NewReplicated(authority Repository, n int) *Replicated {
+	if n < 1 {
+		n = 1
+	}
+	p := &Replicated{authority: authority, replicas: make([]*replica, n)}
+	for i := range p.replicas {
+		r := &replica{}
+		r.local.Store(New())
+		p.replicas[i] = r
+	}
+	return p
+}
+
+// Authority returns the backing write-path repository.
+func (p *Replicated) Authority() Repository { return p.authority }
+
+// Gen reports the authority's generation — the fence replicas sync to.
+func (p *Replicated) Gen() uint64 { return p.authority.Gen() }
+
+// ReplicatedStats counts front-end traffic: reads served from replica
+// copies, reads that found their replica stale, and full resyncs.
+type ReplicatedStats struct {
+	Reads   uint64
+	Misses  uint64
+	Resyncs uint64
+}
+
+// Stats returns a snapshot of the front-end counters.
+func (p *Replicated) Stats() ReplicatedStats {
+	return ReplicatedStats{
+		Reads:   p.reads.Load(),
+		Misses:  p.misses.Load(),
+		Resyncs: p.resyncs.Load(),
+	}
+}
+
+// view returns a replica copy that reflects at least the authority
+// generation observed at entry, rebuilding the copy if it is stale.
+func (p *Replicated) view() *Local {
+	rep := p.replicas[p.next.Add(1)%uint64(len(p.replicas))]
+	p.reads.Add(1)
+	gen := p.authority.Gen()
+	if rep.synced.Load() == gen+1 {
+		return rep.local.Load()
+	}
+	p.misses.Add(1)
+
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	// A concurrent resync may have caught us up while we waited.
+	gen = p.authority.Gen()
+	if rep.synced.Load() == gen+1 {
+		return rep.local.Load()
+	}
+
+	// Rebuild from the authority's public surface. The copy is built off
+	// to the side and swapped in whole; interfaces are registered first so
+	// declared edges always find their endpoints.
+	p.resyncs.Add(1)
+	fresh := New()
+	names := p.authority.Interfaces()
+	for _, name := range names {
+		it, err := p.authority.LookupInterface(name)
+		if err != nil {
+			continue // raced a registration conflict rollback; next read refetches
+		}
+		_ = fresh.RegisterInterface(it)
+	}
+	for _, name := range names {
+		for _, super := range p.authority.DeclaredSupertypes(name) {
+			_ = fresh.DeclareSubtype(name, super)
+		}
+	}
+	after := p.authority.Gen()
+	rep.local.Store(fresh)
+	if after == gen {
+		rep.synced.Store(gen + 1)
+	} else {
+		// A write landed mid-copy: the copy is still a consistent view of
+		// some prefix (the store only grows), but it must not be marked
+		// current — the next read will resync past the new write.
+		rep.synced.Store(0)
+	}
+	return fresh
+}
+
+// --- reads served from a replica copy ---
+
+// LookupInterface returns the interface type registered under name.
+func (p *Replicated) LookupInterface(name string) (*types.Interface, error) {
+	return p.view().LookupInterface(name)
+}
+
+// Interfaces returns the sorted names of all registered interface types.
+func (p *Replicated) Interfaces() []string { return p.view().Interfaces() }
+
+// IsSubtype reports whether sub may substitute for super, served from a
+// replica's memo table.
+func (p *Replicated) IsSubtype(sub, super string) (bool, error) {
+	return p.view().IsSubtype(sub, super)
+}
+
+// Supertypes returns the sorted names of all registered types that name
+// may substitute for (excluding itself).
+func (p *Replicated) Supertypes(name string) ([]string, error) {
+	return p.view().Supertypes(name)
+}
+
+// Subtypes returns the sorted names of all registered types that may
+// substitute for name (excluding itself).
+func (p *Replicated) Subtypes(name string) ([]string, error) {
+	return p.view().Subtypes(name)
+}
+
+// DeclaredSupertypes returns the sorted declared supertypes of name.
+func (p *Replicated) DeclaredSupertypes(name string) []string {
+	return p.view().DeclaredSupertypes(name)
+}
+
+// --- writes and cold reads, funnelled to the authority ---
+
+// RegisterInterface registers it with the authority; replicas observe the
+// generation bump and resync on their next read.
+func (p *Replicated) RegisterInterface(it *types.Interface) error {
+	return p.authority.RegisterInterface(it)
+}
+
+// RegisterData registers a named data type with the authority.
+func (p *Replicated) RegisterData(name string, dt *values.DataType) error {
+	return p.authority.RegisterData(name, dt)
+}
+
+// LookupData reads a data type from the authority (data types are bound
+// at interface-definition time, not per-invocation, so this read is cold
+// and not worth replicating).
+func (p *Replicated) LookupData(name string) (*values.DataType, error) {
+	return p.authority.LookupData(name)
+}
+
+// DeclareSubtype records a declared hierarchy edge with the authority.
+func (p *Replicated) DeclareSubtype(sub, super string) error {
+	return p.authority.DeclareSubtype(sub, super)
+}
+
+// Relate records a named relationship with the authority.
+func (p *Replicated) Relate(relation, from, to string) error {
+	return p.authority.Relate(relation, from, to)
+}
+
+// Related reads relationship targets from the authority.
+func (p *Replicated) Related(relation, from string) []string {
+	return p.authority.Related(relation, from)
+}

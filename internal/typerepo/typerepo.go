@@ -33,23 +33,47 @@ var (
 	ErrBadRelate = errors.New("typerepo: relationship endpoints must be registered")
 )
 
-// Repository is a registry for interface types, data types and the
-// relationships between them.
-type Repository struct {
+// Repository is the type-repository service surface: registration of
+// interface and data types, the subtype hierarchy (declared and
+// structural), and named relationships between types. Two implementations
+// exist: *Local, the in-process authority store, and *Replicated, a
+// read-mostly front-end serving gen-fenced reads from local replicas.
+// Call sites hold the interface so a singleton can be swapped for a
+// replicated fleet without changing semantics.
+type Repository interface {
+	RegisterInterface(it *types.Interface) error
+	LookupInterface(name string) (*types.Interface, error)
+	Interfaces() []string
+	RegisterData(name string, dt *values.DataType) error
+	LookupData(name string) (*values.DataType, error)
+	DeclareSubtype(sub, super string) error
+	IsSubtype(sub, super string) (bool, error)
+	Supertypes(name string) ([]string, error)
+	Subtypes(name string) ([]string, error)
+	DeclaredSupertypes(name string) []string
+	Relate(relation, from, to string) error
+	Related(relation, from string) []string
+	Gen() uint64
+}
+
+// Local is the concrete single-store registry for interface types, data
+// types and the relationships between them. It is the authority behind
+// every Replicated front-end.
+type Local struct {
 	mu         sync.RWMutex
 	interfaces map[string]*types.Interface
 	data       map[string]*values.DataType
 	declared   map[string]map[string]bool // sub -> set of declared supers
 	subCache   map[subKey]bool            // memoised structural results
 	relations  map[string]map[string]map[string]bool
-	gen        atomic.Uint64 // bumped whenever subtype facts may change
+	gen        atomic.Uint64 // bumped whenever registered facts change
 }
 
 type subKey struct{ sub, super string }
 
 // New returns an empty repository.
-func New() *Repository {
-	return &Repository{
+func New() *Local {
+	return &Local{
 		interfaces: make(map[string]*types.Interface),
 		data:       make(map[string]*values.DataType),
 		declared:   make(map[string]map[string]bool),
@@ -62,7 +86,7 @@ func New() *Repository {
 // own name. Re-registering an identical (mutually substitutable) type is
 // idempotent; registering a different type under an existing name fails
 // with ErrConflict.
-func (r *Repository) RegisterInterface(it *types.Interface) error {
+func (r *Local) RegisterInterface(it *types.Interface) error {
 	if it == nil {
 		return fmt.Errorf("%w: nil interface", ErrBadType)
 	}
@@ -88,13 +112,17 @@ func (r *Repository) RegisterInterface(it *types.Interface) error {
 }
 
 // Gen returns the repository's type-fact generation: it advances whenever
-// a registration may have changed the substitutability relation. Callers
-// memoising derived facts (such as the trader's per-service-type subtype
-// closure) compare generations to know when to rebuild.
-func (r *Repository) Gen() uint64 { return r.gen.Load() }
+// a successful mutation may have changed what readers observe (interface
+// and data registrations, declared subtype edges, relationships). Callers
+// memoising derived facts (the trader's per-service-type subtype closure,
+// a Replicated front-end's per-replica copies) compare generations to
+// know when to rebuild. The bump happens while the write lock is still
+// held, so a reader that observes generation g and then snapshots the
+// store sees every fact registered up to g.
+func (r *Local) Gen() uint64 { return r.gen.Load() }
 
 // LookupInterface returns the interface type registered under name.
-func (r *Repository) LookupInterface(name string) (*types.Interface, error) {
+func (r *Local) LookupInterface(name string) (*types.Interface, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	it, ok := r.interfaces[name]
@@ -105,7 +133,7 @@ func (r *Repository) LookupInterface(name string) (*types.Interface, error) {
 }
 
 // Interfaces returns the sorted names of all registered interface types.
-func (r *Repository) Interfaces() []string {
+func (r *Local) Interfaces() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	names := make([]string, 0, len(r.interfaces))
@@ -118,7 +146,7 @@ func (r *Repository) Interfaces() []string {
 
 // RegisterData registers a named data type. The same idempotence and
 // conflict rules as RegisterInterface apply.
-func (r *Repository) RegisterData(name string, dt *values.DataType) error {
+func (r *Local) RegisterData(name string, dt *values.DataType) error {
 	if name == "" {
 		return ErrBadName
 	}
@@ -134,11 +162,12 @@ func (r *Repository) RegisterData(name string, dt *values.DataType) error {
 		return fmt.Errorf("%w: data type %q already registered with a different shape", ErrConflict, name)
 	}
 	r.data[name] = dt
+	r.gen.Add(1)
 	return nil
 }
 
 // LookupData returns the data type registered under name.
-func (r *Repository) LookupData(name string) (*values.DataType, error) {
+func (r *Local) LookupData(name string) (*values.DataType, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	dt, ok := r.data[name]
@@ -151,7 +180,7 @@ func (r *Repository) LookupData(name string) (*values.DataType, error) {
 // DeclareSubtype records that sub is a subtype of super, after verifying
 // the claim structurally — the repository never stores unsound hierarchy
 // edges. Both types must already be registered.
-func (r *Repository) DeclareSubtype(sub, super string) error {
+func (r *Local) DeclareSubtype(sub, super string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	subT, ok := r.interfaces[sub]
@@ -171,13 +200,16 @@ func (r *Repository) DeclareSubtype(sub, super string) error {
 		r.declared[sub] = set
 	}
 	set[super] = true
+	// Declared edges are read back through DeclaredSupertypes, so replicas
+	// mirroring this store must learn their copy went stale.
+	r.gen.Add(1)
 	return nil
 }
 
 // IsSubtype reports whether the registered type sub may substitute for the
 // registered type super. Structural results are memoised, so repeated
 // checks (as a trader makes during matching) are map lookups.
-func (r *Repository) IsSubtype(sub, super string) (bool, error) {
+func (r *Local) IsSubtype(sub, super string) (bool, error) {
 	if sub == super {
 		// Still require the type to exist.
 		if _, err := r.LookupInterface(sub); err != nil {
@@ -208,7 +240,7 @@ func (r *Repository) IsSubtype(sub, super string) (bool, error) {
 
 // Supertypes returns the sorted names of all registered types that name
 // may substitute for (excluding itself).
-func (r *Repository) Supertypes(name string) ([]string, error) {
+func (r *Local) Supertypes(name string) ([]string, error) {
 	it, err := r.LookupInterface(name)
 	if err != nil {
 		return nil, err
@@ -234,7 +266,7 @@ func (r *Repository) Supertypes(name string) ([]string, error) {
 
 // Subtypes returns the sorted names of all registered types that may
 // substitute for name (excluding itself).
-func (r *Repository) Subtypes(name string) ([]string, error) {
+func (r *Local) Subtypes(name string) ([]string, error) {
 	it, err := r.LookupInterface(name)
 	if err != nil {
 		return nil, err
@@ -261,7 +293,7 @@ func (r *Repository) Subtypes(name string) ([]string, error) {
 // DeclaredSupertypes returns the sorted supertypes explicitly declared for
 // name via DeclareSubtype (the curated hierarchy, as opposed to the
 // structural one).
-func (r *Repository) DeclaredSupertypes(name string) []string {
+func (r *Local) DeclaredSupertypes(name string) []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var out []string
@@ -275,7 +307,7 @@ func (r *Repository) DeclaredSupertypes(name string) []string {
 // Relate records a named relationship from one registered type to another
 // (e.g. "describes", "manages", "supersedes"). Both endpoints may be
 // interface or data type names.
-func (r *Repository) Relate(relation, from, to string) error {
+func (r *Local) Relate(relation, from, to string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.known(from) || !r.known(to) {
@@ -292,11 +324,12 @@ func (r *Repository) Relate(relation, from, to string) error {
 		rel[from] = set
 	}
 	set[to] = true
+	r.gen.Add(1)
 	return nil
 }
 
 // Related returns the sorted targets related to from under relation.
-func (r *Repository) Related(relation, from string) []string {
+func (r *Local) Related(relation, from string) []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var out []string
@@ -307,7 +340,7 @@ func (r *Repository) Related(relation, from string) []string {
 	return out
 }
 
-func (r *Repository) known(name string) bool {
+func (r *Local) known(name string) bool {
 	if _, ok := r.interfaces[name]; ok {
 		return true
 	}

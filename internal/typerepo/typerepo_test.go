@@ -46,7 +46,7 @@ func loans() *types.Interface {
 	)
 }
 
-func bankRepo(t *testing.T) *Repository {
+func bankRepo(t *testing.T) Repository {
 	t.Helper()
 	r := New()
 	for _, it := range []*types.Interface{teller(), manager(), loans()} {

@@ -25,7 +25,8 @@ echo "== race detector (hot-path and fan-out packages) =="
 go test -race ./internal/wire/ ./internal/channel/ ./internal/netsim/ \
 	./internal/transactions/ ./internal/coordination/ ./internal/trader/ \
 	./internal/mgmt/ ./internal/relocator/ ./internal/policy/ \
-	./internal/hashring/ ./internal/odp/ ./internal/stream/
+	./internal/hashring/ ./internal/odp/ ./internal/stream/ \
+	./internal/typerepo/
 
 echo "== E11 chaos smoke (policy-on availability + recovery + no leaked goroutines) =="
 # A short chaos run under the race detector: TestE11ChaosSmoke asserts
@@ -122,7 +123,7 @@ for e13_attempt in 1 2 3; do
 		/"scenario"/     { scen = $2; gsub(/[",]/, "", scen) }
 		/"shards"/       { shards = $2 + 0 }
 		/"throughput"/   { if (scen == "grid") thr[shards] = $2 + 0 }
-		/"bindings"/     { if (scen == "swarm") bindings = $2 + 0 }
+		/"bindings":/    { if (scen == "swarm") bindings = $2 + 0 }
 		/"lost_lookups"/ { lost = $2 + 0 }
 		/"misses"/       { if (scen == "rebalance-blackout") misses = $2 + 0 }
 		/"probes"/       { probes = $2 + 0 }
@@ -183,6 +184,51 @@ for e14_attempt in 1 2 3; do
 done
 if [ "$e14_ok" != "1" ]; then
 	echo "E14 streaming gate failed: one slow consumer dragged siblings below 0.8x in 3 runs"
+	exit 1
+fi
+
+echo "== E15 de-singleton smoke (replicated typerepo >= 2x gated singleton; 1M swarm, 0 lost; crash-storm rebalance, 0 misses) =="
+# The de-singletoned control plane must hold at scale. The typerepo
+# authority sits behind a fixed-capacity gate, so the replicated read
+# front-end has to beat the singleton by at least 2x as a property of
+# where reads are served, not of core count (wall-clock, so best of
+# three). The swarm and crash-storm slices are deterministic protocol
+# properties and must hold on every run: >=1,000,000 bindings with zero
+# lost lookups through the replicated repository, and zero probe misses
+# while the ring gains and loses a shard with a chaos-scripted crash of
+# one replica-group member mid-rebalance.
+e15_ok=0
+for e15_attempt in 1 2 3; do
+	go run ./cmd/odpbench -only e15smoke -json > /tmp/check_e15.json
+	if awk '
+		/"scenario"/     { scen = $2; gsub(/[",]/, "", scen) }
+		/"throughput"/   {
+			if (scen == "typerepo-singleton")  single = $2 + 0
+			if (scen == "typerepo-replicated") repl   = $2 + 0
+		}
+		/"bindings":/    { if (scen == "swarm") bindings = $2 + 0 }
+		/"lost_lookups"/ { lost = $2 + 0 }
+		/"probes"/       { if (scen == "crash-rebalance") probes = $2 + 0 }
+		/"misses"/       { if (scen == "crash-rebalance") misses = $2 + 0 }
+		/"crash_events"/ { crashes = $2 + 0 }
+		END {
+			if (single == 0 || repl == 0) { print "e15: typerepo rows missing from JSON"; exit 1 }
+			printf "e15: replicated %.0f imports/s vs gated singleton %.0f: %.1fx; swarm %d bindings, %d lost; crash storm %d probes, %d misses, %d crash(es)\n", \
+				repl, single, repl / single, bindings, lost, probes, misses, crashes
+			if (bindings < 1000000) { print "e15: swarm fell short of 1M bindings"; exit 1 }
+			if (lost != 0)          { print "e15: swarm lost lookups"; exit 1 }
+			if (probes == 0)        { print "e15: no crash-storm probes ran"; exit 1 }
+			if (crashes == 0)       { print "e15: chaos crash never fired"; exit 1 }
+			if (misses != 0)        { print "e15: crash-storm probe misses"; exit 1 }
+			exit !(repl >= 2 * single)
+		}' /tmp/check_e15.json; then
+		e15_ok=1
+		break
+	fi
+	echo "e15 attempt $e15_attempt failed; retrying"
+done
+if [ "$e15_ok" != "1" ]; then
+	echo "E15 de-singleton gate failed in 3 runs"
 	exit 1
 fi
 
