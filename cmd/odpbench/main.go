@@ -18,6 +18,8 @@
 //	odpbench -only e14smoke -json  # the CI slice (fewer elements)
 //	odpbench -only e15  # de-singletoned control plane: replicated types, sharded bus, 1M swarm
 //	odpbench -only e15smoke -json  # the CI slice (same 1M swarm, fewer samples elsewhere)
+//	odpbench -only e16  # self-healing migration storm, recovery on vs off
+//	odpbench -only e16smoke -json  # the CI slice (smaller storm) as JSON
 //	odpbench -json      # any section: unified []Record instead of tables
 //
 // With -json every section emits the unified experiments.Record shape
@@ -64,7 +66,7 @@ func (e *emitter) flush() {
 
 func main() {
 	iters := flag.Int("iters", 2000, "samples per scenario")
-	only := flag.String("only", "", "run only the named section (supported: e10, e11, e12, e12smoke, e13, e13smoke, e14, e14smoke, e15, e15smoke)")
+	only := flag.String("only", "", "run only the named section (supported: e10, e11, e12, e12smoke, e13, e13smoke, e14, e14smoke, e15, e15smoke, e16, e16smoke)")
 	dur := flag.Duration("dur", 6*time.Second, "per-mode wall-clock duration of the e11 chaos run")
 	asJSON := flag.Bool("json", false, "emit machine-readable records instead of tables")
 	flag.Parse()
@@ -88,6 +90,11 @@ func main() {
 	}
 	if *only == "e15" || *only == "e15smoke" {
 		runE15(em, *only == "e15smoke")
+		em.flush()
+		return
+	}
+	if *only == "e16" || *only == "e16smoke" {
+		runE16(em, *only == "e16smoke")
 		em.flush()
 		return
 	}
@@ -199,7 +206,46 @@ func main() {
 	runE13(em, true)
 	runE14(em, true)
 	runE15(em, true)
+	runE16(em, true)
 	em.flush()
+}
+
+// runE16 prints (or records) the self-healing migration storm: hundreds
+// of live relocations across a composed WAN link under a chaos script
+// that crashes a trader replica and a whole victim host, measured twice
+// — recovery controller wired, then the same script with the controller
+// disconnected (the control run).
+func runE16(em *emitter, smoke bool) {
+	res, err := experiments.E16(smoke)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "e16: %v\n", err)
+		os.Exit(1)
+	}
+	em.add(res.Records()...)
+	if em.json {
+		return
+	}
+	section(em, "E16 Self-healing migration storm: WAN chaos, shard failover, victim rescue")
+	fmt.Printf("  %-14s %8s %8s %8s %9s %10s %10s %6s %7s %6s\n",
+		"mode", "probes", "fail", "avail", "maxgap", "ttdead", "ttrecover", "dead", "migr", "lost")
+	for _, r := range []experiments.E16Report{res.On, res.Off} {
+		ttr := "never"
+		if r.TimeToRecover >= 0 {
+			ttr = r.TimeToRecover.Round(100 * time.Microsecond).String()
+		}
+		fmt.Printf("  %-14s %8d %8d %7.2f%% %9v %10v %10s %6d %7d %6d\n",
+			r.Mode, r.Probes, r.Failures, 100*r.Availability,
+			r.MaxBlackout.Round(100*time.Microsecond),
+			r.TimeToDead.Round(100*time.Microsecond), ttr,
+			r.DeadObjects, r.Migrations, r.LostLookups)
+	}
+	on := res.On
+	fmt.Printf("  recovery-on: %d rescues, %d actions (%d failed), %d readmission(s),\n",
+		on.Rescues, on.RecoveryActions, on.RecoveryFailures, on.Readmissions)
+	fmt.Printf("               group size %d after promotion, %d ring rebalances, %d chaos events,\n",
+		on.GroupSize, on.RingRebalances, on.ChaosEvents)
+	fmt.Printf("               %v storm window\n", on.Window.Round(time.Millisecond))
+	fmt.Println()
 }
 
 // runE15 prints (or records) the de-singletoned control plane: trader

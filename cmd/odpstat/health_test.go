@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/health"
+	"repro/internal/mgmt"
+)
+
+// TestRenderHealth feeds a real Registry dump — populated through the
+// same mgmt.Health / mgmt.Policy bundles the detector and breaker set
+// write — through the client-side renderer and checks the table rows.
+func TestRenderHealth(t *testing.T) {
+	m := mgmt.New()
+
+	n1 := m.Health("n1")
+	n1.State.Set(int64(health.Alive))
+	n1.Suspicion.Set(0)
+	n1.Probes.Add(120)
+	n1.Transitions.Add(1)
+	n1.RTT.Observe(250_000)
+
+	// A dotted watch key must not split wrong.
+	h2 := m.Health("10.0.0.2:9000")
+	h2.State.Set(int64(health.Dead))
+	h2.Suspicion.Set(1000)
+	h2.Probes.Add(80)
+	h2.Misses.Add(6)
+	h2.Transitions.Add(2)
+
+	def := m.Policy("")
+	def.BreakerOpens.Add(3)
+	def.BreakerCloses.Add(2)
+	def.BreakersOpen.Set(1)
+	def.Rejected.Add(14)
+	named := m.Policy("t")
+	named.Probes.Add(5)
+
+	out := renderHealth(m.Registry.Dump())
+
+	for _, row := range []string{"endpoint", "breakers"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("missing %q header in:\n%s", row, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	find := func(prefix string) string {
+		t.Helper()
+		for _, l := range lines {
+			if strings.HasPrefix(l, prefix) {
+				return l
+			}
+		}
+		t.Fatalf("no row starting %q in:\n%s", prefix, out)
+		return ""
+	}
+
+	if l := find("n1 "); !strings.Contains(l, "alive") || !strings.Contains(l, "0.0%") ||
+		!strings.Contains(l, "120") || !strings.Contains(l, "p50") {
+		t.Fatalf("n1 row wrong: %q", l)
+	}
+	if l := find("10.0.0.2:9000 "); !strings.Contains(l, "dead") || !strings.Contains(l, "100.0%") ||
+		!strings.Contains(l, "6") {
+		t.Fatalf("dotted-endpoint row wrong: %q", l)
+	}
+	if l := find("(default) "); !strings.Contains(l, "1") || !strings.Contains(l, "14") {
+		t.Fatalf("default breaker row wrong: %q", l)
+	}
+	if l := find("t "); !strings.Contains(l, "5") {
+		t.Fatalf("named breaker row wrong: %q", l)
+	}
+
+	// No health instruments at all: a hint, not an empty table.
+	if out := renderHealth("counter   chan.invocations    9\n"); !strings.Contains(out, "failure detector") {
+		t.Fatalf("empty-dump rendering = %q", out)
+	}
+}

@@ -8,6 +8,13 @@
 //	odpstat -id '<interface-id>' -endpoint tcp://127.0.0.1:9000
 //	odpstat -id '<interface-id>' -endpoint tcp://127.0.0.1:9000 -op Traces
 //	odpstat -id '<interface-id>' -endpoint tcp://127.0.0.1:9000 -op Trace -trace <hex-id>
+//	odpstat -id '<interface-id>' -endpoint tcp://127.0.0.1:9000 -op Health
+//
+// -op Health renders the node's failure-detector instruments as a
+// liveness table (state and suspicion per watched endpoint, probe and
+// miss counters, RTT summary) followed by the circuit-breaker state per
+// failure-policy bundle. The rendering is client-side over the plain
+// Metrics dump, so any node with EnableHealth and management serves it.
 //
 // Standalone demo — build a two-replica transactional bank in-process,
 // run one traced deposit and print its span tree:
@@ -34,7 +41,7 @@ func main() {
 	var (
 		id       = flag.String("id", "", "interface id of the node's Management interface")
 		endpoint = flag.String("endpoint", "", "endpoint of the node")
-		op       = flag.String("op", "Dump", "management operation: Dump | Metrics | Traces | Trace")
+		op       = flag.String("op", "Dump", "management operation: Dump | Metrics | Traces | Trace | Health")
 		trace    = flag.String("trace", "", "trace id (hex) for -op Trace")
 		demo     = flag.Bool("demo", false, "run the in-process traced-transfer demo and exit")
 	)
@@ -65,6 +72,13 @@ func runFetch(ifaceID, endpoint, op, trace string) {
 	}
 	defer b.Close()
 
+	// Health is a client-side rendering of the node's metric dump: the
+	// node serves raw instruments, odpstat shapes the liveness table.
+	renderer := func(s string) string { return s }
+	if op == "Health" {
+		op, renderer = "Metrics", renderHealth
+	}
+
 	var args []values.Value
 	if op == "Trace" {
 		if trace == "" {
@@ -91,7 +105,7 @@ func runFetch(ifaceID, endpoint, op, trace string) {
 	}
 	for _, r := range results {
 		if s, ok := r.AsString(); ok {
-			fmt.Print(s)
+			fmt.Print(renderer(s))
 		}
 	}
 }

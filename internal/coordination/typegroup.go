@@ -15,8 +15,8 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/types"
 	"repro/internal/typerepo"
+	"repro/internal/types"
 	"repro/internal/values"
 )
 

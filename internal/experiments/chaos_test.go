@@ -1,10 +1,11 @@
 package experiments
 
 import (
-	"runtime"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/leakcheck"
 )
 
 // TestE11ChaosSmoke is the CI gate on the chaos experiment: a short run
@@ -17,7 +18,9 @@ func TestE11ChaosSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos run takes ~3s of wall clock")
 	}
-	before := runtime.NumGoroutine()
+	// Everything the run spins up — servers, sessions, chaos driver,
+	// delayed-delivery loops — must be gone by the end.
+	defer leakcheck.Guard(t, 2, 5*time.Second)()
 
 	rep, err := E11Chaos(3*time.Second, true)
 	if err != nil {
@@ -49,17 +52,6 @@ func TestE11ChaosSmoke(t *testing.T) {
 	if !strings.Contains(rep.Timeline, "crash n1") || !strings.Contains(rep.Timeline, "restart n3") {
 		t.Fatalf("timeline missing scripted faults:\n%s", rep.Timeline)
 	}
-
-	// Everything the run spun up — servers, sessions, chaos driver,
-	// delayed-delivery loops — must be gone.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before+2 {
-			return
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	t.Fatalf("goroutines: before=%d after=%d; chaos run leaked", before, runtime.NumGoroutine())
 }
 
 // TestE11PolicyOffRuns checks the baseline mode stays runnable (its

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is instrumenting this test
+// binary; timing-sensitive experiment gates consult it.
+const raceEnabled = true

@@ -1,0 +1,44 @@
+// Package leakcheck is the shared goroutine leak check used by
+// chaos-style tests: snapshot the goroutine count before the scenario,
+// then assert afterwards — with grace retries, because teardown
+// (session readers, netsim delivery loops, probe loops) unwinds
+// asynchronously — that the count returned to the snapshot's
+// neighbourhood.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Now returns the current goroutine count.
+func Now() int { return runtime.NumGoroutine() }
+
+// Check fails tb when, after retrying for up to grace, the goroutine
+// count is still more than slack above before. On failure it dumps all
+// goroutine stacks so the leaked loop is identifiable.
+func Check(tb testing.TB, before, slack int, grace time.Duration) {
+	tb.Helper()
+	deadline := time.Now().Add(grace)
+	now := runtime.NumGoroutine()
+	for now > before+slack && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		now = runtime.NumGoroutine()
+	}
+	if now <= before+slack {
+		return
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	tb.Fatalf("goroutine leak: %d before, %d after %v grace (slack %d)\n%s",
+		before, now, grace, slack, buf[:n])
+}
+
+// Guard snapshots the goroutine count and returns the deferred check:
+//
+//	defer leakcheck.Guard(t, 2, 5*time.Second)()
+func Guard(tb testing.TB, slack int, grace time.Duration) func() {
+	before := Now()
+	return func() { Check(tb, before, slack, grace) }
+}

@@ -117,14 +117,14 @@ type TraderInstruments struct {
 // ShardInstruments instrument a sharded-trader (or sharded-relocator)
 // front-end: the ring shape and the routing work per import.
 type ShardInstruments struct {
-	Shards         *Gauge     // shards currently on the ring
-	RingEpoch      *Gauge     // ring generation (bumps on flip and on settle)
-	Rebalances     *Counter   // completed ring changes
-	MigratedOffers *Counter   // offers moved live during rebalances
-	Imports        *Counter   // imports answered by the front-end
-	Matched        *Counter   // offers returned
+	Shards          *Gauge     // shards currently on the ring
+	RingEpoch       *Gauge     // ring generation (bumps on flip and on settle)
+	Rebalances      *Counter   // completed ring changes
+	MigratedOffers  *Counter   // offers moved live during rebalances
+	Imports         *Counter   // imports answered by the front-end
+	Matched         *Counter   // offers returned
 	ShardsPerImport *Histogram // shard queries issued per import
-	ImportLatency  *Histogram // front-end import latency, ns
+	ImportLatency   *Histogram // front-end import latency, ns
 }
 
 // ShardLegInstruments instrument one shard as seen from a front-end: the
@@ -155,6 +155,18 @@ type NetInstruments struct {
 	Delivered   *Counter
 	Dropped     *Counter
 	Partitioned *Counter // drops caused specifically by a partition
+}
+
+// HealthInstruments instrument one endpoint monitored by the failure
+// detector: its liveness state and suspicion level as gauges (what the
+// odpstat health table renders), plus probe activity.
+type HealthInstruments struct {
+	State       *Gauge     // 0=alive 1=suspect 2=dead
+	Suspicion   *Gauge     // suspicion level, per-mille (0..1000)
+	Probes      *Counter   // probes completed (active and passive samples)
+	Misses      *Counter   // probes that failed or exceeded the adaptive timeout
+	Transitions *Counter   // liveness transitions
+	RTT         *Histogram // successful probe round trips, ns
 }
 
 // BusInstruments instrument one event-bus shard: the depth of its bounded
@@ -238,12 +250,12 @@ func (m *Management) ChannelServer(name string) *ChannelServerInstruments {
 	}
 	p := "channel.server." + name + "."
 	return &ChannelServerInstruments{
-		Tracer:             m.Tracer,
-		Dispatches:         m.Registry.Counter(p + "dispatches"),
-		Errors:             m.Registry.Counter(p + "errors"),
-		BadFrames:          m.Registry.Counter(p + "bad_frames"),
-		FlowTypeErrors:     m.Registry.Counter(p + "flow_type_errors"),
-		DispatchLatency:    m.Registry.Histogram(p + "dispatch_latency_ns"),
+		Tracer:              m.Tracer,
+		Dispatches:          m.Registry.Counter(p + "dispatches"),
+		Errors:              m.Registry.Counter(p + "errors"),
+		BadFrames:           m.Registry.Counter(p + "bad_frames"),
+		FlowTypeErrors:      m.Registry.Counter(p + "flow_type_errors"),
+		DispatchLatency:     m.Registry.Histogram(p + "dispatch_latency_ns"),
 		SessionsOpen:        m.Registry.Gauge(p + "sessions_open"),
 		SessionsTotal:       m.Registry.Counter(p + "sessions_total"),
 		BindingsPerSession:  m.Registry.Histogram(p + "bindings_per_session"),
@@ -418,6 +430,24 @@ func (m *Management) Bus(shard string) *BusInstruments {
 		QueueDepth: m.Registry.Gauge(p + "queue_depth"),
 		Published:  m.Registry.Counter(p + "published"),
 		Dropped:    m.Registry.Counter(p + "dropped"),
+	}
+}
+
+// Health resolves the failure-detector bundle of one monitored endpoint.
+// Metrics land under health.<endpoint>.* ("health.m0.state",
+// "health.m0.suspicion"), which is what odpstat's health table reads.
+func (m *Management) Health(endpoint string) *HealthInstruments {
+	if m == nil {
+		return nil
+	}
+	p := "health." + endpoint + "."
+	return &HealthInstruments{
+		State:       m.Registry.Gauge(p + "state"),
+		Suspicion:   m.Registry.Gauge(p + "suspicion"),
+		Probes:      m.Registry.Counter(p + "probes"),
+		Misses:      m.Registry.Counter(p + "misses"),
+		Transitions: m.Registry.Counter(p + "transitions"),
+		RTT:         m.Registry.Histogram(p + "rtt_ns"),
 	}
 }
 

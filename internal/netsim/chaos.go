@@ -37,8 +37,9 @@ const (
 	FaultPartition
 	// FaultHeal removes the A–B partition.
 	FaultHeal
-	// FaultLink installs Profile on the A–B link (both directions):
-	// a latency spike, a lossy patch, a slow-drip bandwidth squeeze.
+	// FaultLink installs Profile on the A–B link — both directions, or
+	// asymmetrically when Fault.Reverse is set: a latency spike, a lossy
+	// patch, a slow-drip bandwidth squeeze.
 	FaultLink
 	// FaultLinkClear removes the explicit A–B profile, restoring the
 	// network default.
@@ -66,11 +67,19 @@ func (k FaultKind) String() string {
 // Fault is one injectable failure. Host "*" in A picks uniformly from
 // the config's Hosts with the harness RNG — "crash any node"; a "*"
 // restart revives the most recently crashed host, so crash/restart
-// pairs stay matched. The event log records the resolved names.
+// pairs stay matched. A host of the form "dom:<name>" expands to the
+// members of that federated domain (ChaosConfig.Domains): a crash takes
+// the whole domain down, a partition splits the two domains pairwise.
+// The event log records the resolved names (wildcards pinned, domains
+// kept symbolic).
 type Fault struct {
 	Kind    FaultKind
 	A, B    string
 	Profile LinkProfile // FaultLink only
+	// Reverse, when set on a FaultLink, is the B→A profile while
+	// Profile shapes A→B — an asymmetric WAN link. Nil keeps the link
+	// symmetric (Profile both ways), the pre-WAN behaviour.
+	Reverse *LinkProfile
 }
 
 // Schedule places one fault on the harness clock: At is the offset from
@@ -111,6 +120,11 @@ type ChaosConfig struct {
 	// Seed drives all harness randomness; equal seeds and scripts give
 	// byte-identical event logs.
 	Seed int64
+	// Domains names federated host sets: a fault addressed to
+	// "dom:<name>" applies to every member (crashes/restarts) or to
+	// every cross pair (partitions, heals, link faults). Unknown domain
+	// names fall back to the literal host string.
+	Domains map[string][]string
 	// Crash, when set, runs after the transport-level CrashHost — the
 	// place to stop the served objects of the host (close their server).
 	Crash func(host string) error
@@ -257,33 +271,48 @@ func (c *Chaos) run(stop, done chan struct{}) {
 	}
 }
 
-// apply resolves wildcards, injects the fault, and logs the event.
+// apply resolves wildcards and domains, injects the fault, and logs the
+// event.
 func (c *Chaos) apply(s Schedule) {
 	f := s.Fault
 	a := c.resolveHost(f.Kind, f.A)
 	ev := ChaosEvent{At: s.At, Kind: f.Kind, A: a, B: f.B}
+	as := c.expandDomain(a)
+	bs := c.expandDomain(f.B)
+	firstErr := func(err error) {
+		if err != nil && ev.Err == nil {
+			ev.Err = err
+		}
+	}
 	switch f.Kind {
 	case FaultCrash:
 		c.mu.Lock()
-		c.lastCrashed = a
+		c.lastCrashed = as[len(as)-1]
 		c.mu.Unlock()
-		c.net.CrashHost(a)
-		if c.cfg.Crash != nil {
-			ev.Err = c.cfg.Crash(a)
+		for _, h := range as {
+			c.net.CrashHost(h)
+			if c.cfg.Crash != nil {
+				firstErr(c.cfg.Crash(h))
+			}
 		}
 	case FaultRestart:
 		if c.cfg.Restart != nil {
-			ev.Err = c.cfg.Restart(a)
+			for _, h := range as {
+				firstErr(c.cfg.Restart(h))
+			}
 		}
 	case FaultPartition:
-		c.net.Partition(a, f.B)
+		c.net.PartitionHosts(as, bs)
 	case FaultHeal:
-		c.net.Heal(a, f.B)
+		c.net.HealHosts(as, bs)
 	case FaultLink:
-		c.net.SetLink(a, f.B, f.Profile)
-		c.net.SetLink(f.B, a, f.Profile)
+		rev := f.Profile
+		if f.Reverse != nil {
+			rev = *f.Reverse
+		}
+		c.net.SetLinkHosts(as, bs, f.Profile, rev)
 	case FaultLinkClear:
-		c.net.ClearLink(a, f.B)
+		c.net.ClearLinkHosts(as, bs)
 	}
 	c.mu.Lock()
 	c.events = append(c.events, ev)
@@ -291,6 +320,20 @@ func (c *Chaos) apply(s Schedule) {
 	if c.cfg.Log != nil {
 		c.cfg.Log(ev.String())
 	}
+}
+
+// domainPrefix marks a fault host as a federated-domain reference.
+const domainPrefix = "dom:"
+
+// expandDomain resolves "dom:<name>" to the domain's member hosts; any
+// other string (including an unknown domain) is itself the single host.
+func (c *Chaos) expandDomain(h string) []string {
+	if strings.HasPrefix(h, domainPrefix) {
+		if hosts := c.cfg.Domains[h[len(domainPrefix):]]; len(hosts) > 0 {
+			return hosts
+		}
+	}
+	return []string{h}
 }
 
 // resolveHost pins a wildcard to a concrete host with the seeded RNG.

@@ -3,9 +3,10 @@ package netsim
 import (
 	"context"
 	"errors"
-	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/leakcheck"
 )
 
 func chaosScript() Script {
@@ -155,7 +156,7 @@ func TestDelayedConnNoGoroutineLeak(t *testing.T) {
 			_ = c
 		}
 	}()
-	before := runtime.NumGoroutine()
+	before := leakcheck.Now()
 	for i := 0; i < 8; i++ {
 		conn, err := n.Dial(context.Background(), "sim://server")
 		if err != nil {
@@ -168,14 +169,7 @@ func TestDelayedConnNoGoroutineLeak(t *testing.T) {
 		}
 		conn.Close()
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before+1 {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("goroutines: before=%d after=%d; delivery loops leaked", before, runtime.NumGoroutine())
+	leakcheck.Check(t, before, 1, 2*time.Second)
 }
 
 // TestChaosRealTimeRun: the wall-clock driver applies the script and

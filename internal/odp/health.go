@@ -1,0 +1,116 @@
+package odp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/coordination"
+	"repro/internal/health"
+	"repro/internal/naming"
+)
+
+// This file wires the self-healing layer into the facade. The failure
+// detector (sensing) and the recovery controller (acting) are decoupled
+// through the system event bus: EnableHealth publishes every liveness
+// transition on TopicLiveness, EnableRecovery subscribes there. The
+// tutorial's §9 failure transparency is a prescription, not a default —
+// this is the machinery a system that prescribes it runs.
+
+// TopicLiveness carries liveness transitions from the failure detector:
+// records minted by health.Transition.ToValue, decoded with
+// health.TransitionFromValue. Like the other control-plane topics it
+// spreads across shards once ShardBus is called.
+const TopicLiveness = health.EventTopic
+
+// EnableHealth starts the system failure detector. Transitions are
+// published on TopicLiveness (in addition to any OnTransition already in
+// cfg), and — when management is enabled — each watched endpoint reports
+// under health.<endpoint>.* gauges, which is what odpstat's Health view
+// renders. Idempotent; returns the detector. Watch endpoints with
+// WatchNode (transport-level dial probes) or Detector().Watch for custom
+// probes through the full channel stack.
+func (s *System) EnableHealth(cfg health.Config) *health.Detector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.health != nil {
+		return s.health
+	}
+	if cfg.Instruments == nil && s.mgmt != nil {
+		cfg.Instruments = s.mgmt.Health
+	}
+	user := cfg.OnTransition
+	cfg.OnTransition = func(t health.Transition) {
+		s.bus().Publish(TopicLiveness, t.ToValue())
+		if user != nil {
+			user(t)
+		}
+	}
+	s.health = health.New(cfg)
+	return s.health
+}
+
+// Detector returns the system failure detector, nil when disabled.
+func (s *System) Detector() *health.Detector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health
+}
+
+// WatchNode puts a node under the failure detector with a transport-level
+// dial probe: a crashed node fails the probe immediately, a partitioned
+// one hangs it into the adaptive timeout. The probe dials from the
+// synthetic host "healthd", so chaos scripts can partition the monitor
+// itself. For round-trip-sensitive probing through the full channel
+// stack, register a ping interface and use Detector().Watch directly.
+func (s *System) WatchNode(name string) error {
+	s.mu.Lock()
+	d := s.health
+	s.mu.Unlock()
+	if d == nil {
+		return fmt.Errorf("odp: EnableHealth first")
+	}
+	ep := naming.Endpoint("sim://" + name)
+	tr := s.Net.From("healthd")
+	return d.Watch(name, func(ctx context.Context) (time.Duration, error) {
+		start := time.Now()
+		conn, err := tr.Dial(ctx, ep)
+		if err != nil {
+			return 0, err
+		}
+		conn.Close()
+		return time.Since(start), nil
+	})
+}
+
+// EnableRecovery starts the recovery controller and subscribes it to
+// TopicLiveness behind a bounded queue, so a burst of transitions never
+// stalls the bus. Plans (per endpoint or fallback) are installed by the
+// caller on the returned controller; with no Breakers in cfg the
+// system's breaker config (EnableBreakers) does not apply — recovery
+// gating is a separate policy decision from invocation gating.
+// Idempotent; returns the controller.
+func (s *System) EnableRecovery(cfg health.ControllerConfig) *health.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recovery != nil {
+		return s.recovery
+	}
+	ctl := health.NewController(cfg)
+	s.recovery = ctl
+	s.recoveryCancel = s.Bus.SubscribeQueued(TopicLiveness, nil, 256, func(ev coordination.Event) {
+		t, err := health.TransitionFromValue(ev.Payload)
+		if err != nil {
+			return
+		}
+		ctl.Handle(t)
+	})
+	return s.recovery
+}
+
+// Recovery returns the recovery controller, nil when disabled.
+func (s *System) Recovery() *health.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}

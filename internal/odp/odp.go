@@ -22,6 +22,7 @@ import (
 	"repro/internal/coordination"
 	"repro/internal/core"
 	"repro/internal/engineering"
+	"repro/internal/health"
 	"repro/internal/mgmt"
 	"repro/internal/naming"
 	"repro/internal/netsim"
@@ -95,6 +96,13 @@ type System struct {
 	cacheCancel func()
 	// bridgeCancel unsubscribes the relocator -> bus event bridge.
 	bridgeCancel func()
+	// health, when set by EnableHealth, is the failure detector whose
+	// transitions are published on TopicLiveness; recovery, when set by
+	// EnableRecovery, is the controller acting on them (recoveryCancel
+	// unsubscribes it from the bus).
+	health         *health.Detector
+	recovery       *health.Controller
+	recoveryCancel func()
 }
 
 // bus returns the current event bus under the lock, so publishers racing
@@ -449,7 +457,19 @@ func (s *System) Close() error {
 	s.cacheCancel = nil
 	bridge := s.bridgeCancel
 	s.bridgeCancel = nil
+	det, ctl, recCancel := s.health, s.recovery, s.recoveryCancel
+	s.health, s.recovery, s.recoveryCancel = nil, nil, nil
 	s.mu.Unlock()
+	// Sensing stops first (no new transitions), then the acting half.
+	if det != nil {
+		det.Close()
+	}
+	if recCancel != nil {
+		recCancel()
+	}
+	if ctl != nil {
+		ctl.Close()
+	}
 	if cancel != nil {
 		cancel()
 	}

@@ -26,7 +26,7 @@ go test -race ./internal/wire/ ./internal/channel/ ./internal/netsim/ \
 	./internal/transactions/ ./internal/coordination/ ./internal/trader/ \
 	./internal/mgmt/ ./internal/relocator/ ./internal/policy/ \
 	./internal/hashring/ ./internal/odp/ ./internal/stream/ \
-	./internal/typerepo/
+	./internal/typerepo/ ./internal/health/
 
 echo "== E11 chaos smoke (policy-on availability + recovery + no leaked goroutines) =="
 # A short chaos run under the race detector: TestE11ChaosSmoke asserts
@@ -229,6 +229,54 @@ for e15_attempt in 1 2 3; do
 done
 if [ "$e15_ok" != "1" ]; then
 	echo "E15 de-singleton gate failed in 3 runs"
+	exit 1
+fi
+
+echo "== E16 self-healing smoke (recovery-on: >=99% availability, 0 lost, every victim rescued; recovery-off degrades) =="
+# The self-healing loop must close under the migration storm: with the
+# recovery controller on, the mid-storm shard crash and the victim kills
+# cost zero lost trader lookups and zero permanently dead objects, every
+# victim is rescued, and the failed-over group still runs both replicas;
+# aggregate availability has to stay >=99% (wall-clock through a probe
+# window, so best of three). The recovery-off control must show the
+# degradation is real: dead objects left behind and strictly lower
+# availability than the recovered run.
+e16_ok=0
+for e16_attempt in 1 2 3; do
+	go run ./cmd/odpbench -only e16smoke -json > /tmp/check_e16.json
+	if awk '
+		/"scenario"/       { scen = $2; gsub(/[",]/, "", scen) }
+		/"availability"/   { avail[scen] = $2 + 0 }
+		/"lost_lookups"/   { if (scen == "recovery-on") lost = $2 + 0 }
+		/"dead_objects"/   { dead[scen] = $2 + 0 }
+		/"rescues"/        { resc[scen] = $2 + 0 }
+		/"group_size"/     { if (scen == "recovery-on") gsize = $2 + 0 }
+		/"migrations"/     { if (scen == "recovery-on") migr = $2 + 0 }
+		END {
+			if (avail["recovery-on"] == 0 || avail["recovery-off"] == 0) {
+				print "e16: scenario rows missing from JSON"; exit 1
+			}
+			printf "e16: recovery-on %.4f avail, %d lost, %d dead, %d rescues, group %d, %d migrations; recovery-off %.4f avail, %d dead\n", \
+				avail["recovery-on"], lost, dead["recovery-on"], resc["recovery-on"], gsize, migr, \
+				avail["recovery-off"], dead["recovery-off"]
+			if (lost != 0)                  { print "e16: recovery-on lost trader lookups"; exit 1 }
+			if (dead["recovery-on"] != 0)   { print "e16: recovery-on left dead objects"; exit 1 }
+			if (resc["recovery-on"] == 0)   { print "e16: no victim was rescued"; exit 1 }
+			if (gsize != 2)                 { print "e16: failed-over group lost a replica"; exit 1 }
+			if (migr < 100)                 { print "e16: migration storm fell short"; exit 1 }
+			if (dead["recovery-off"] == 0)  { print "e16: recovery-off control shows no dead objects"; exit 1 }
+			if (avail["recovery-off"] >= avail["recovery-on"]) {
+				print "e16: recovery-off control not degraded"; exit 1
+			}
+			exit !(avail["recovery-on"] >= 0.99)
+		}' /tmp/check_e16.json; then
+		e16_ok=1
+		break
+	fi
+	echo "e16 attempt $e16_attempt failed; retrying"
+done
+if [ "$e16_ok" != "1" ]; then
+	echo "E16 self-healing gate failed in 3 runs"
 	exit 1
 fi
 
